@@ -1,0 +1,88 @@
+// Reproduces Table I: range forwarding behaviours vulnerable to the SBR
+// attack, per vendor, discovered by the policy scanner.
+//
+// For each vendor the scanner sends the standard probe corpus at several
+// file sizes (the size-conditional rows of Azure and Huawei Cloud need
+// probes on both sides of their thresholds) and prints every probe whose
+// forwarding behaviour lets a tiny client range pull the full entity from
+// the origin.
+#include <cstdio>
+#include <map>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+int main() {
+  core::Table table({"CDN", "Vulnerable Range Format", "File Size",
+                     "Forwarded Range Format (1st send)", "2nd send"});
+
+  std::size_t vulnerable_vendors = 0;
+  for (const cdn::Vendor vendor : cdn::kAllVendors) {
+    const auto observations = core::scan_forwarding(vendor);
+    bool vendor_vulnerable = false;
+    // Deduplicate identical (probe, behaviour) rows across file sizes.
+    std::map<std::string, std::string> seen;  // row key -> smallest size label
+    for (const auto& obs : observations) {
+      if (!obs.sbr_vulnerable) continue;
+      vendor_vulnerable = true;
+      const std::string key = obs.probe_label + "|" + obs.first_request.summary() +
+                              "|" + obs.second_request.summary();
+      const std::string size_label =
+          std::to_string(obs.file_size / (1u << 20)) + "MB";
+      if (auto it = seen.find(key); it != seen.end()) {
+        it->second += "," + size_label;
+        continue;
+      }
+      seen.emplace(key, size_label);
+      table.add_row({std::string{cdn::vendor_name(vendor)}, obs.probe_label,
+                     size_label, obs.first_request.summary(),
+                     obs.second_request.summary()});
+    }
+    if (vendor_vulnerable) ++vulnerable_vendors;
+  }
+
+  std::printf("Table I -- range forwarding behaviours vulnerable to SBR\n\n%s\n",
+              table.to_markdown().c_str());
+  std::printf("%zu of %zu vendors SBR-vulnerable (paper: 13 of 13)\n\n",
+              vulnerable_vendors, cdn::kAllVendors.size());
+  core::write_file("table1_sbr_forwarding.csv", table.to_csv());
+
+  // The conditional (*) rows of Table I: flipping the customer-visible
+  // option removes the vulnerability.
+  core::Table hardened({"CDN", "configuration change", "still SBR-vulnerable?"});
+  const auto vulnerable_with = [](cdn::Vendor vendor,
+                                  const cdn::ProfileOptions& options) {
+    for (const auto& obs : core::scan_forwarding(vendor, options)) {
+      if (obs.sbr_vulnerable) return true;
+    }
+    return false;
+  };
+  {
+    cdn::ProfileOptions options;
+    options.origin_range_option_disabled = false;
+    hardened.add_row({"Alibaba Cloud", "Range origin-pull option: enable",
+                      vulnerable_with(cdn::Vendor::kAlibabaCloud, options)
+                          ? "YES (unexpected)" : "no"});
+    hardened.add_row({"Tencent Cloud", "Range origin-pull option: enable",
+                      vulnerable_with(cdn::Vendor::kTencentCloud, options)
+                          ? "YES (unexpected)" : "no"});
+  }
+  {
+    cdn::ProfileOptions options;
+    options.huawei_range_option_enabled = false;
+    hardened.add_row({"Huawei Cloud", "Range option: disable",
+                      vulnerable_with(cdn::Vendor::kHuaweiCloud, options)
+                          ? "YES (unexpected)" : "no"});
+  }
+  {
+    cdn::ProfileOptions options;
+    options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+    hardened.add_row({"Cloudflare", "page rule: Bypass cache",
+                      vulnerable_with(cdn::Vendor::kCloudflare, options)
+                          ? "YES (unexpected)" : "no"});
+  }
+  std::printf("Hardened configurations (the (*) conditions of Table I):\n\n%s\n",
+              hardened.to_markdown().c_str());
+  return vulnerable_vendors == cdn::kAllVendors.size() ? 0 : 1;
+}

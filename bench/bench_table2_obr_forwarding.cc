@@ -1,0 +1,63 @@
+// Reproduces Table II: multi-range forwarding behaviours vulnerable to the
+// OBR attack (the FCDN side) -- vendors that pass an overlapping multi-range
+// header to their upstream unchanged.
+//
+// Cloudflare's row is conditional on a Bypass page rule, so it is scanned in
+// both modes.
+#include <cstdio>
+#include <set>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+namespace {
+
+bool scan_vendor(cdn::Vendor vendor, const cdn::ProfileOptions& options,
+                 std::string_view note, core::Table& table) {
+  const auto observations =
+      core::scan_forwarding(vendor, options, {1u << 20});
+  std::set<std::string> rows;
+  for (const auto& obs : observations) {
+    if (!obs.obr_forward_vulnerable) continue;
+    rows.insert(obs.probe_label);
+  }
+  for (const auto& row : rows) {
+    table.add_row({std::string{cdn::vendor_name(vendor)} + std::string{note},
+                   row, "Unchanged"});
+  }
+  return !rows.empty();
+}
+
+}  // namespace
+
+int main() {
+  core::Table table({"CDN", "Vulnerable Range Format", "Forwarded Range Format"});
+
+  std::set<std::string> vulnerable;
+  for (const cdn::Vendor vendor : cdn::kAllVendors) {
+    cdn::ProfileOptions options;
+    if (vendor == cdn::Vendor::kCloudflare) {
+      // Table II's Cloudflare row requires the Bypass page rule.
+      if (scan_vendor(vendor, options, " (cacheable)", table)) {
+        vulnerable.insert("Cloudflare (cacheable)");
+      }
+      options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+      if (scan_vendor(vendor, options, " (Bypass)", table)) {
+        vulnerable.insert("Cloudflare (Bypass)");
+      }
+      continue;
+    }
+    if (scan_vendor(vendor, options, "", table)) {
+      vulnerable.insert(std::string{cdn::vendor_name(vendor)});
+    }
+  }
+
+  std::printf("Table II -- multi-range forwarding vulnerable to OBR (FCDN role)\n\n%s\n",
+              table.to_markdown().c_str());
+  std::printf("OBR-FCDN-capable: ");
+  for (const auto& v : vulnerable) std::printf("%s; ", v.c_str());
+  std::printf("\n(paper: CDN77, CDNsun, Cloudflare (Bypass), StackPath)\n");
+  core::write_file("table2_obr_forwarding.csv", table.to_csv());
+  return vulnerable.size() == 4 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table III: multi-range replying behaviours vulnerable to the
+// OBR attack (the BCDN side) -- vendors that answer an overlapping
+// multi-range request with one part per range, no overlap checks.
+//
+// The scanner also discovers the honored-range cap (Azure's n <= 64).
+#include <cstdio>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+int main() {
+  core::Table table({"CDN", "Reply to bytes=0-,0-,... (overlapping)",
+                     "OBR BCDN vulnerable"});
+
+  std::size_t vulnerable = 0;
+  for (const cdn::Vendor vendor : cdn::kAllVendors) {
+    const auto obs = core::scan_replying(vendor);
+    table.add_row({std::string{cdn::vendor_name(vendor)}, obs.response_format,
+                   obs.obr_reply_vulnerable ? "YES" : "no"});
+    if (obs.obr_reply_vulnerable) ++vulnerable;
+  }
+
+  std::printf("Table III -- multi-range replying behaviours (BCDN role)\n\n%s\n",
+              table.to_markdown().c_str());
+  std::printf("%zu vendors OBR-BCDN-vulnerable (paper: Akamai, Azure (n<=64), "
+              "StackPath)\n",
+              vulnerable);
+  core::write_file("table3_obr_replying.csv", table.to_csv());
+  return vulnerable == 3 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Mitigation demo: harden a vulnerable CDN profile with each section VI-C
+// countermeasure and watch the attacks die.
+#include <cstdio>
+#include <optional>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+namespace {
+
+double run_sbr(std::optional<core::Mitigation> mitigation) {
+  cdn::VendorProfile profile = cdn::make_profile(cdn::Vendor::kGcoreLabs);
+  if (mitigation) profile = core::apply_mitigation(std::move(profile), *mitigation);
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/big.iso", 10u << 20);
+  auto request = http::make_get("dl.example.com", "/big.iso?cb=7");
+  request.headers.add("Range", "bytes=0-0");
+  bed.send(request);
+  return static_cast<double>(bed.origin_traffic().response_bytes()) /
+         static_cast<double>(bed.client_traffic().response_bytes());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hardening a Deletion-policy CDN (G-Core profile) against SBR\n\n");
+  std::printf("%-28s SBR amplification\n", "configuration");
+  std::printf("%-28s %14.1fx\n", "vulnerable baseline", run_sbr(std::nullopt));
+  for (const auto m :
+       {core::Mitigation::kLaziness, core::Mitigation::kBoundedExpansion8K}) {
+    std::printf("%-28s %14.1fx\n", std::string{core::mitigation_name(m)}.c_str(),
+                run_sbr(m));
+  }
+
+  std::printf("\nLaziness removes the asymmetry entirely (at the cost of not\n"
+              "caching ranged objects); bounded expansion keeps the caching\n"
+              "benefit while capping the origin's exposure at ~8 KB per hit.\n\n");
+
+  // Verify a legitimate ranged client still works under the mitigations.
+  cdn::VendorProfile hardened = core::apply_mitigation(
+      cdn::make_profile(cdn::Vendor::kGcoreLabs),
+      core::Mitigation::kBoundedExpansion8K);
+  core::SingleCdnTestbed bed(std::move(hardened));
+  bed.origin().resources().add_synthetic("/big.iso", 10u << 20);
+  auto request = http::make_get("dl.example.com", "/big.iso");
+  request.headers.add("Range", "bytes=1048576-2097151");
+  const auto response = bed.send(request);
+  std::printf("Legit download range under mitigation: %d %s, %llu bytes  [OK]\n",
+              response.status,
+              std::string{response.headers.get_or("Content-Range", "?")}.c_str(),
+              static_cast<unsigned long long>(response.body.size()));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// OBR attack demo: the section IV-C scenario end-to-end.
+//
+// The attacker cascades two CDNs (Fig 3b): a front CDN that forwards
+// multi-range headers unchanged and a back CDN that answers with one part
+// per range, overlap unchecked.  One request with n overlapping "0-" ranges
+// makes the BCDN ship ~n copies of the resource across the fcdn-bcdn link,
+// while the attacker aborts early and the origin serves the 1 KB file once.
+#include <cstdio>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+int main() {
+  const cdn::Vendor fcdn = cdn::Vendor::kCloudflare;
+  const cdn::Vendor bcdn = cdn::Vendor::kAkamai;
+
+  std::printf("OBR attack: %s (FCDN, Bypass rule) cascaded onto %s (BCDN)\n\n",
+              std::string{cdn::vendor_name(fcdn)}.c_str(),
+              std::string{cdn::vendor_name(bcdn)}.c_str());
+
+  // Let the planner find the biggest multi-range header the cascade accepts.
+  const core::ObrMeasurement m = core::measure_obr(fcdn, bcdn);
+  std::printf("exploited case    : %s\n", m.exploited_case.c_str());
+  std::printf("max n             : %zu overlapping ranges\n", m.max_n);
+  std::printf("origin -> BCDN    : %12llu B   (1 KB resource, served once)\n",
+              static_cast<unsigned long long>(m.bcdn_origin_response_bytes));
+  std::printf("BCDN -> FCDN      : %12llu B   (%.1f MB of multipart parts!)\n",
+              static_cast<unsigned long long>(m.fcdn_bcdn_response_bytes),
+              m.fcdn_bcdn_response_bytes / 1048576.0);
+  std::printf("attacker received : %12llu B   (aborted the connection early)\n",
+              static_cast<unsigned long long>(m.client_response_bytes));
+  std::printf("amplification     : %.0fx between the two CDNs\n\n", m.amplification);
+  std::printf("Both CDN nodes burned bandwidth on each other; the attacker\n"
+              "paid for one request header and a handful of response bytes.\n");
+  return 0;
+}

@@ -1,0 +1,263 @@
+// rangeamp_cli: the RangeAmp toolkit as a command-line tool.
+//
+// Subcommands:
+//   scan  [vendor]                audit range-forwarding + replying policies
+//   sbr   [vendor] [size-mb]      one SBR measurement (Table IV cell)
+//   obr   [fcdn] [bcdn]           one OBR measurement (Table V row)
+//   campaign [vendor] [rps] [s]   sustained SBR campaign + detection + cost
+//   vendors                       list vendor indices
+//
+// Everything runs against the simulated substrate; see README.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cdn/rules.h"
+#include "core/autoplan.h"
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+namespace {
+
+cdn::Vendor vendor_arg(const char* arg, cdn::Vendor fallback) {
+  if (arg == nullptr) return fallback;
+  const int index = std::atoi(arg);
+  if (index >= 0 && index < static_cast<int>(cdn::kAllVendors.size())) {
+    return cdn::kAllVendors[static_cast<std::size_t>(index)];
+  }
+  for (const cdn::Vendor v : cdn::kAllVendors) {
+    if (cdn::vendor_name(v) == std::string_view{arg}) return v;
+  }
+  std::fprintf(stderr, "unknown vendor '%s'; run 'rangeamp_cli vendors'\n", arg);
+  std::exit(2);
+}
+
+int cmd_vendors() {
+  for (std::size_t i = 0; i < cdn::kAllVendors.size(); ++i) {
+    std::printf("%2zu  %s\n", i,
+                std::string{cdn::vendor_name(cdn::kAllVendors[i])}.c_str());
+  }
+  return 0;
+}
+
+int cmd_scan(cdn::Vendor vendor) {
+  std::printf("Forwarding policies of %s (probes at 1 MB and 12 MB):\n\n",
+              std::string{cdn::vendor_name(vendor)}.c_str());
+  core::Table table({"probe", "file", "origin saw", "SBR?", "OBR fwd?"});
+  for (const auto& obs :
+       core::scan_forwarding(vendor, {}, {1u << 20, 12u << 20})) {
+    table.add_row({obs.probe_label,
+                   std::to_string(obs.file_size >> 20) + "MB",
+                   obs.first_request.summary(),
+                   obs.sbr_vulnerable ? "YES" : "no",
+                   obs.obr_forward_vulnerable ? "YES" : "no"});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  const auto reply = core::scan_replying(vendor);
+  std::printf("Multi-range reply (BCDN role): %s -> %s\n",
+              reply.response_format.c_str(),
+              reply.obr_reply_vulnerable ? "OBR-VULNERABLE" : "guarded");
+  return 0;
+}
+
+int cmd_sbr(cdn::Vendor vendor, std::uint64_t size_mb) {
+  const auto m = core::measure_sbr(vendor, size_mb << 20);
+  std::printf("SBR against %s, %llu MB target (case %s):\n",
+              std::string{cdn::vendor_name(vendor)}.c_str(),
+              static_cast<unsigned long long>(size_mb), m.exploited_case.c_str());
+  std::printf("  client received : %8llu B\n",
+              static_cast<unsigned long long>(m.client_response_bytes));
+  std::printf("  origin sent     : %8llu B\n",
+              static_cast<unsigned long long>(m.origin_response_bytes));
+  std::printf("  amplification   : %8.0fx\n", m.amplification);
+  return 0;
+}
+
+int cmd_obr(cdn::Vendor fcdn, cdn::Vendor bcdn) {
+  const auto m = core::measure_obr(fcdn, bcdn);
+  if (!m.feasible) {
+    std::printf("cascade %s->%s infeasible (self-cascade or not vulnerable)\n",
+                std::string{cdn::vendor_name(fcdn)}.c_str(),
+                std::string{cdn::vendor_name(bcdn)}.c_str());
+    return 1;
+  }
+  std::printf("OBR through %s -> %s (case %s):\n",
+              std::string{cdn::vendor_name(fcdn)}.c_str(),
+              std::string{cdn::vendor_name(bcdn)}.c_str(), m.exploited_case.c_str());
+  std::printf("  max n           : %zu overlapping ranges\n", m.max_n);
+  std::printf("  origin -> BCDN  : %llu B\n",
+              static_cast<unsigned long long>(m.bcdn_origin_response_bytes));
+  std::printf("  BCDN -> FCDN    : %llu B\n",
+              static_cast<unsigned long long>(m.fcdn_bcdn_response_bytes));
+  std::printf("  amplification   : %.0fx\n", m.amplification);
+  return 0;
+}
+
+int cmd_campaign(cdn::Vendor vendor, int rps, int seconds) {
+  core::SbrCampaignConfig config;
+  config.vendor = vendor;
+  config.requests_per_second = rps;
+  config.duration_s = seconds;
+  const auto result = core::run_sbr_campaign(config);
+  std::printf("SBR campaign: %s, %d req/s x %d s across %zu edge nodes\n",
+              std::string{cdn::vendor_name(vendor)}.c_str(), rps, seconds,
+              result.per_node_upstream_bytes.size());
+  std::printf("  origin sent      : %.1f MB (%s)\n",
+              result.origin_response_bytes / 1048576.0,
+              result.bandwidth.saturated ? "uplink SATURATED" : "below capacity");
+  std::printf("  attacker received: %.1f KB  (amplification %.0fx)\n",
+              result.attacker_response_bytes / 1024.0, result.amplification);
+  std::printf("  detector         : %s (asymmetry %.0f, tiny %.0f%%, miss %.0f%%)\n",
+              result.detector_alarmed ? "ALARM" : "silent",
+              result.detector_stats.asymmetry,
+              100 * result.detector_stats.tiny_fraction,
+              100 * result.detector_stats.miss_fraction);
+  const auto unit = core::measure_sbr(vendor, config.file_size);
+  const auto cost = core::estimate_campaign_cost(
+      core::price_plan(vendor), unit.client_response_bytes,
+      unit.origin_response_bytes, rps, 24.0);
+  std::printf("  projected victim cost at this rate for 24 h: $%.0f\n",
+              cost.total_usd);
+  return 0;
+}
+
+int cmd_autoplan(cdn::Vendor vendor, std::uint64_t size_mb) {
+  const auto result = core::autoplan_sbr(vendor, size_mb << 20);
+  std::printf("Auto-planned SBR against %s (%llu MB target):\n\n",
+              std::string{cdn::vendor_name(vendor)}.c_str(),
+              static_cast<unsigned long long>(size_mb));
+  core::Table table({"candidate case", "sends", "amplification"});
+  for (const auto& c : result.candidates) {
+    table.add_row({c.plan.description, std::to_string(c.plan.sends),
+                   core::fixed(c.amplification, 0)});
+  }
+  std::printf("%s\nbest: %s -> %.0fx\n", table.to_markdown().c_str(),
+              result.best.description.c_str(), result.amplification);
+  return 0;
+}
+
+int cmd_spec(const char* path, std::uint64_t size_mb) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto probe = cdn::parse_profile_spec(buffer.str(), &error);
+  if (!probe) {
+    std::fprintf(stderr, "spec error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("Loaded profile '%s' from %s\n\n", probe->traits.name.c_str(), path);
+
+  // Scan + auto-plan against the custom profile.
+  const auto factory = [&] { return *cdn::parse_profile_spec(buffer.str()); };
+  core::Table scan({"probe", "origin saw", "note"});
+  for (const auto& probe_case : core::standard_forward_probes()) {
+    core::SingleCdnTestbed bed(factory());
+    bed.origin().resources().add_synthetic("/t.bin", size_mb << 20);
+    auto req = http::make_get("site.example", "/t.bin?cb=1");
+    req.headers.add("Range", probe_case.range.to_string());
+    bed.send(req);
+    std::string saw;
+    for (const auto& r : bed.origin().request_log()) {
+      if (!saw.empty()) saw += " & ";
+      const auto range = r.headers.get_or("Range", "");
+      saw += range.empty() ? "None" : std::string{range};
+    }
+    // Amplifying = full entity pulled while the client got a sliver.
+    const bool amplified =
+        bed.origin_traffic().response_bytes() >= (size_mb << 20) &&
+        bed.client_traffic().response_bytes() < (size_mb << 20) / 4;
+    scan.add_row({probe_case.label, saw, amplified ? "SBR-AMPLIFIES" : ""});
+  }
+  std::printf("%s\n", scan.to_markdown().c_str());
+
+  const auto plan = core::autoplan_sbr(factory, size_mb << 20);
+  std::printf("auto-planned worst case: %s -> %.0fx single-shot amplification\n",
+              plan.best.description.c_str(), plan.amplification);
+
+  // The verdict uses sustained amplification: 50 repeats of the best case
+  // with rotated cache-busting queries.  Defenses that amortize (slice
+  // caches, ignore-query rules) only show up here.
+  core::SingleCdnTestbed bed(factory());
+  bed.origin().resources().add_synthetic("/t.bin", size_mb << 20);
+  std::uint64_t origin_mid = 0, client_mid = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (i == 25) {
+      origin_mid = bed.origin_traffic().response_bytes();
+      client_mid = bed.client_traffic().response_bytes();
+    }
+    auto req = http::make_get("site.example", "/t.bin?cb=" + std::to_string(i));
+    req.headers.add("Range", plan.best.range.to_string());
+    for (int s = 0; s < plan.best.sends; ++s) bed.send(req);
+  }
+  // Marginal amplification over the second half of the campaign: cold-start
+  // fills (slice caches warming up) do not count against a defense.
+  const double origin_tail = static_cast<double>(
+      bed.origin_traffic().response_bytes() - origin_mid);
+  const double client_tail = static_cast<double>(
+      bed.client_traffic().response_bytes() - client_mid);
+  const double sustained = client_tail == 0 ? 0 : origin_tail / client_tail;
+  std::printf("sustained marginal (requests 26..50, rotated queries): "
+              "%.0fx -> %s\n",
+              sustained, sustained > 10.0 ? "VULNERABLE" : "resistant");
+  return sustained > 10.0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* cmd = argc > 1 ? argv[1] : "help";
+  if (std::strcmp(cmd, "vendors") == 0) return cmd_vendors();
+  if (std::strcmp(cmd, "scan") == 0) {
+    return cmd_scan(vendor_arg(argc > 2 ? argv[2] : nullptr,
+                               cdn::Vendor::kAkamai));
+  }
+  if (std::strcmp(cmd, "sbr") == 0) {
+    return cmd_sbr(vendor_arg(argc > 2 ? argv[2] : nullptr,
+                              cdn::Vendor::kAkamai),
+                   argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 25);
+  }
+  if (std::strcmp(cmd, "obr") == 0) {
+    return cmd_obr(vendor_arg(argc > 2 ? argv[2] : nullptr,
+                              cdn::Vendor::kCloudflare),
+                   vendor_arg(argc > 3 ? argv[3] : nullptr,
+                              cdn::Vendor::kAkamai));
+  }
+  if (std::strcmp(cmd, "autoplan") == 0) {
+    return cmd_autoplan(vendor_arg(argc > 2 ? argv[2] : nullptr,
+                                   cdn::Vendor::kAkamai),
+                        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 25);
+  }
+  if (std::strcmp(cmd, "spec") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: rangeamp_cli spec <file> [size-mb]\n");
+      return 2;
+    }
+    return cmd_spec(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10);
+  }
+  if (std::strcmp(cmd, "campaign") == 0) {
+    return cmd_campaign(vendor_arg(argc > 2 ? argv[2] : nullptr,
+                                   cdn::Vendor::kCloudflare),
+                        argc > 3 ? std::atoi(argv[3]) : 10,
+                        argc > 4 ? std::atoi(argv[4]) : 10);
+  }
+  std::printf(
+      "rangeamp_cli -- RangeAmp attack toolkit (simulated substrate)\n\n"
+      "usage:\n"
+      "  rangeamp_cli vendors\n"
+      "  rangeamp_cli scan  [vendor]\n"
+      "  rangeamp_cli sbr   [vendor] [size-mb]\n"
+      "  rangeamp_cli obr   [fcdn] [bcdn]\n"
+      "  rangeamp_cli campaign [vendor] [req-per-s] [seconds]\n"
+      "  rangeamp_cli autoplan [vendor] [size-mb]\n"
+      "  rangeamp_cli spec <profile-spec-file> [size-mb]\n");
+  return std::strcmp(cmd, "help") == 0 ? 0 : 2;
+}

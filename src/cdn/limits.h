@@ -1,0 +1,21 @@
+// Ingress request-header limit enforcement.
+//
+// Section V-C of the paper: "the maximum length of the Range header finally
+// determines the upperbound of the amplification factor".  These checks are
+// that upper bound.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cdn/types.h"
+#include "http/message.h"
+
+namespace rangeamp::cdn {
+
+/// Returns a human-readable violation description when `request` exceeds
+/// `limits`, or nullopt when the request is acceptable.
+std::optional<std::string> check_request_limits(const RequestHeaderLimits& limits,
+                                                const http::Request& request);
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,441 @@
+#include "cdn/node.h"
+
+#include <algorithm>
+
+#include "cdn/limits.h"
+#include "http/chunked.h"
+#include "http/multipart.h"
+#include "http/serialize.h"
+
+namespace rangeamp::cdn {
+
+using http::Body;
+using http::Headers;
+using http::RangeSet;
+using http::Request;
+using http::ResolvedRange;
+using http::Response;
+
+namespace {
+
+constexpr std::string_view kHopByHop[] = {
+    "Connection", "Keep-Alive", "TE", "Trailer", "Transfer-Encoding",
+    "Upgrade",    "Proxy-Authorization", "Proxy-Connection",
+};
+
+bool is_hop_by_hop(std::string_view name) {
+  return std::any_of(std::begin(kHopByHop), std::end(kHopByHop),
+                     [&](std::string_view h) { return http::iequals(h, name); });
+}
+
+// Builds a vendor-styled response: status line, Date, identity headers,
+// content headers, Accept-Ranges and the calibration pad.  Shared between
+// CdnNode and calibrate_response_pad() so calibration measures exactly what
+// the node emits.
+Response styled_response(const VendorTraits& traits, int status,
+                         const Headers& content_headers, Body body) {
+  Response resp;
+  resp.status = status;
+  resp.headers.add("Date", traits.date);
+  for (const auto& f : traits.response_identity_headers) {
+    resp.headers.add(f.name, f.value);
+  }
+  for (const auto& f : content_headers) {
+    resp.headers.add(f.name, f.value);
+  }
+  resp.headers.add("Accept-Ranges", "bytes");
+  if (traits.response_pad_bytes > 0) {
+    resp.headers.add(std::string{kPadHeaderName},
+                     std::string(traits.response_pad_bytes, 'x'));
+  }
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace
+
+namespace {
+
+std::variant<net::Wire, http2::Http2Wire> make_upstream_wire(
+    SegmentFraming framing, net::TrafficRecorder& recorder,
+    net::HttpHandler& upstream) {
+  if (framing == SegmentFraming::kHttp2) {
+    return std::variant<net::Wire, http2::Http2Wire>{
+        std::in_place_type<http2::Http2Wire>, recorder, upstream};
+  }
+  return std::variant<net::Wire, http2::Http2Wire>{
+      std::in_place_type<net::Wire>, recorder, upstream};
+}
+
+}  // namespace
+
+CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
+                 std::string upstream_segment, SegmentFraming upstream_framing)
+    : traits_(std::move(profile.traits)),
+      logic_(std::move(profile.logic)),
+      upstream_traffic_(std::move(upstream_segment)),
+      upstream_wire_(
+          make_upstream_wire(upstream_framing, upstream_traffic_, upstream)) {}
+
+Response CdnNode::handle(const Request& request) {
+  if (const auto violation = check_request_limits(traits_.limits, request)) {
+    return error(http::kRequestHeaderFieldsTooLarge, *violation);
+  }
+
+  std::optional<RangeSet> range;
+  if (const auto value = request.headers.get("Range")) {
+    range = http::parse_range_header(*value);  // malformed -> ignored
+  }
+  if (range && traits_.ingress_max_range_count != 0 &&
+      range->count() > traits_.ingress_max_range_count) {
+    return error(http::kBadRequest,
+                 "Range header carries too many ranges (guard: " +
+                     std::to_string(traits_.ingress_max_range_count) + ")");
+  }
+
+  if (traits_.cache_enabled) {
+    const auto key = resolve_cache_key(request);
+    if (const CachedEntity* hit = cache_.find(key)) {
+      const double now = clock_ ? clock_() : 0.0;
+      if (hit->fresh_at(now)) return respond_entity(*hit, range);
+      // Stale: revalidate with a conditional GET instead of a refetch.
+      http::Request conditional = request;
+      conditional.headers.set("If-None-Match", hit->etag);
+      const Response check = fetch(conditional, std::nullopt);
+      if (check.status == 304) {
+        cache_.touch(key, now + traits_.cache_ttl_seconds);
+        return respond_entity(*hit, range);
+      }
+      if (auto entity = entity_from_response(check)) {
+        store(request, *entity);
+        return respond_entity(*entity, range);
+      }
+      // Revalidation failed outright: fall through to the vendor's miss path.
+    }
+  }
+  return logic_->on_miss(*this, request, range);
+}
+
+Response CdnNode::fetch(const Request& client_request,
+                        const std::optional<RangeSet>& range,
+                        const net::TransferOptions& options,
+                        http::Method method_override) {
+  Request upstream_request;
+  upstream_request.method = method_override;
+  upstream_request.target = client_request.target;
+  for (const auto& f : client_request.headers.fields()) {
+    if (http::iequals(f.name, "Range") || is_hop_by_hop(f.name)) continue;
+    upstream_request.headers.add(f.name, f.value);
+  }
+  for (const auto& f : traits_.forward_headers) {
+    upstream_request.headers.add(f.name, f.value);
+  }
+  if (range) upstream_request.headers.add("Range", range->to_string());
+  return std::visit(
+      [&](auto& wire) { return wire.transfer(upstream_request, options); },
+      upstream_wire_);
+}
+
+std::optional<CachedEntity> CdnNode::entity_from_response(const Response& upstream) {
+  if (upstream.status != http::kOk) return std::nullopt;
+  CachedEntity entity;
+  if (http::is_chunked(upstream)) {
+    // A chunked 200 must be de-framed before ranges can be served from it.
+    auto decoded = http::decode_chunked(upstream.body.materialize());
+    if (!decoded) return std::nullopt;
+    entity.entity = std::move(*decoded);
+  } else {
+    entity.entity = upstream.body;
+  }
+  entity.content_type =
+      std::string{upstream.headers.get_or("Content-Type", "application/octet-stream")};
+  entity.etag = std::string{upstream.headers.get_or("ETag", "")};
+  entity.last_modified = std::string{upstream.headers.get_or("Last-Modified", "")};
+  entity.vary = std::string{upstream.headers.get_or("Vary", "")};
+  return entity;
+}
+
+namespace {
+
+// Joins the request's values of the headers a Vary list names.
+std::string variant_of(const Request& request, std::string_view vary) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos <= vary.size()) {
+    auto comma = vary.find(',', pos);
+    if (comma == std::string_view::npos) comma = vary.size();
+    std::string_view name = vary.substr(pos, comma - pos);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (!name.empty()) {
+      out.append(request.headers.get_or(name, ""));
+      out.push_back('\x1f');
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CdnNode::resolve_cache_key(const Request& request) const {
+  const std::string base = cache_key(request);
+  // A marker entry records that this URL's responses vary; the entity then
+  // lives under a per-variant key (RFC 7234 section 4.1's secondary key).
+  if (const CachedEntity* marker = cache_.find(base + "#vary")) {
+    return base + "#variant=" + variant_of(request, marker->vary);
+  }
+  return base;
+}
+
+std::string CdnNode::cache_key(const Request& request) const {
+  return Cache::key(request.headers.get_or("Host", ""),
+                    traits_.cache_ignore_query ? request.path()
+                                               : std::string_view{request.target});
+}
+
+void CdnNode::store(const Request& request, const CachedEntity& entity) {
+  if (!traits_.cache_enabled) return;
+  CachedEntity stored = entity;
+  if (traits_.cache_ttl_seconds > 0 && clock_) {
+    stored.expires_at = clock_() + traits_.cache_ttl_seconds;
+  }
+  const std::string base = cache_key(request);
+  if (!stored.vary.empty()) {
+    CachedEntity marker;
+    marker.vary = stored.vary;
+    const std::string variant_key =
+        base + "#variant=" + variant_of(request, stored.vary);
+    cache_.put(base + "#vary", std::move(marker));
+    cache_.put(variant_key, std::move(stored));
+    return;
+  }
+  cache_.put(base, std::move(stored));
+}
+
+Headers CdnNode::entity_content_headers(const CachedEntity& entity) const {
+  Headers h;
+  if (!entity.last_modified.empty()) h.add("Last-Modified", entity.last_modified);
+  if (!entity.etag.empty()) h.add("ETag", entity.etag);
+  return h;
+}
+
+Response CdnNode::respond_416(std::uint64_t total_size) {
+  Headers content;
+  content.add("Content-Range", http::content_range_unsatisfied(total_size));
+  content.add("Content-Length", "0");
+  return style(http::kRangeNotSatisfiable, content, Body{});
+}
+
+Response CdnNode::respond_entity(const CachedEntity& entity,
+                                 const std::optional<RangeSet>& range) {
+  EntityWindow window;
+  window.body = entity.entity;
+  window.offset = 0;
+  window.total_size = entity.size();
+  window.content_type = entity.content_type;
+  window.etag = entity.etag;
+  window.last_modified = entity.last_modified;
+
+  if (!range) {
+    Headers content = entity_content_headers(entity);
+    content.add("Content-Length", std::to_string(entity.size()));
+    content.add("Content-Type", entity.content_type);
+    return style(http::kOk, content, entity.entity);
+  }
+  return respond_window(window, *range);
+}
+
+Response CdnNode::respond_window(const EntityWindow& window, const RangeSet& range) {
+  const std::uint64_t total = window.total_size;
+  const std::uint64_t win_first = window.offset;
+  const std::uint64_t win_size = window.body.size();
+  const bool full_cover = win_first == 0 && win_size == total;
+
+  auto resolved = http::resolve_all(range, total);
+  if (resolved.empty()) return respond_416(total);
+
+  // Keep only ranges the window can serve.
+  std::vector<ResolvedRange> servable;
+  for (const auto& r : resolved) {
+    if (r.first >= win_first && r.last < win_first + win_size) servable.push_back(r);
+  }
+  if (servable.empty()) {
+    return error(http::kBadGateway, "no requested range within fetched window");
+  }
+
+  CachedEntity meta;
+  meta.content_type = window.content_type;
+  meta.etag = window.etag;
+  meta.last_modified = window.last_modified;
+
+  const auto slice = [&](const ResolvedRange& r) {
+    return window.body.slice(r.first - win_first, r.length());
+  };
+  const auto single = [&](const ResolvedRange& r) {
+    Headers content = entity_content_headers(meta);
+    content.add("Content-Length", std::to_string(r.length()));
+    content.add("Content-Range", http::content_range(r, total));
+    content.add("Content-Type", window.content_type);
+    return style(http::kPartialContent, content, slice(r));
+  };
+  const auto multipart = [&](const std::vector<ResolvedRange>& ranges) {
+    Body body;
+    for (const auto& r : ranges) {
+      std::string part_head = "--" + traits_.multipart_boundary + "\r\n";
+      for (const auto& f : traits_.multipart_part_extra_headers) {
+        part_head += f.name + ": " + f.value + "\r\n";
+      }
+      part_head += "Content-Type: " + window.content_type + "\r\n" +
+                   "Content-Range: " + http::content_range(r, total) + "\r\n\r\n";
+      body.append_literal(part_head);
+      body.append_body(slice(r));
+      body.append_literal("\r\n");
+    }
+    body.append_literal("--" + traits_.multipart_boundary + "--\r\n");
+    Headers content = entity_content_headers(meta);
+    content.add("Content-Length", std::to_string(body.size()));
+    content.add("Content-Type",
+                http::multipart_content_type(traits_.multipart_boundary));
+    return style(http::kPartialContent, content, std::move(body));
+  };
+  const auto full_200 = [&]() -> Response {
+    if (!full_cover) {
+      return error(http::kBadGateway, "policy requires full entity not held");
+    }
+    Headers content = entity_content_headers(meta);
+    content.add("Content-Length", std::to_string(total));
+    content.add("Content-Type", window.content_type);
+    return style(http::kOk, content, window.body);
+  };
+
+  if (servable.size() == 1) return single(servable.front());
+
+  switch (traits_.multi_reply) {
+    case MultiRangeReplyPolicy::kHonorOverlapping:
+      if (traits_.multi_reply_max_ranges != 0 &&
+          servable.size() > traits_.multi_reply_max_ranges) {
+        return full_200();
+      }
+      return multipart(servable);
+    case MultiRangeReplyPolicy::kCoalesce: {
+      const auto merged = http::coalesce(servable);
+      if (merged.size() == 1) return single(merged.front());
+      return multipart(merged);
+    }
+    case MultiRangeReplyPolicy::kRejectOverlapping416:
+      if (http::any_overlap(servable)) return respond_416(total);
+      return multipart(servable);
+    case MultiRangeReplyPolicy::kFirstRangeOnly:
+      return single(servable.front());
+    case MultiRangeReplyPolicy::kIgnoreRange:
+      return full_200();
+    case MultiRangeReplyPolicy::kReject416:
+      return respond_416(total);
+  }
+  return error(http::kBadGateway, "unreachable reply policy");
+}
+
+Response CdnNode::respond_assembled(
+    std::uint64_t total_size, const std::string& content_type,
+    const std::string& etag, const std::string& last_modified,
+    std::vector<std::pair<http::ResolvedRange, Body>> parts) {
+  if (parts.empty()) return respond_416(total_size);
+
+  Headers validators;
+  if (!last_modified.empty()) validators.add("Last-Modified", last_modified);
+  if (!etag.empty()) validators.add("ETag", etag);
+
+  if (parts.size() == 1) {
+    auto& [r, payload] = parts.front();
+    Headers content = validators;
+    content.add("Content-Length", std::to_string(r.length()));
+    content.add("Content-Range", http::content_range(r, total_size));
+    content.add("Content-Type", content_type);
+    return style(http::kPartialContent, content, std::move(payload));
+  }
+  Body body;
+  for (auto& [r, payload] : parts) {
+    std::string part_head = "--" + traits_.multipart_boundary + "\r\n";
+    for (const auto& f : traits_.multipart_part_extra_headers) {
+      part_head += f.name + ": " + f.value + "\r\n";
+    }
+    part_head += "Content-Type: " + content_type + "\r\n" +
+                 "Content-Range: " + http::content_range(r, total_size) +
+                 "\r\n\r\n";
+    body.append_literal(part_head);
+    body.append_body(payload);
+    body.append_literal("\r\n");
+  }
+  body.append_literal("--" + traits_.multipart_boundary + "--\r\n");
+  Headers content = validators;
+  content.add("Content-Length", std::to_string(body.size()));
+  content.add("Content-Type",
+              http::multipart_content_type(traits_.multipart_boundary));
+  return style(http::kPartialContent, content, std::move(body));
+}
+
+Response CdnNode::relay(const Response& upstream) {
+  Headers content;
+  for (const std::string_view name :
+       {"Last-Modified", "ETag", "Content-Length", "Content-Range",
+        "Content-Type", "Transfer-Encoding"}) {
+    if (const auto v = upstream.headers.get(name)) {
+      content.add(std::string{name}, std::string{*v});
+    }
+  }
+  return style(upstream.status, content, upstream.body);
+}
+
+Response CdnNode::error(int status, std::string_view note) {
+  Headers content;
+  Body body = Body::literal(std::string{note});
+  content.add("Content-Length", std::to_string(body.size()));
+  content.add("Content-Type", "text/plain");
+  return style(status, content, std::move(body));
+}
+
+Response CdnNode::style(int status, const Headers& content_headers,
+                        Body body) const {
+  Response response =
+      styled_response(traits_, status, content_headers, std::move(body));
+  // Real CDN trace ids (CF-Ray, X-Amz-Cf-Id, ...) differ per response.  Vary
+  // the pad header's prefix -- same length, so HTTP/1.1 byte counts (and the
+  // Table IV calibration) are untouched, but HPACK cannot fully index
+  // repeated responses the way it never could in production.
+  if (traits_.response_pad_bytes >= 16) {
+    char serial[17];
+    std::snprintf(serial, sizeof(serial), "%016llx",
+                  static_cast<unsigned long long>(++response_serial_));
+    std::string value(traits_.response_pad_bytes, 'x');
+    value.replace(0, 16, serial, 16);
+    response.headers.set(std::string{kPadHeaderName}, std::move(value));
+  }
+  return response;
+}
+
+std::size_t calibrate_response_pad(const VendorTraits& traits) {
+  if (traits.client_response_target_bytes == 0) return 0;
+  // Canonical exploited-case response: single-range 206, bytes 0-0 of a
+  // 25 MB resource, Apache-flavored validators (mirrors what the origin
+  // model emits).
+  VendorTraits probe = traits;
+  probe.response_pad_bytes = 0;
+  Headers content;
+  content.add("Last-Modified", "Mon, 06 Jul 2020 11:22:33 GMT");
+  content.add("ETag", "\"3a7f52-1900000\"");
+  content.add("Content-Length", "1");
+  content.add("Content-Range", "bytes 0-0/26214400");
+  content.add("Content-Type", "application/octet-stream");
+  const Response canonical =
+      styled_response(probe, http::kPartialContent, content, Body::literal("x"));
+  const std::uint64_t base = http::serialized_size(canonical);
+  if (traits.client_response_target_bytes <= base) return 0;
+  const std::uint64_t diff = traits.client_response_target_bytes - base;
+  // The pad header costs "X-Edge-Trace: " + value + CRLF = value + 16 bytes.
+  const std::uint64_t overhead = kPadHeaderName.size() + 4;
+  if (diff <= overhead) return 0;
+  return static_cast<std::size_t>(diff - overhead);
+}
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,169 @@
+// CdnNode: one CDN edge/surrogate node.
+//
+// A node sits between a downstream peer (the client, or a front CDN) and an
+// upstream handler (the origin, or a back CDN).  Its request handling is:
+//
+//   1. enforce ingress request-header limits (431 on violation);
+//   2. parse the Range header (a malformed header is ignored per RFC 7233);
+//   3. answer from cache when the full entity is cached;
+//   4. otherwise delegate to the vendor's VendorLogic, which decides how to
+//      talk to the upstream -- this is where the Laziness / Deletion /
+//      Expansion policies of section III-B and all the per-vendor quirks of
+//      Tables I-III live.
+//
+// Every upstream exchange goes through a Wire, so the cdn-origin (or
+// fcdn-bcdn) traffic of the experiments is recorded with exact serialized
+// byte counts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "cdn/cache.h"
+#include "cdn/types.h"
+#include "http/range.h"
+#include "http2/wire.h"
+#include "net/wire.h"
+
+namespace rangeamp::cdn {
+
+class CdnNode;
+
+/// Vendor-specific cache-miss behaviour.  Implementations use the node's
+/// fetch/respond helpers; they never touch wires or caches directly.
+class VendorLogic {
+ public:
+  virtual ~VendorLogic() = default;
+
+  /// Handles a cache miss.  `range` is the parsed client Range header
+  /// (nullopt when absent or malformed).  Returns the client-facing response.
+  virtual http::Response on_miss(CdnNode& node, const http::Request& request,
+                                 const std::optional<http::RangeSet>& range) = 0;
+};
+
+/// A vendor profile: identity/calibration data plus miss behaviour.
+struct VendorProfile {
+  VendorTraits traits;
+  std::unique_ptr<VendorLogic> logic;
+};
+
+/// A partial view of a resource: `body` covers bytes
+/// [offset, offset + body.size()) of a representation of `total_size` bytes.
+/// Produced by Expansion fetches (CloudFront's MiB-block window, Azure's
+/// second-8MiB window).
+struct EntityWindow {
+  http::Body body;
+  std::uint64_t offset = 0;
+  std::uint64_t total_size = 0;
+  std::string content_type;
+  std::string etag;
+  std::string last_modified;
+};
+
+/// Wire protocol of a connection segment.
+enum class SegmentFraming {
+  kHttp11,  ///< plain HTTP/1.1 serialization (net::Wire)
+  kHttp2,   ///< h2 frames + HPACK (http2::Http2Wire)
+};
+
+class CdnNode final : public net::HttpHandler {
+ public:
+  /// `upstream` must outlive the node.  Upstream traffic is recorded in the
+  /// node-owned recorder named `upstream_segment`, framed per
+  /// `upstream_framing` (most CDNs pull from origins over HTTP/1.1; some
+  /// support h2 back-to-origin).
+  CdnNode(VendorProfile profile, net::HttpHandler& upstream,
+          std::string upstream_segment = "cdn-origin",
+          SegmentFraming upstream_framing = SegmentFraming::kHttp11);
+
+  http::Response handle(const http::Request& request) override;
+
+  const VendorTraits& traits() const noexcept { return traits_; }
+  Cache& cache() noexcept { return cache_; }
+  const Cache& cache() const noexcept { return cache_; }
+
+  /// Installs a (simulation) time source.  Without one, cached entries never
+  /// expire regardless of traits().cache_ttl_seconds.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Traffic on this node's upstream segment.
+  net::TrafficRecorder& upstream_traffic() noexcept { return upstream_traffic_; }
+
+  // ------------------------------------------------------------------
+  // Helpers for VendorLogic implementations.
+  // ------------------------------------------------------------------
+
+  /// Issues one upstream exchange.  The upstream request is the client
+  /// request with hop-by-hop headers stripped, this vendor's forward headers
+  /// added, and the Range header replaced by `range` (absent when nullopt).
+  http::Response fetch(const http::Request& client_request,
+                       const std::optional<http::RangeSet>& range,
+                       const net::TransferOptions& options = {},
+                       http::Method method_override = http::Method::GET);
+
+  /// Extracts a cacheable full entity from a 200 upstream response.
+  static std::optional<CachedEntity> entity_from_response(
+      const http::Response& upstream);
+
+  /// Caches `entity` under this request's key (no-op when the profile has
+  /// caching disabled).
+  void store(const http::Request& request, const CachedEntity& entity);
+
+  /// Builds the client-facing response from a held full entity, honoring
+  /// `range` according to the vendor's multi-range reply policy.
+  http::Response respond_entity(const CachedEntity& entity,
+                                const std::optional<http::RangeSet>& range);
+
+  /// Builds the client-facing response from a partial window.  Ranges that
+  /// fall outside the window are dropped; if nothing is satisfiable the node
+  /// answers 502.
+  http::Response respond_window(const EntityWindow& window,
+                                const http::RangeSet& range);
+
+  /// Builds a client-facing 206 from pre-assembled parts (the caller has
+  /// already applied its reply policy): one part -> plain 206 with
+  /// Content-Range, several -> multipart/byteranges with this vendor's
+  /// boundary.  Used by logics that gather payload non-contiguously
+  /// (SliceLogic's gap-free fetching).
+  http::Response respond_assembled(
+      std::uint64_t total_size, const std::string& content_type,
+      const std::string& etag, const std::string& last_modified,
+      std::vector<std::pair<http::ResolvedRange, http::Body>> parts);
+
+  /// Relays an upstream response (Laziness passthrough), restyled with this
+  /// vendor's identity headers.
+  http::Response relay(const http::Response& upstream);
+
+  /// A vendor-styled error response.
+  http::Response error(int status, std::string_view note);
+
+ private:
+  std::string cache_key(const http::Request& request) const;
+  std::string resolve_cache_key(const http::Request& request) const;
+  http::Response style(int status, const http::Headers& content_headers,
+                       http::Body body) const;
+  http::Response respond_416(std::uint64_t total_size);
+  http::Headers entity_content_headers(const CachedEntity& entity) const;
+
+  VendorTraits traits_;
+  std::unique_ptr<VendorLogic> logic_;
+  net::TrafficRecorder upstream_traffic_;
+  std::variant<net::Wire, http2::Http2Wire> upstream_wire_;
+  Cache cache_;
+  std::function<double()> clock_;
+  mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
+};
+
+/// Computes the response padding that makes this vendor's canonical
+/// single-range 206 (1-byte body, 25 MB resource) serialize to
+/// traits.client_response_target_bytes.  Called by profile factories;
+/// exposed for calibration tests.
+std::size_t calibrate_response_pad(const VendorTraits& traits);
+
+/// Name of the padding header used by calibration.
+inline constexpr std::string_view kPadHeaderName = "X-Edge-Trace";
+
+}  // namespace rangeamp::cdn

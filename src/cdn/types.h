@@ -1,0 +1,131 @@
+// Shared vocabulary for the CDN model.
+//
+// Tables I-III of the paper are, in effect, a catalogue of per-vendor values
+// for the types in this header: how a Range header is rewritten before going
+// back to origin (ForwardPolicy), how a multi-range request is answered
+// (MultiRangeReplyPolicy), and what ingress header limits bound the OBR
+// attack's n (RequestHeaderLimits in limits.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/headers.h"
+
+namespace rangeamp::cdn {
+
+/// How a CDN rewrites the Range header of a back-to-origin request
+/// (section III-B of the paper).  Used both as configuration for generic
+/// logic and as the classification emitted by the policy scanner.
+enum class ForwardPolicy {
+  kLaziness,   ///< forward the Range header unchanged
+  kDeletion,   ///< remove the Range header (fetch the full entity)
+  kExpansion,  ///< replace with a larger byte range
+};
+
+std::string_view forward_policy_name(ForwardPolicy p) noexcept;
+
+/// How a CDN answers a multi-range request once it holds the entity.
+enum class MultiRangeReplyPolicy {
+  /// Generate one part per requested range with no overlap checks -- the
+  /// behaviour Table III flags as OBR-vulnerable (Akamai, Azure, StackPath).
+  kHonorOverlapping,
+  /// Coalesce overlapping/adjacent ranges first (RFC 7233 §6.1 guard).
+  kCoalesce,
+  /// Honor disjoint sets but reject any overlapping set with 416 (the
+  /// "reject" option of RFC 7233 §6.1; CDN77's post-disclosure fix).
+  kRejectOverlapping416,
+  /// Answer with the first satisfiable range only, single-part.
+  kFirstRangeOnly,
+  /// Ignore the Range header, answer 200 with the full entity.
+  kIgnoreRange,
+  /// Reject the request with 416.
+  kReject416,
+};
+
+std::string_view reply_policy_name(MultiRangeReplyPolicy p) noexcept;
+
+/// Ingress request-header limits (section V-C: these bound the OBR n).
+struct RequestHeaderLimits {
+  /// Max total size of all header fields, counted as the serialized header
+  /// block ("Name: value\r\n" per field).  Akamai: 32 KB; StackPath: ~81 KB.
+  std::optional<std::size_t> total_header_bytes;
+
+  /// Max size of a single header line "Name: value" (no CRLF).
+  /// CDN77 / CDNsun: 16 KB.
+  std::optional<std::size_t> single_header_line_bytes;
+
+  /// Cloudflare's published constraint on the Range header:
+  ///   RL + 2*HHL + RHL <= budget   (budget = 32411 bytes)
+  /// where RL is the request-line size, HHL the Host header line size and
+  /// RHL the Range header line size (all without CRLF).
+  std::optional<std::size_t> cloudflare_range_budget;
+};
+
+/// Static identity and calibration data for one vendor.
+struct VendorTraits {
+  std::string name;
+
+  /// Ingress limits applied before any processing.
+  RequestHeaderLimits limits;
+
+  /// Identity headers this vendor adds to every client-facing response
+  /// (Server banner, trace ids, cache status...).  Order is preserved.
+  std::vector<http::HeaderField> response_identity_headers;
+
+  /// Calibration: total serialized size (status line + headers + 1-byte
+  /// body) of this vendor's canonical single-range 206 response, fitted so
+  /// the SBR amplification factors land on Table IV.  0 disables padding.
+  std::size_t client_response_target_bytes = 0;
+
+  /// Headers added to every back-to-origin request (Via, X-Forwarded-For,
+  /// ...).  Their size participates in the *next* hop's ingress limits,
+  /// which is what differentiates the max n per FCDN in Table V.
+  std::vector<http::HeaderField> forward_headers;
+
+  /// Boundary string used for multipart/byteranges responses built by this
+  /// vendor.  Lengths are calibrated so the per-part framing overhead matches
+  /// the fcdn-bcdn traffic of Table V.
+  std::string multipart_boundary = "rangeamp_boundary";
+
+  /// Extra headers this vendor writes into every part of a multipart
+  /// response (Azure's verbose per-part framing).
+  std::vector<http::HeaderField> multipart_part_extra_headers;
+
+  /// How multi-range requests are answered from a held entity.
+  MultiRangeReplyPolicy multi_reply = MultiRangeReplyPolicy::kCoalesce;
+
+  /// Max ranges honored by kHonorOverlapping before falling back to
+  /// kIgnoreRange (Azure: 64; 0 = unlimited).
+  std::size_t multi_reply_max_ranges = 0;
+
+  /// Ingress guard: reject requests whose Range header carries more than
+  /// this many ranges (0 = off).  The range-count-cap mitigation of
+  /// section VI-C.
+  std::size_t ingress_max_range_count = 0;
+
+  /// Whether full-entity responses are cached (Cloudflare "Bypass" page
+  /// rules and similar configurations disable caching).
+  bool cache_enabled = true;
+
+  /// Cache freshness lifetime in (simulation) seconds; 0 = entries never
+  /// expire.  Expired entries are revalidated with a conditional GET
+  /// (If-None-Match) instead of refetched.  Requires a clock on the node.
+  double cache_ttl_seconds = 0;
+
+  /// Exclude the query string from the cache key -- the customer-side
+  /// mitigation Cloudflare and Azure recommended in the paper's disclosure
+  /// (section VII): it defeats the attacker's cache-busting query rotation.
+  bool cache_ignore_query = false;
+
+  /// Fixed Date header for deterministic byte counts.
+  std::string date = "Tue, 07 Jul 2020 03:14:16 GMT";
+
+  /// Computed at profile construction: padding applied to client-facing
+  /// responses so the canonical 206 hits client_response_target_bytes.
+  std::size_t response_pad_bytes = 0;
+};
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,40 @@
+// Automatic SBR attack planning.
+//
+// Table IV's "exploited range case" column is what the paper's authors
+// derived by hand from the Table I scan.  This planner automates the step:
+// given any vendor profile (built-in or rule-based), it probes the candidate
+// exploit shapes against a fresh testbed and returns the case with the
+// highest measured amplification -- an attacker armed with the scanner.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/sbr.h"
+
+namespace rangeamp::core {
+
+struct CandidateResult {
+  SbrPlan plan;
+  double amplification = 0;
+  std::uint64_t origin_response_bytes = 0;
+  std::uint64_t client_response_bytes = 0;
+};
+
+struct AutoPlanResult {
+  SbrPlan best;                            ///< highest-amplification case
+  double amplification = 0;
+  std::vector<CandidateResult> candidates; ///< every case probed
+};
+
+/// Probes the candidate corpus against profiles from `factory` (a fresh
+/// profile per probe: stateful vendors must not leak state across probes)
+/// with a synthetic resource of `file_size` bytes.
+AutoPlanResult autoplan_sbr(const std::function<cdn::VendorProfile()>& factory,
+                            std::uint64_t file_size);
+
+/// Convenience overload for a built-in vendor.
+AutoPlanResult autoplan_sbr(cdn::Vendor vendor, std::uint64_t file_size,
+                            const cdn::ProfileOptions& options = {});
+
+}  // namespace rangeamp::core

@@ -1,0 +1,267 @@
+#include "core/campaign.h"
+
+#include <cstdio>
+
+#include "core/obr.h"
+#include "core/sbr.h"
+#include "core/testbed.h"
+#include "http/generator.h"
+
+namespace rangeamp::core {
+namespace {
+
+std::uint64_t selected_bytes(const http::RangeSet& set, std::uint64_t size) {
+  return http::total_selected_bytes(http::resolve_all(set, size));
+}
+
+}  // namespace
+
+SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
+                                   const DetectorConfig& detector_config) {
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/target.bin", config.file_size);
+
+  cdn::EdgeCluster cluster(
+      [&] {
+        cdn::VendorProfile profile = cdn::make_profile(config.vendor, config.options);
+        if (config.mitigation) {
+          profile = apply_mitigation(std::move(profile), *config.mitigation);
+        }
+        return profile;
+      },
+      config.edge_nodes, origin, config.selection);
+
+  net::TrafficRecorder client_traffic("attacker");
+  client_traffic.set_keep_log(false);
+  net::Wire client_wire(client_traffic, cluster);
+
+  RangeAmpDetector detector(detector_config);
+  const SbrPlan plan = sbr_plan(config.vendor, config.file_size);
+
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(config.requests_per_second) *
+      static_cast<std::uint64_t>(config.duration_s);
+  std::uint64_t origin_before = 0;
+  for (std::uint64_t i = 0; i < total_requests; ++i) {
+    // One amplification unit may need several sends (KeyCDN's pair); the
+    // attacker reuses its connection, so every send of a unit reaches the
+    // same ingress node.  Round-robin therefore rotates per *unit*.
+    if (config.selection == cdn::NodeSelection::kRoundRobin) {
+      cluster.pin(i % config.edge_nodes);
+    }
+    http::Request request = http::make_get(
+        std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i));
+    request.headers.add("Range", plan.range.to_string());
+    const std::uint64_t client_before = client_traffic.response_bytes();
+    for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
+
+    const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
+    DetectorSample sample;
+    sample.selected_bytes = selected_bytes(plan.range, config.file_size);
+    sample.resource_bytes = config.file_size;
+    sample.client_response_bytes = client_traffic.response_bytes() - client_before;
+    sample.origin_response_bytes = origin_after - origin_before;
+    sample.cache_hit = sample.origin_response_bytes == 0;
+    origin_before = origin_after;
+    detector.observe(sample);
+  }
+
+  SbrCampaignResult result;
+  result.attacker_request_bytes = client_traffic.request_bytes();
+  result.attacker_response_bytes = client_traffic.response_bytes();
+  result.origin_response_bytes = cluster.total_upstream_response_bytes();
+  result.amplification =
+      result.attacker_response_bytes == 0
+          ? 0
+          : static_cast<double>(result.origin_response_bytes) /
+                static_cast<double>(result.attacker_response_bytes);
+  result.nodes_touched = cluster.nodes_touched();
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    result.per_node_upstream_bytes.push_back(
+        cluster.node(i).upstream_traffic().response_bytes());
+  }
+  result.detector_alarmed = detector.alarmed();
+  result.detector_stats = detector.stats();
+
+  // Project onto the fluid link for the time series: per-request byte costs
+  // are the campaign averages.
+  sim::AttackLoadConfig load;
+  load.origin_uplink_mbps = config.origin_uplink_mbps;
+  load.requests_per_second = config.requests_per_second;
+  load.duration_s = config.duration_s;
+  load.origin_response_bytes = result.origin_response_bytes / total_requests;
+  load.client_response_bytes = result.attacker_response_bytes / total_requests;
+  result.series = sim::simulate_attack_load(load);
+  result.bandwidth = sim::summarize(load, result.series);
+  return result;
+}
+
+ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
+  ObrCampaignResult result;
+  // Plan: either the caller's n or the cascade's discovered maximum, less a
+  // small margin because the campaign's cache-busting query lengthens the
+  // request line (which participates in Cloudflare's header-limit formula).
+  if (config.overlapping_ranges != 0) {
+    result.n = config.overlapping_ranges;
+  } else {
+    const std::size_t max_n =
+        measure_obr(config.fcdn, config.bcdn, config.resource_size).max_n;
+    if (max_n == 0) return result;  // infeasible cascade
+    result.n = max_n > 4 ? max_n - 4 : max_n;
+  }
+
+  // One persistent cascade: the BCDN caches the 1 KB entity after the first
+  // pull, exactly as a pinned-node attack would see.
+  cdn::ProfileOptions fcdn_options;
+  if (config.fcdn == cdn::Vendor::kCloudflare) {
+    fcdn_options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  }
+  CascadeTestbed bed(cdn::make_profile(config.fcdn, fcdn_options),
+                     cdn::make_profile(config.bcdn), obr_origin_config());
+  bed.origin().resources().add_synthetic(std::string{kObrPath},
+                                         config.resource_size);
+
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(config.requests_per_second) *
+      static_cast<std::uint64_t>(config.duration_s);
+  net::TransferOptions abort_early;
+  abort_early.abort_after_body_bytes = 4096;
+  const std::string range_value = obr_range_case(config.fcdn, result.n).to_string();
+
+  for (std::uint64_t i = 0; i < total_requests; ++i) {
+    // Rotate the cache-busting query (fixed width keeps the request line --
+    // and with it the header-limit arithmetic -- constant): both CDNs must
+    // miss on every request, or the FCDN would answer from its own cache.
+    char query[32];
+    std::snprintf(query, sizeof(query), "?x=%06llu",
+                  static_cast<unsigned long long>(i));
+    http::Request request =
+        http::make_get(std::string{kObrHost}, std::string{kObrPath} + query);
+    request.headers.add("Range", range_value);
+    bed.send(request, abort_early);
+  }
+  result.fcdn_bcdn_bytes_per_request =
+      total_requests == 0
+          ? 0
+          : bed.fcdn_bcdn_traffic().response_bytes() / total_requests;
+  result.bcdn_origin_response_bytes =
+      bed.bcdn_origin_traffic().response_bytes();
+  result.attacker_response_bytes = bed.client_traffic().response_bytes();
+  result.amplification =
+      result.bcdn_origin_response_bytes == 0
+          ? 0
+          : static_cast<double>(bed.fcdn_bcdn_traffic().response_bytes()) /
+                static_cast<double>(result.bcdn_origin_response_bytes);
+
+  // Project onto the targeted node's uplink.
+  sim::AttackLoadConfig load;
+  load.origin_uplink_mbps = config.node_uplink_mbps;
+  load.requests_per_second = config.requests_per_second;
+  load.duration_s = config.duration_s;
+  load.origin_response_bytes = result.fcdn_bcdn_bytes_per_request;
+  load.client_response_bytes = 4096;
+  result.series = sim::simulate_attack_load(load);
+  result.bandwidth = sim::summarize(load, result.series);
+  for (const auto& sample : result.series) {
+    if (sample.origin_out_mbps >= 0.99 * config.node_uplink_mbps) {
+      result.seconds_to_saturation = sample.second + 1.0;
+      break;
+    }
+  }
+  return result;
+}
+
+LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
+                                       const DetectorConfig& detector_config) {
+  origin::OriginServer origin;
+  // A small site: a page, assets, one big download.
+  origin.resources().add_literal("/index.html",
+                                 std::string(4096, 'p'), "text/html");
+  origin.resources().add_synthetic("/app.js", 128 * 1024, "text/javascript");
+  origin.resources().add_synthetic("/video.mp4", 20u << 20, "video/mp4");
+  origin.resources().add_synthetic("/download.iso", 50u << 20,
+                                   "application/octet-stream");
+
+  cdn::EdgeCluster cluster(
+      [&] { return cdn::make_profile(config.vendor); }, config.edge_nodes,
+      origin, cdn::NodeSelection::kHashByHost);
+
+  net::TrafficRecorder client_traffic("clients");
+  client_traffic.set_keep_log(false);
+  net::Wire client_wire(client_traffic, cluster);
+
+  RangeAmpDetector detector(detector_config);
+  http::Rng rng{config.seed};
+
+  std::uint64_t origin_before = 0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    http::Request request;
+    std::optional<http::RangeSet> range;
+    std::uint64_t resource_size = 0;
+    switch (rng.below(5)) {
+      case 0:
+      case 1:  // page loads (cacheable, no Range)
+        request = http::make_get("shop.example.com",
+                                 rng.chance(0.5) ? "/index.html" : "/app.js");
+        resource_size = 128 * 1024;
+        break;
+      case 2: {  // video seek: open-ended resume from a realistic offset
+        request = http::make_get("shop.example.com", "/video.mp4");
+        http::RangeSet set;
+        set.specs.push_back(
+            http::ByteRangeSpec::open(rng.below(20u << 20)));
+        range = set;
+        resource_size = 20u << 20;
+        break;
+      }
+      case 3: {  // multi-threaded downloader: a disjoint 4 MB segment
+        request = http::make_get("shop.example.com", "/download.iso");
+        const std::uint64_t seg = rng.below(12);
+        http::RangeSet set;
+        set.specs.push_back(http::ByteRangeSpec::closed(
+            seg * (4u << 20), (seg + 1) * (4u << 20) - 1));
+        range = set;
+        resource_size = 50u << 20;
+        break;
+      }
+      default: {  // resume of the tail of a download
+        request = http::make_get("shop.example.com", "/download.iso");
+        http::RangeSet set;
+        set.specs.push_back(http::ByteRangeSpec::suffix_of(
+            rng.between(1u << 20, 8u << 20)));
+        range = set;
+        resource_size = 50u << 20;
+        break;
+      }
+    }
+    if (range) request.headers.add("Range", range->to_string());
+
+    const std::uint64_t client_before = client_traffic.response_bytes();
+    client_wire.transfer(request);
+    const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
+
+    DetectorSample sample;
+    sample.selected_bytes =
+        range ? http::total_selected_bytes(http::resolve_all(*range, resource_size))
+              : UINT64_MAX;
+    sample.resource_bytes = resource_size;
+    sample.client_response_bytes = client_traffic.response_bytes() - client_before;
+    sample.origin_response_bytes = origin_after - origin_before;
+    sample.cache_hit = sample.origin_response_bytes == 0;
+    if (sample.cache_hit) ++hits;
+    origin_before = origin_after;
+    detector.observe(sample);
+  }
+
+  LegitWorkloadResult result;
+  result.client_response_bytes = client_traffic.response_bytes();
+  result.origin_response_bytes = cluster.total_upstream_response_bytes();
+  result.cache_hit_rate =
+      static_cast<double>(hits) / static_cast<double>(config.requests);
+  result.detector_alarmed = detector.alarmed();
+  result.detector_stats = detector.stats();
+  return result;
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,125 @@
+// Sustained attack campaigns and benign workloads.
+//
+// The practicability experiment of section V-D is a *campaign*: m crafted
+// requests per second, sustained, spread across ingress nodes.  This module
+// drives such campaigns end-to-end against an EdgeCluster -- rotating
+// cache-busting queries, feeding every exchange to the RangeAmpDetector,
+// and projecting the byte totals onto the fluid bandwidth simulator for the
+// Fig 7 time series.
+//
+// It also generates a realistic benign workload (cache-friendly page loads,
+// resume-from-offset downloads, multi-threaded segment fetches) used to
+// validate the detector's false-positive behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "cdn/cluster.h"
+#include "cdn/profiles.h"
+#include "core/detector.h"
+#include "core/mitigations.h"
+#include "sim/attack_load.h"
+
+namespace rangeamp::core {
+
+struct SbrCampaignConfig {
+  cdn::Vendor vendor = cdn::Vendor::kCloudflare;
+  cdn::ProfileOptions options;
+  std::uint64_t file_size = 10 * (1u << 20);
+  int requests_per_second = 10;
+  int duration_s = 30;
+  std::size_t edge_nodes = 8;
+  cdn::NodeSelection selection = cdn::NodeSelection::kRoundRobin;
+  double origin_uplink_mbps = 1000.0;
+
+  /// Applied to every edge node: run the same campaign against a hardened
+  /// deployment to measure a mitigation's effect end-to-end.
+  std::optional<Mitigation> mitigation;
+};
+
+struct SbrCampaignResult {
+  // Byte totals over the whole campaign.
+  std::uint64_t attacker_request_bytes = 0;
+  std::uint64_t attacker_response_bytes = 0;
+  std::uint64_t origin_response_bytes = 0;
+  double amplification = 0;
+
+  // Edge spread.
+  std::size_t nodes_touched = 0;
+  std::vector<std::uint64_t> per_node_upstream_bytes;
+
+  // Time-domain projection (Fig 7 shape).
+  sim::AttackLoadSummary bandwidth;
+  std::vector<sim::BandwidthSample> series;
+
+  // Detection.
+  bool detector_alarmed = false;
+  RangeAmpDetector::Stats detector_stats;
+};
+
+/// Runs a full SBR campaign against a fresh cluster testbed.
+SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
+                                   const DetectorConfig& detector_config = {});
+
+// ---------------------------------------------------------------------------
+// OBR node-exhaustion campaign.
+//
+// Section V-D: "In an OBR attack, the victims are specific ingress nodes of
+// the FCDN and the BCDN.  Due to an ethical concern, we can't launch a real
+// attack to verify whether an ingress node is affected."  The simulation
+// can: this campaign drives sustained OBR requests through a cascade pinned
+// to one BCDN node and projects the fcdn-bcdn byte stream onto a
+// capacity-limited inter-CDN link.
+// ---------------------------------------------------------------------------
+
+struct ObrCampaignConfig {
+  cdn::Vendor fcdn = cdn::Vendor::kCloudflare;
+  cdn::Vendor bcdn = cdn::Vendor::kAkamai;
+  std::uint64_t resource_size = 1024;
+  std::size_t overlapping_ranges = 0;  ///< 0 = use the cascade's max n
+  int requests_per_second = 2;
+  int duration_s = 10;
+  /// Capacity of the targeted node's uplink toward the FCDN.
+  double node_uplink_mbps = 1000.0;
+};
+
+struct ObrCampaignResult {
+  std::size_t n = 0;                       ///< overlapping ranges used
+  std::uint64_t fcdn_bcdn_bytes_per_request = 0;
+  std::uint64_t bcdn_origin_response_bytes = 0;  ///< whole campaign
+  std::uint64_t attacker_response_bytes = 0;     ///< whole campaign
+  double amplification = 0;
+  /// Time-domain projection of the fcdn-bcdn link.
+  sim::AttackLoadSummary bandwidth;
+  std::vector<sim::BandwidthSample> series;
+  /// Seconds of sustained attack until the node's uplink saturates
+  /// (<0 when it never does).
+  double seconds_to_saturation = -1;
+};
+
+ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config);
+
+struct LegitWorkloadConfig {
+  cdn::Vendor vendor = cdn::Vendor::kCloudflare;
+  std::size_t requests = 200;
+  std::uint64_t seed = 2020;
+  std::size_t edge_nodes = 4;
+};
+
+struct LegitWorkloadResult {
+  std::uint64_t client_response_bytes = 0;
+  std::uint64_t origin_response_bytes = 0;
+  double cache_hit_rate = 0;
+  bool detector_alarmed = false;
+  RangeAmpDetector::Stats detector_stats;
+};
+
+/// Replays a benign mixed workload (page loads, resumes, segment downloads)
+/// through the same cluster + detector pipeline.
+LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
+                                       const DetectorConfig& detector_config = {});
+
+}  // namespace rangeamp::core

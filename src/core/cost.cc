@@ -1,0 +1,63 @@
+#include "core/cost.h"
+
+namespace rangeamp::core {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+std::vector<PricePlan> default_price_plans() {
+  using cdn::Vendor;
+  // Lowest published per-GB tier, circa 2020 (see header comment).
+  return {
+      {Vendor::kAkamai, 0.17, 0.0, 0.09},
+      {Vendor::kAlibabaCloud, 0.074, 0.0, 0.09},
+      {Vendor::kAzure, 0.081, 0.087, 0.09},  // Azure bills origin egress too
+      {Vendor::kCdn77, 0.049, 0.0, 0.09},
+      {Vendor::kCdnsun, 0.045, 0.0, 0.09},
+      {Vendor::kCloudflare, 0.0, 0.0, 0.09},  // flat-rate plans
+      {Vendor::kCloudFront, 0.085, 0.09, 0.09},
+      {Vendor::kFastly, 0.12, 0.0, 0.09},
+      {Vendor::kGcoreLabs, 0.035, 0.0, 0.09},
+      {Vendor::kHuaweiCloud, 0.065, 0.0, 0.09},
+      {Vendor::kKeyCdn, 0.04, 0.04, 0.09},
+      {Vendor::kStackPath, 0.035, 0.0, 0.09},
+      {Vendor::kTencentCloud, 0.064, 0.0, 0.09},
+  };
+}
+
+PricePlan price_plan(cdn::Vendor vendor) {
+  for (const PricePlan& plan : default_price_plans()) {
+    if (plan.vendor == vendor) return plan;
+  }
+  return PricePlan{vendor};
+}
+
+CostEstimate estimate_victim_cost(const PricePlan& plan,
+                                  std::uint64_t client_cdn_bytes,
+                                  std::uint64_t cdn_origin_bytes) {
+  CostEstimate out;
+  out.cdn_egress_usd =
+      static_cast<double>(client_cdn_bytes) / kGiB * plan.egress_usd_per_gb;
+  out.cdn_origin_pull_usd =
+      static_cast<double>(cdn_origin_bytes) / kGiB * plan.origin_pull_usd_per_gb;
+  out.origin_bandwidth_usd = static_cast<double>(cdn_origin_bytes) / kGiB *
+                             plan.origin_bandwidth_usd_per_gb;
+  out.total_usd =
+      out.cdn_egress_usd + out.cdn_origin_pull_usd + out.origin_bandwidth_usd;
+  return out;
+}
+
+CostEstimate estimate_campaign_cost(const PricePlan& plan,
+                                    std::uint64_t client_bytes_per_request,
+                                    std::uint64_t origin_bytes_per_request,
+                                    double rps, double hours) {
+  const double requests = rps * hours * 3600.0;
+  return estimate_victim_cost(
+      plan,
+      static_cast<std::uint64_t>(requests * static_cast<double>(client_bytes_per_request)),
+      static_cast<std::uint64_t>(requests * static_cast<double>(origin_bytes_per_request)));
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,60 @@
+// Victim cost estimation.
+//
+// Section V-E of the paper: "Most CDNs charge their website customers by
+// traffic consumption ... its opponent can abuse the CDN to perform a
+// RangeAmp attack against it, causing a very high CDN service fee", on top
+// of the origin's own bandwidth bill.  This module turns campaign byte
+// totals into a rough dollar figure.
+//
+// Prices are circa-2020 list-price approximations (USD per GB, lowest
+// published tier) from the pricing pages the paper cites [17]-[21]; they are
+// estimates for illustrating the *scale* of the monetary-loss argument, not
+// billing-grade data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/profiles.h"
+
+namespace rangeamp::core {
+
+struct PricePlan {
+  cdn::Vendor vendor;
+  /// Price of CDN edge egress (client-facing traffic), USD/GB.
+  double egress_usd_per_gb = 0.08;
+  /// Price of back-to-origin transfer where billed (0 when bundled), USD/GB
+  /// -- under an SBR attack this is the dominating term.
+  double origin_pull_usd_per_gb = 0.0;
+  /// The origin host's own bandwidth price (cloud VM egress), USD/GB.
+  double origin_bandwidth_usd_per_gb = 0.09;
+};
+
+/// Approximate 2020 list prices for the 13 vendors.
+std::vector<PricePlan> default_price_plans();
+
+/// Plan for one vendor.
+PricePlan price_plan(cdn::Vendor vendor);
+
+struct CostEstimate {
+  double cdn_egress_usd = 0;
+  double cdn_origin_pull_usd = 0;
+  double origin_bandwidth_usd = 0;
+  double total_usd = 0;
+};
+
+/// Victim cost of a traffic total: `client_cdn_bytes` billed as CDN egress,
+/// `cdn_origin_bytes` billed as origin pull (where the plan charges it) and
+/// as origin-host bandwidth (always).
+CostEstimate estimate_victim_cost(const PricePlan& plan,
+                                  std::uint64_t client_cdn_bytes,
+                                  std::uint64_t cdn_origin_bytes);
+
+/// Scales a measured per-request cost to a sustained campaign: `rps`
+/// requests/second for `hours` hours.
+CostEstimate estimate_campaign_cost(const PricePlan& plan,
+                                    std::uint64_t client_bytes_per_request,
+                                    std::uint64_t origin_bytes_per_request,
+                                    double rps, double hours);
+
+}  // namespace rangeamp::core

@@ -1,0 +1,48 @@
+#include "core/detector.h"
+
+namespace rangeamp::core {
+
+void RangeAmpDetector::observe(const DetectorSample& sample) {
+  window_.push_back(sample);
+  while (window_.size() > config_.window) window_.pop_front();
+  if (!alarmed_ && evaluate()) alarmed_ = true;
+}
+
+RangeAmpDetector::Stats RangeAmpDetector::stats() const noexcept {
+  Stats s;
+  s.samples = window_.size();
+  if (window_.empty()) return s;
+  std::uint64_t origin = 0, client = 0;
+  std::size_t tiny = 0, misses = 0;
+  for (const auto& w : window_) {
+    origin += w.origin_response_bytes;
+    client += w.client_response_bytes;
+    if (!w.cache_hit) ++misses;
+    if (w.selected_bytes != UINT64_MAX && w.resource_bytes > 4096 &&
+        static_cast<double>(w.selected_bytes) <
+            config_.tiny_range_fraction * static_cast<double>(w.resource_bytes)) {
+      ++tiny;
+    }
+  }
+  s.asymmetry = client == 0 ? 0
+                            : static_cast<double>(origin) / static_cast<double>(client);
+  s.tiny_fraction = static_cast<double>(tiny) / static_cast<double>(window_.size());
+  s.miss_fraction =
+      static_cast<double>(misses) / static_cast<double>(window_.size());
+  return s;
+}
+
+bool RangeAmpDetector::evaluate() const noexcept {
+  if (window_.size() < config_.min_samples) return false;
+  const Stats s = stats();
+  return s.asymmetry >= config_.asymmetry_threshold &&
+         s.tiny_fraction >= config_.tiny_fraction_threshold &&
+         s.miss_fraction >= config_.miss_fraction_threshold;
+}
+
+void RangeAmpDetector::reset() {
+  window_.clear();
+  alarmed_ = false;
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,81 @@
+// RangeAmp traffic detector.
+//
+// Section V-D of the paper notes that "vulnerable CDNs raised no alert while
+// using their default configuration", and section VI-C suggests that "CDNs
+// can detect and intercept malicious range requests based on the
+// characteristics of the RangeAmp attacks".  This module implements that
+// detector: a sliding-window heuristic over per-exchange samples that keys
+// on the attack's three signatures simultaneously --
+//
+//   1. traffic asymmetry: back-to-origin bytes >> client-facing bytes,
+//   2. tiny selected ranges on large resources,
+//   3. a cache-miss rate near 1 (the cache-busting query rotation).
+//
+// Any one of these occurs in benign traffic (a cold cache, a probe request,
+// a resume of the last byte); it is the *conjunction, sustained over a
+// window*, that separates an SBR campaign from legitimate load -- which is
+// exactly what the false-positive tests assert.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace rangeamp::core {
+
+/// One observed client exchange, as a detector input.
+struct DetectorSample {
+  /// Bytes the requested range selects (UINT64_MAX when no Range header).
+  std::uint64_t selected_bytes = UINT64_MAX;
+  /// Size of the target resource (0 when unknown).
+  std::uint64_t resource_bytes = 0;
+  std::uint64_t client_response_bytes = 0;
+  /// Back-to-origin bytes this exchange caused (0 on a cache hit).
+  std::uint64_t origin_response_bytes = 0;
+  bool cache_hit = false;
+};
+
+struct DetectorConfig {
+  /// Sliding window length in samples.
+  std::size_t window = 50;
+  /// Minimum samples before any verdict.
+  std::size_t min_samples = 20;
+  /// Alarm threshold on (sum origin bytes) / (sum client bytes).
+  double asymmetry_threshold = 50.0;
+  /// A range is "tiny" when it selects less than this fraction of the
+  /// resource (and the resource is non-trivial).
+  double tiny_range_fraction = 0.01;
+  /// Fractions of the window that must be tiny-ranged / cache-missing.
+  double tiny_fraction_threshold = 0.5;
+  double miss_fraction_threshold = 0.8;
+};
+
+class RangeAmpDetector {
+ public:
+  explicit RangeAmpDetector(DetectorConfig config = {}) : config_(config) {}
+
+  void observe(const DetectorSample& sample);
+
+  /// True once the window exhibits all three signatures.
+  bool alarmed() const noexcept { return alarmed_; }
+
+  /// Current window statistics (for reporting).
+  struct Stats {
+    std::size_t samples = 0;
+    double asymmetry = 0;       ///< origin bytes / client bytes
+    double tiny_fraction = 0;   ///< fraction of tiny-range samples
+    double miss_fraction = 0;   ///< fraction of cache misses
+  };
+  Stats stats() const noexcept;
+
+  void reset();
+
+ private:
+  bool evaluate() const noexcept;
+
+  DetectorConfig config_;
+  std::deque<DetectorSample> window_;
+  bool alarmed_ = false;  ///< latched
+};
+
+}  // namespace rangeamp::core

@@ -1,0 +1,47 @@
+#include "core/mitigations.h"
+
+#include "cdn/logic.h"
+
+namespace rangeamp::core {
+
+std::string_view mitigation_name(Mitigation m) noexcept {
+  switch (m) {
+    case Mitigation::kLaziness: return "Laziness forwarding";
+    case Mitigation::kBoundedExpansion8K: return "Bounded expansion (+8KB)";
+    case Mitigation::kCoalesceMulti: return "Coalesce multi-range";
+    case Mitigation::kRejectOverlapping: return "Reject overlapping (416)";
+    case Mitigation::kRangeCountCap16: return "Range count cap (16)";
+    case Mitigation::kSlice1M: return "Slice fetching (1 MiB)";
+    case Mitigation::kIgnoreQueryStrings: return "Ignore query strings";
+  }
+  return "?";
+}
+
+cdn::VendorProfile apply_mitigation(cdn::VendorProfile profile, Mitigation m) {
+  switch (m) {
+    case Mitigation::kLaziness:
+      profile.logic = std::make_unique<cdn::LazinessLogic>();
+      break;
+    case Mitigation::kBoundedExpansion8K:
+      profile.logic = std::make_unique<cdn::BoundedExpansionLogic>(8 * 1024);
+      break;
+    case Mitigation::kCoalesceMulti:
+      profile.traits.multi_reply = cdn::MultiRangeReplyPolicy::kCoalesce;
+      break;
+    case Mitigation::kRejectOverlapping:
+      profile.traits.multi_reply = cdn::MultiRangeReplyPolicy::kRejectOverlapping416;
+      break;
+    case Mitigation::kRangeCountCap16:
+      profile.traits.ingress_max_range_count = 16;
+      break;
+    case Mitigation::kSlice1M:
+      profile.logic = std::make_unique<cdn::SliceLogic>(1u << 20);
+      break;
+    case Mitigation::kIgnoreQueryStrings:
+      profile.traits.cache_ignore_query = true;
+      break;
+  }
+  return profile;
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,52 @@
+// Mitigations from section VI-C of the paper, applied as profile transforms.
+//
+// Each transform takes a (possibly vulnerable) vendor profile and returns a
+// hardened one.  The ablation benchmark re-runs the SBR/OBR attacks with
+// each mitigation to show the amplification factor collapse.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cdn/node.h"
+
+namespace rangeamp::core {
+
+enum class Mitigation {
+  /// Forward the Range header unchanged ("CDNs can adopt the Laziness policy
+  /// to completely defend against the SBR attack"; G-Core's fix).
+  kLaziness,
+  /// Expand requested ranges by at most 8 KB instead of deleting them ("it
+  /// is acceptable to increase the byte range by 8KB").
+  kBoundedExpansion8K,
+  /// Coalesce overlapping/adjacent ranges before answering multi-range
+  /// requests (RFC 7233 §6.1).
+  kCoalesceMulti,
+  /// Reject overlapping multi-range requests with 416 (CDN77's fix).
+  kRejectOverlapping,
+  /// Reject requests with more than 16 ranges at ingress (the "many small
+  /// ranges" guard of RFC 7233 §6.1).
+  kRangeCountCap16,
+  /// Slice-aligned origin fetching with per-slice caching (1 MiB slices) --
+  /// the fix G-Core Labs actually shipped (section VII).
+  kSlice1M,
+  /// Exclude query strings from the cache key -- the customer-side page
+  /// rule Cloudflare/Azure recommended (section VII).  Defeats sustained
+  /// cache-busting campaigns, not the first hit.
+  kIgnoreQueryStrings,
+};
+
+inline constexpr Mitigation kAllMitigations[] = {
+    Mitigation::kLaziness,        Mitigation::kBoundedExpansion8K,
+    Mitigation::kCoalesceMulti,   Mitigation::kRejectOverlapping,
+    Mitigation::kRangeCountCap16, Mitigation::kSlice1M,
+    Mitigation::kIgnoreQueryStrings,
+};
+
+std::string_view mitigation_name(Mitigation m) noexcept;
+
+/// Applies one mitigation to a profile, preserving the vendor's identity
+/// (headers, limits, calibration).
+cdn::VendorProfile apply_mitigation(cdn::VendorProfile profile, Mitigation m);
+
+}  // namespace rangeamp::core

@@ -1,0 +1,75 @@
+// Overlapping Byte Ranges (OBR) attack: planning and measurement (sections
+// IV-C, V-C of the paper; Table V).
+//
+// The planner reproduces Table V: for each FCDN x BCDN cascade it builds the
+// FCDN-specific exploited multi-range case (column 3), finds the maximum
+// number of overlapping ranges n the cascade accepts (column 4) by probing
+// against the actual ingress header limits and reply caps, and measures the
+// response traffic on the bcdn-origin and fcdn-bcdn segments at that n
+// (columns 5-7).  The amplification factor is
+//
+//     AF = response bytes on fcdn-bcdn / response bytes on bcdn-origin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdn/profiles.h"
+#include "http/range.h"
+#include "origin/origin_server.h"
+
+namespace rangeamp::core {
+
+/// Fixed harness identity for the OBR experiments.  The host/path lengths
+/// matter: Cloudflare's RL + 2*HHL + RHL <= 32411 constraint makes the max n
+/// depend on them, so they are pinned to the values that reproduce the
+/// paper's n (host 24 chars, path 75 chars -> n = 10750 for Cloudflare).
+inline constexpr std::string_view kObrHost = "attack.rangeamp-demo.net";
+inline constexpr std::string_view kObrPath =
+    "/experiments/obr/amplification/target-payloads/one-kilobyte/payload-1KB.bin";
+
+/// Builds the FCDN-specific exploited Range set with `n` overlapping "0-"
+/// ranges (Table V column 3):
+///   CDN77:      bytes=-1024,0-,...,0-
+///   CDNsun:     bytes=1-,0-,...,0-     (its Deletion rule triggers on a
+///                                       leading 0-start, Table II)
+///   Cloudflare: bytes=0-,...,0-
+///   StackPath:  bytes=0-,...,0-
+http::RangeSet obr_range_case(cdn::Vendor fcdn, std::size_t n);
+
+/// The paper's spelling of the exploited case for an FCDN.
+std::string obr_case_description(cdn::Vendor fcdn);
+
+/// FCDN candidates (Table II) and BCDN candidates (Table III).
+std::vector<cdn::Vendor> obr_fcdn_candidates();
+std::vector<cdn::Vendor> obr_bcdn_candidates();
+
+struct ObrMeasurement {
+  cdn::Vendor fcdn;
+  cdn::Vendor bcdn;
+  std::string exploited_case;
+  bool feasible = true;            ///< false for a CDN cascaded with itself
+  std::size_t max_n = 0;           ///< Table V column 4
+  std::uint64_t bcdn_origin_response_bytes = 0;  ///< column 5
+  std::uint64_t fcdn_bcdn_response_bytes = 0;    ///< column 6
+  std::uint64_t client_response_bytes = 0;       ///< what the aborting
+                                                 ///< attacker accepted
+  double amplification = 0;        ///< column 7
+};
+
+/// Runs one cascade end-to-end: finds max n, then measures at max n with a
+/// 1 KB resource and an attacker that aborts the client connection early.
+ObrMeasurement measure_obr(cdn::Vendor fcdn, cdn::Vendor bcdn,
+                           std::uint64_t resource_size = 1024);
+
+/// All Table V rows: every FCDN x BCDN combination except self-cascades.
+std::vector<ObrMeasurement> measure_all_obr(std::uint64_t resource_size = 1024);
+
+/// Origin configuration used by the OBR experiments: range requests disabled
+/// by the attacker (section IV-C) and an application-flavored header set
+/// matching the paper testbed's per-response footprint (~1.6 KB for a 1 KB
+/// resource).
+origin::OriginConfig obr_origin_config();
+
+}  // namespace rangeamp::core

@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace rangeamp::core {
+
+std::string Table::to_markdown() const {
+  // Column widths.
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = emit_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  const auto emit = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = emit(headers_);
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+std::string Table::to_json() const {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out += ",";
+    out += "{";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += ",";
+      const std::string& cell = c < rows_[r].size() ? rows_[r][c] : std::string{};
+      out += "\"" + escape(headers_[c]) + "\":\"" + escape(cell) + "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,46 @@
+// Plain-text/markdown/CSV table rendering for experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rangeamp::core {
+
+/// A simple column-aligned table that renders as markdown or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// GitHub-flavored markdown with padded columns.
+  std::string to_markdown() const;
+
+  /// RFC 4180-ish CSV (no quoting needed for our cell contents).
+  std::string to_csv() const;
+
+  /// JSON array of row objects keyed by header names (machine-readable
+  /// experiment output).  Cell strings are escaped; numbers stay strings to
+  /// preserve the exact formatting of the experiment harnesses.
+  std::string to_json() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12345678" -> "12,345,678" (byte counts in experiment output).
+std::string with_thousands(std::uint64_t value);
+
+/// Fixed-point decimal rendering.
+std::string fixed(double value, int decimals);
+
+/// Writes `content` to `path`, creating parent directories is NOT attempted;
+/// returns false on failure.  Benchmarks use it to drop CSV series next to
+/// stdout tables.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace rangeamp::core

@@ -1,0 +1,96 @@
+// Range-policy scanners: the paper's first experiment (section V-A).
+//
+// PolicyScanner reproduces Tables I and II: it sends crafted (and
+// ABNF-generated) range requests through a vendor profile toward an
+// instrumented origin and diffs the Range header the client sent against
+// the header(s) the origin received, classifying each vendor's forwarding
+// behaviour as Laziness / Deletion / Expansion -- including multi-connection
+// patterns ("None & bytes=8388608-16777215", "bytes=first-last [& None]")
+// and stateful ones (KeyCDN's second-request Deletion).
+//
+// ReplyScanner reproduces Table III: it sends overlapping multi-range
+// requests directly at a vendor (the BCDN role, origin ranges disabled) and
+// classifies how the response is framed, including the honored-range cap
+// (Azure's 64).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdn/profiles.h"
+#include "http/generator.h"
+#include "http/range.h"
+
+namespace rangeamp::core {
+
+/// One probe request shape for the forwarding scan.
+struct ForwardProbe {
+  std::string label;    ///< the paper's spelling, e.g. "bytes=first-last"
+  http::RangeSet range;
+};
+
+/// The standard probe set covering every vulnerable format of Tables I/II.
+std::vector<ForwardProbe> standard_forward_probes();
+
+/// What the origin observed for one client request.
+struct OriginView {
+  /// One entry per origin request: "None" (no Range), "HEAD" (size probe,
+  /// no Range), "Unchanged", or the rewritten header value.
+  std::vector<std::string> forwarded;
+
+  std::string summary() const;  ///< entries joined with " & "
+};
+
+/// One scan observation: vendor x probe x file size.
+struct ForwardObservation {
+  cdn::Vendor vendor;
+  std::string probe_label;
+  std::string sent_range;
+  std::uint64_t file_size = 0;
+  OriginView first_request;   ///< origin requests triggered by send #1
+  OriginView second_request;  ///< ... by send #2 (stateful vendors)
+  std::uint64_t origin_response_bytes = 0;  ///< both sends
+  std::uint64_t client_response_bytes = 0;
+  bool sbr_vulnerable = false;   ///< full entity pulled for a tiny client range
+  bool obr_forward_vulnerable = false;  ///< multi-range forwarded unchanged
+};
+
+/// Scans one vendor with the standard probes at the given file sizes
+/// (defaults cover the paper's size-conditional rows: 1 MB, 9 MB, 12 MB,
+/// 20 MB).
+std::vector<ForwardObservation> scan_forwarding(
+    cdn::Vendor vendor, const cdn::ProfileOptions& options = {},
+    std::vector<std::uint64_t> file_sizes = {});
+
+/// Aggregate of a generated-corpus scan (the "large number of valid range
+/// requests" experiment): per shape, how many probes were forwarded with
+/// each policy.
+struct CorpusScanRow {
+  http::RangeShape shape;
+  std::size_t total = 0;
+  std::size_t lazy = 0;
+  std::size_t deleted = 0;
+  std::size_t expanded = 0;
+  std::size_t multi_connection = 0;  ///< probes triggering >1 origin request
+};
+
+std::vector<CorpusScanRow> scan_corpus(cdn::Vendor vendor, std::uint64_t seed,
+                                       std::size_t count,
+                                       std::uint64_t file_size,
+                                       const cdn::ProfileOptions& options = {});
+
+/// Table III: multi-range replying behaviour in the BCDN role.
+struct ReplyObservation {
+  cdn::Vendor vendor;
+  std::string response_format;  ///< "n-part response (overlapping)", ...
+  bool obr_reply_vulnerable = false;
+  std::size_t honored_cap = 0;  ///< max overlapping ranges honored
+                                ///< (0 = unlimited within tested bound)
+};
+
+ReplyObservation scan_replying(cdn::Vendor vendor,
+                               const cdn::ProfileOptions& options = {});
+
+}  // namespace rangeamp::core

@@ -1,0 +1,120 @@
+// Experiment testbeds: pre-wired origin/CDN topologies with traffic
+// recorders on every segment, matching Fig 3 of the paper.
+//
+//   SingleCdnTestbed:  client --(client-cdn)--> CDN --(cdn-origin)--> origin
+//   CascadeTestbed:    client --(client-fcdn)--> FCDN --(fcdn-bcdn)-->
+//                      BCDN --(bcdn-origin)--> origin
+//
+// The testbeds own every component; wires and recorders are reachable by
+// the segment names the paper uses.
+#pragma once
+
+#include <string>
+
+#include "cdn/node.h"
+#include "cdn/profiles.h"
+#include "http2/wire.h"
+#include "net/wire.h"
+#include "origin/origin_server.h"
+
+namespace rangeamp::core {
+
+/// Default identity of the attacker-controlled site in experiments.
+inline constexpr std::string_view kDefaultHost = "victim-site.example.com";
+
+class SingleCdnTestbed {
+ public:
+  explicit SingleCdnTestbed(cdn::VendorProfile profile,
+                            origin::OriginConfig origin_config = {})
+      : origin_(std::move(origin_config)),
+        cdn_(std::move(profile), origin_, "cdn-origin"),
+        client_traffic_("client-cdn"),
+        client_wire_(client_traffic_, cdn_) {}
+
+  origin::OriginServer& origin() noexcept { return origin_; }
+  cdn::CdnNode& cdn() noexcept { return cdn_; }
+
+  /// Sends a request as the client and returns the (possibly truncated)
+  /// response.
+  http::Response send(const http::Request& request,
+                      const net::TransferOptions& options = {}) {
+    return client_wire_.transfer(request, options);
+  }
+
+  net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
+  net::TrafficRecorder& origin_traffic() noexcept { return cdn_.upstream_traffic(); }
+
+ private:
+  origin::OriginServer origin_;
+  cdn::CdnNode cdn_;
+  net::TrafficRecorder client_traffic_;
+  net::Wire client_wire_;
+};
+
+/// Like SingleCdnTestbed, but the client-cdn segment is HTTP/2-framed --
+/// the deployment the paper's section VI-B covers (browsers speak h2 to the
+/// edge; CDNs speak HTTP/1.1 to the origin).  Range semantics are identical
+/// (RFC 7540 section 8.1 defers to RFC 7233), so the attacks carry over.
+class SingleCdnTestbedH2 {
+ public:
+  explicit SingleCdnTestbedH2(cdn::VendorProfile profile,
+                              origin::OriginConfig origin_config = {})
+      : origin_(std::move(origin_config)),
+        cdn_(std::move(profile), origin_, "cdn-origin"),
+        client_traffic_("client-cdn (h2)"),
+        client_wire_(client_traffic_, cdn_) {}
+
+  origin::OriginServer& origin() noexcept { return origin_; }
+  cdn::CdnNode& cdn() noexcept { return cdn_; }
+
+  http::Response send(const http::Request& request,
+                      const net::TransferOptions& options = {}) {
+    return client_wire_.transfer(request, options);
+  }
+
+  net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
+  net::TrafficRecorder& origin_traffic() noexcept { return cdn_.upstream_traffic(); }
+
+ private:
+  origin::OriginServer origin_;
+  cdn::CdnNode cdn_;
+  net::TrafficRecorder client_traffic_;
+  http2::Http2Wire client_wire_;
+};
+
+class CascadeTestbed {
+ public:
+  CascadeTestbed(cdn::VendorProfile fcdn_profile, cdn::VendorProfile bcdn_profile,
+                 origin::OriginConfig origin_config = {})
+      : origin_(std::move(origin_config)),
+        bcdn_(std::move(bcdn_profile), origin_, "bcdn-origin"),
+        fcdn_(std::move(fcdn_profile), bcdn_, "fcdn-bcdn"),
+        client_traffic_("client-fcdn"),
+        client_wire_(client_traffic_, fcdn_) {}
+
+  origin::OriginServer& origin() noexcept { return origin_; }
+  cdn::CdnNode& fcdn() noexcept { return fcdn_; }
+  cdn::CdnNode& bcdn() noexcept { return bcdn_; }
+
+  http::Response send(const http::Request& request,
+                      const net::TransferOptions& options = {}) {
+    return client_wire_.transfer(request, options);
+  }
+
+  net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
+  net::TrafficRecorder& fcdn_bcdn_traffic() noexcept {
+    return fcdn_.upstream_traffic();
+  }
+  net::TrafficRecorder& bcdn_origin_traffic() noexcept {
+    return bcdn_.upstream_traffic();
+  }
+
+ private:
+  origin::OriginServer origin_;
+  cdn::CdnNode bcdn_;
+  cdn::CdnNode fcdn_;
+  net::TrafficRecorder client_traffic_;
+  net::Wire client_wire_;
+};
+
+}  // namespace rangeamp::core

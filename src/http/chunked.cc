@@ -1,0 +1,103 @@
+#include "http/chunked.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "http/headers.h"
+
+namespace rangeamp::http {
+namespace {
+
+std::string chunk_size_line(std::uint64_t size) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%llx\r\n",
+                              static_cast<unsigned long long>(size));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+Body encode_chunked(const Body& body, std::uint64_t chunk_size) {
+  Body out;
+  const std::uint64_t total = body.size();
+  std::uint64_t offset = 0;
+  while (offset < total) {
+    const std::uint64_t piece = std::min(chunk_size, total - offset);
+    out.append_literal(chunk_size_line(piece));
+    out.append_body(body.slice(offset, piece));
+    out.append_literal("\r\n");
+    offset += piece;
+  }
+  out.append_literal("0\r\n\r\n");
+  return out;
+}
+
+std::uint64_t chunked_size(std::uint64_t body_size,
+                           std::uint64_t chunk_size) noexcept {
+  std::uint64_t total = 5;  // "0\r\n\r\n"
+  std::uint64_t offset = 0;
+  while (offset < body_size) {
+    const std::uint64_t piece = std::min(chunk_size, body_size - offset);
+    total += chunk_size_line(piece).size() + piece + 2;
+    offset += piece;
+  }
+  return total;
+}
+
+std::optional<Body> decode_chunked(std::string_view framed) {
+  Body out;
+  std::size_t pos = 0;
+  while (true) {
+    const auto eol = framed.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    std::string_view size_token = framed.substr(pos, eol - pos);
+    // Chunk extensions (";ext=...") are permitted and ignored.
+    if (const auto semi = size_token.find(';'); semi != std::string_view::npos) {
+      size_token = size_token.substr(0, semi);
+    }
+    std::uint64_t size = 0;
+    const auto [ptr, ec] = std::from_chars(
+        size_token.data(), size_token.data() + size_token.size(), size, 16);
+    if (ec != std::errc{} || ptr != size_token.data() + size_token.size()) {
+      return std::nullopt;
+    }
+    pos = eol + 2;
+    if (size == 0) {
+      // Optional trailers until the final blank line.
+      while (true) {
+        const auto trailer_eol = framed.find("\r\n", pos);
+        if (trailer_eol == std::string_view::npos) return std::nullopt;
+        if (trailer_eol == pos) return out;  // blank line: done
+        pos = trailer_eol + 2;
+      }
+    }
+    if (framed.size() - pos < size + 2) return std::nullopt;
+    out.append_literal(framed.substr(pos, static_cast<std::size_t>(size)));
+    pos += static_cast<std::size_t>(size);
+    if (framed.compare(pos, 2, "\r\n") != 0) return std::nullopt;
+    pos += 2;
+  }
+}
+
+bool is_chunked(const Response& response) noexcept {
+  const auto te = response.headers.get("Transfer-Encoding");
+  return te && iequals(*te, "chunked");
+}
+
+void apply_chunked_coding(Response& response, std::uint64_t chunk_size) {
+  response.body = encode_chunked(response.body, chunk_size);
+  response.headers.remove("Content-Length");
+  response.headers.set("Transfer-Encoding", "chunked");
+}
+
+bool remove_chunked_coding(Response& response) {
+  if (!is_chunked(response)) return true;
+  auto decoded = decode_chunked(response.body.materialize());
+  if (!decoded) return false;
+  response.body = std::move(*decoded);
+  response.headers.remove("Transfer-Encoding");
+  response.headers.set("Content-Length", std::to_string(response.body.size()));
+  return true;
+}
+
+}  // namespace rangeamp::http

@@ -1,0 +1,46 @@
+// Chunked transfer coding (RFC 7230 section 4.1).
+//
+// Origins commonly stream dynamically generated (or just unsized) responses
+// as Transfer-Encoding: chunked.  The coding matters to this library for two
+// reasons: chunk framing changes the exact on-wire byte counts the
+// experiments measure, and a CDN that caches a chunked 200 must de-chunk it
+// before it can serve ranges from the entity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "http/body.h"
+#include "http/message.h"
+
+namespace rangeamp::http {
+
+/// Default chunk size used when encoding (typical server buffer size).
+inline constexpr std::uint64_t kDefaultChunkSize = 8 * 1024;
+
+/// Wraps `body` in chunked framing: hex-size lines, CRLFs and the final
+/// "0\r\n\r\n".  Synthetic payload spans are preserved (framing is literal,
+/// payload stays O(1)).
+Body encode_chunked(const Body& body, std::uint64_t chunk_size = kDefaultChunkSize);
+
+/// Exact size of encode_chunked(body, chunk_size) without materializing.
+std::uint64_t chunked_size(std::uint64_t body_size,
+                           std::uint64_t chunk_size = kDefaultChunkSize) noexcept;
+
+/// Decodes a chunked payload back to the original bytes.  Returns nullopt on
+/// framing errors.  Trailers are accepted and discarded.
+std::optional<Body> decode_chunked(std::string_view framed);
+
+/// True when the message declares chunked transfer coding.
+bool is_chunked(const Response& response) noexcept;
+
+/// Converts a fixed-length response into a chunked one (drops
+/// Content-Length, adds Transfer-Encoding, frames the body).
+void apply_chunked_coding(Response& response,
+                          std::uint64_t chunk_size = kDefaultChunkSize);
+
+/// Reverses apply_chunked_coding: de-chunks the body and restores
+/// Content-Length.  Returns false on framing errors (response untouched).
+bool remove_chunked_coding(Response& response);
+
+}  // namespace rangeamp::http

@@ -1,0 +1,112 @@
+#include "http/date.h"
+
+#include <array>
+#include <cstdio>
+
+namespace rangeamp::http {
+namespace {
+
+constexpr std::array<std::string_view, 7> kDays = {
+    "Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Howard Hinnant's civil-date algorithms: days since 1970-01-01 <-> y/m/d.
+constexpr std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr void civil_from_days(std::int64_t z, std::int64_t& y, unsigned& m,
+                               unsigned& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y += m <= 2;
+}
+
+}  // namespace
+
+std::string format_http_date(std::int64_t unix_seconds) {
+  std::int64_t days = unix_seconds / 86400;
+  std::int64_t secs = unix_seconds % 86400;
+  if (secs < 0) {
+    secs += 86400;
+    --days;
+  }
+  std::int64_t year;
+  unsigned month, day;
+  civil_from_days(days, year, month, day);
+  // 1970-01-01 was a Thursday (weekday index 4 with Sun=0).
+  const unsigned weekday = static_cast<unsigned>(((days % 7) + 7 + 4) % 7);
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02u %s %04lld %02lld:%02lld:%02lld GMT",
+                std::string{kDays[weekday]}.c_str(), day,
+                std::string{kMonths[month - 1]}.c_str(),
+                static_cast<long long>(year),
+                static_cast<long long>(secs / 3600),
+                static_cast<long long>((secs / 60) % 60),
+                static_cast<long long>(secs % 60));
+  return buf;
+}
+
+std::optional<std::int64_t> parse_http_date(std::string_view value) {
+  // "Sun, 06 Nov 1994 08:49:37 GMT" -- exactly 29 bytes.
+  if (value.size() != 29) return std::nullopt;
+  if (value.substr(3, 2) != ", " || value[7] != ' ' || value[11] != ' ' ||
+      value[16] != ' ' || value[19] != ':' || value[22] != ':' ||
+      value.substr(25) != " GMT") {
+    return std::nullopt;
+  }
+  bool day_ok = false;
+  for (const auto day_name : kDays) {
+    if (value.substr(0, 3) == day_name) day_ok = true;
+  }
+  if (!day_ok) return std::nullopt;
+
+  const auto digits = [&](std::size_t pos, std::size_t n) -> std::optional<std::int64_t> {
+    std::int64_t out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const char c = value[pos + i];
+      if (c < '0' || c > '9') return std::nullopt;
+      out = out * 10 + (c - '0');
+    }
+    return out;
+  };
+  const auto day = digits(5, 2);
+  const auto year = digits(12, 4);
+  const auto hour = digits(17, 2);
+  const auto minute = digits(20, 2);
+  const auto second = digits(23, 2);
+  if (!day || !year || !hour || !minute || !second) return std::nullopt;
+  if (*day < 1 || *day > 31 || *hour > 23 || *minute > 59 || *second > 60) {
+    return std::nullopt;
+  }
+  unsigned month = 0;
+  for (unsigned i = 0; i < kMonths.size(); ++i) {
+    if (value.substr(8, 3) == kMonths[i]) month = i + 1;
+  }
+  if (month == 0) return std::nullopt;
+
+  const std::int64_t days =
+      days_from_civil(*year, month, static_cast<unsigned>(*day));
+  const std::int64_t ts = days * 86400 + *hour * 3600 + *minute * 60 + *second;
+  // Weekday consistency check (a malformed-but-plausible date is rejected).
+  const unsigned weekday = static_cast<unsigned>(((days % 7) + 7 + 4) % 7);
+  if (value.substr(0, 3) != kDays[weekday]) return std::nullopt;
+  return ts;
+}
+
+}  // namespace rangeamp::http

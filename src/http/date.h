@@ -1,0 +1,24 @@
+// HTTP-date (RFC 7231 section 7.1.1.1): IMF-fixdate formatting and parsing.
+//
+// Validators (Last-Modified, If-Modified-Since, date-form If-Range) compare
+// as instants, not strings; this module supplies the conversion.  Only the
+// preferred IMF-fixdate form ("Sun, 06 Nov 1994 08:49:37 GMT") is emitted
+// and parsed -- the obsolete RFC 850 and asctime forms are rejected, which
+// a recipient MAY do for anything it does not generate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rangeamp::http {
+
+/// Formats a Unix timestamp (seconds, UTC) as IMF-fixdate.
+std::string format_http_date(std::int64_t unix_seconds);
+
+/// Parses an IMF-fixdate into a Unix timestamp. Returns nullopt on any
+/// deviation from the fixed 29-byte layout.
+std::optional<std::int64_t> parse_http_date(std::string_view value);
+
+}  // namespace rangeamp::http

@@ -1,0 +1,83 @@
+// Deterministic generator of valid Range header values.
+//
+// The paper's first experiment feeds "a large number of valid range requests
+// automatically generated based on the ABNF rules described in the RFCs" to
+// each CDN.  This generator produces that corpus: every value it emits
+// matches the RFC 7233 grammar (parse_range_header() accepts it), while the
+// shapes cover the attack-relevant space -- tiny closed ranges, suffix
+// ranges, open-ended ranges, many-small-range sets and overlapping sets.
+//
+// Determinism matters: scanners and property tests must be reproducible, so
+// the generator runs on an explicit seeded xorshift state, never on global
+// randomness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/range.h"
+
+namespace rangeamp::http {
+
+/// Small deterministic PRNG (xorshift64*).  Value type; copyable so callers
+/// can fork streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x2545F4914F6CDD1DULL) {}
+
+  std::uint64_t next() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The structural shape of a generated range set.
+enum class RangeShape {
+  kSingleClosed,     ///< bytes=first-last
+  kSingleOpen,       ///< bytes=first-
+  kSingleSuffix,     ///< bytes=-suffix
+  kTinyClosed,       ///< bytes=k-k (one byte), the SBR attack shape
+  kMultiDisjoint,    ///< ascending non-overlapping closed ranges
+  kMultiOverlapping, ///< overlapping closed/open mix, the OBR attack shape
+  kManySmall,        ///< many one-byte ranges (RFC 7233 §6.1 abuse shape)
+};
+
+/// A generated case: the set plus the shape label used by scanners to group
+/// results into the categories of Tables I and II.
+struct GeneratedRange {
+  RangeShape shape;
+  RangeSet set;
+};
+
+/// Generates one random valid range set of the given shape for a resource of
+/// `resource_size` bytes.
+GeneratedRange generate_range(Rng& rng, RangeShape shape,
+                              std::uint64_t resource_size);
+
+/// Generates a corpus of `count` valid range sets mixing all shapes
+/// round-robin, for a resource of `resource_size` bytes.
+std::vector<GeneratedRange> generate_corpus(std::uint64_t seed, std::size_t count,
+                                            std::uint64_t resource_size);
+
+/// Human-readable shape label.
+std::string_view shape_name(RangeShape shape) noexcept;
+
+}  // namespace rangeamp::http

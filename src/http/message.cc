@@ -1,0 +1,69 @@
+#include "http/message.h"
+
+namespace rangeamp::http {
+
+std::string_view method_name(Method m) noexcept {
+  switch (m) {
+    case Method::GET: return "GET";
+    case Method::HEAD: return "HEAD";
+    case Method::POST: return "POST";
+    case Method::PUT: return "PUT";
+    case Method::DELETE: return "DELETE";
+    case Method::OPTIONS: return "OPTIONS";
+  }
+  return "GET";
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 413: return "Payload Too Large";
+    case 416: return "Range Not Satisfiable";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string_view Request::path() const noexcept {
+  const auto q = target.find('?');
+  return std::string_view{target}.substr(0, q);
+}
+
+std::string_view Request::query() const noexcept {
+  const auto q = target.find('?');
+  if (q == std::string::npos) return {};
+  return std::string_view{target}.substr(q + 1);
+}
+
+std::size_t Request::request_line_size() const noexcept {
+  return method_name(method).size() + 1 + target.size() + 1 + version.size();
+}
+
+Request make_get(std::string host, std::string target) {
+  Request req;
+  req.method = Method::GET;
+  req.target = std::move(target);
+  req.headers.add("Host", std::move(host));
+  return req;
+}
+
+Response make_response(int status, Body body) {
+  Response resp;
+  resp.status = status;
+  resp.headers.set("Content-Length", std::to_string(body.size()));
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace rangeamp::http

@@ -1,0 +1,70 @@
+// HTTP/1.1 message model: Request and Response values.
+//
+// Messages are plain values.  Serialization (and therefore the byte counts
+// every experiment in the paper is built on) lives in serialize.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "http/body.h"
+#include "http/headers.h"
+
+namespace rangeamp::http {
+
+enum class Method { GET, HEAD, POST, PUT, DELETE, OPTIONS };
+
+std::string_view method_name(Method m) noexcept;
+
+/// Common status codes used throughout the library.
+enum Status : int {
+  kOk = 200,
+  kPartialContent = 206,
+  kBadRequest = 400,
+  kNotFound = 404,
+  kRangeNotSatisfiable = 416,
+  kRequestHeaderFieldsTooLarge = 431,
+  kBadGateway = 502,
+};
+
+/// Canonical reason phrase for a status code ("Partial Content", ...).
+std::string_view reason_phrase(int status) noexcept;
+
+/// An HTTP/1.1 request.
+struct Request {
+  Method method = Method::GET;
+  std::string target = "/";  ///< origin-form request target incl. query
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Body body;
+
+  /// Path component of the target (everything before '?').
+  std::string_view path() const noexcept;
+  /// Query component (everything after the first '?', or "").
+  std::string_view query() const noexcept;
+
+  /// Serialized size of the request line "METHOD target HTTP/1.1" WITHOUT the
+  /// trailing CRLF.  Cloudflare's published Range-header limit formula
+  /// (RL + 2*HHL + RHL <= 32411) is expressed on this quantity.
+  std::size_t request_line_size() const noexcept;
+};
+
+/// An HTTP/1.1 response.
+struct Response {
+  int status = kOk;
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Body body;
+
+  bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// Convenience: a minimal GET request for `target` with a Host header.
+Request make_get(std::string host, std::string target);
+
+/// Convenience: a response with status, reason-matched, body and
+/// Content-Length header set.
+Response make_response(int status, Body body = {});
+
+}  // namespace rangeamp::http

@@ -1,0 +1,138 @@
+#include "http/multipart.h"
+
+#include <cassert>
+
+#include "http/headers.h"
+
+namespace rangeamp::http {
+namespace {
+
+std::string part_header(const ResolvedRange& r, std::uint64_t resource_size,
+                        std::string_view content_type, std::string_view boundary) {
+  std::string out;
+  out.append("--").append(boundary).append("\r\n");
+  out.append("Content-Type: ").append(content_type).append("\r\n");
+  out.append("Content-Range: ").append(content_range(r, resource_size)).append("\r\n");
+  out.append("\r\n");
+  return out;
+}
+
+std::string closing_delimiter(std::string_view boundary) {
+  std::string out;
+  out.append("--").append(boundary).append("--\r\n");
+  return out;
+}
+
+}  // namespace
+
+Body build_multipart_byteranges(const Body& entity,
+                                const std::vector<ResolvedRange>& ranges,
+                                std::uint64_t resource_size,
+                                std::string_view content_type,
+                                std::string_view boundary) {
+  assert(entity.size() == resource_size);
+  Body body;
+  for (const auto& r : ranges) {
+    body.append_literal(part_header(r, resource_size, content_type, boundary));
+    body.append_body(entity.slice(r.first, r.length()));
+    body.append_literal("\r\n");
+  }
+  body.append_literal(closing_delimiter(boundary));
+  return body;
+}
+
+std::uint64_t multipart_byteranges_size(const std::vector<ResolvedRange>& ranges,
+                                        std::uint64_t resource_size,
+                                        std::string_view content_type,
+                                        std::string_view boundary) {
+  std::uint64_t total = 0;
+  for (const auto& r : ranges) {
+    total += part_header(r, resource_size, content_type, boundary).size();
+    total += r.length();
+    total += 2;  // CRLF after payload
+  }
+  total += closing_delimiter(boundary).size();
+  return total;
+}
+
+std::string multipart_content_type(std::string_view boundary) {
+  std::string out = "multipart/byteranges; boundary=";
+  out.append(boundary);
+  return out;
+}
+
+std::optional<std::string> boundary_from_content_type(std::string_view value) {
+  constexpr std::string_view kType = "multipart/byteranges";
+  if (!value.starts_with(kType)) return std::nullopt;
+  const auto pos = value.find("boundary=");
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string_view b = value.substr(pos + 9);
+  // Strip optional quotes and trailing parameters.
+  if (!b.empty() && b.front() == '"') {
+    b.remove_prefix(1);
+    const auto q = b.find('"');
+    if (q == std::string_view::npos) return std::nullopt;
+    b = b.substr(0, q);
+  } else {
+    const auto sc = b.find(';');
+    if (sc != std::string_view::npos) b = b.substr(0, sc);
+  }
+  if (b.empty()) return std::nullopt;
+  return std::string{b};
+}
+
+std::optional<std::vector<BytesRangePart>> parse_multipart_byteranges(
+    std::string_view body, std::string_view boundary) {
+  const std::string delim = "--" + std::string{boundary};
+  const std::string closing = delim + "--";
+  std::vector<BytesRangePart> parts;
+
+  std::size_t cursor = 0;
+  while (true) {
+    const auto start = body.find(delim, cursor);
+    if (start == std::string_view::npos) return std::nullopt;
+    // Closing delimiter?
+    if (body.compare(start, closing.size(), closing) == 0) break;
+    std::size_t line_end = body.find("\r\n", start);
+    if (line_end == std::string_view::npos) return std::nullopt;
+    std::size_t pos = line_end + 2;
+
+    BytesRangePart part;
+    std::optional<ContentRange> cr;
+    // Part headers until blank line.
+    while (true) {
+      const auto eol = body.find("\r\n", pos);
+      if (eol == std::string_view::npos) return std::nullopt;
+      if (eol == pos) {  // blank line
+        pos = eol + 2;
+        break;
+      }
+      const std::string_view line = body.substr(pos, eol - pos);
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) return std::nullopt;
+      std::string_view name = line.substr(0, colon);
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      if (iequals(name, "Content-Type")) {
+        part.content_type = std::string{value};
+      } else if (iequals(name, "Content-Range")) {
+        cr = parse_content_range(value);
+        if (!cr) return std::nullopt;
+      }
+      pos = eol + 2;
+    }
+    if (!cr) return std::nullopt;
+    part.range = cr->range;
+    part.resource_size = cr->resource_size;
+    const std::uint64_t len = part.range.length();
+    if (body.size() - pos < len + 2) return std::nullopt;
+    part.payload = Body::literal(std::string{body.substr(pos, len)});
+    pos += len;
+    if (body.compare(pos, 2, "\r\n") != 0) return std::nullopt;
+    parts.push_back(std::move(part));
+    cursor = pos + 2;
+  }
+  return parts;
+}
+
+}  // namespace rangeamp::http

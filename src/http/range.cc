@@ -1,0 +1,203 @@
+#include "http/range.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace rangeamp::http {
+namespace {
+
+// Trims optional whitespace (RFC 7230 OWS: SP / HTAB) from both ends.
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::optional<std::uint64_t> parse_pos(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+// Parses one byte-range-spec / suffix-byte-range-spec.
+std::optional<ByteRangeSpec> parse_spec(std::string_view s) {
+  s = trim_ows(s);
+  const auto dash = s.find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const std::string_view before = s.substr(0, dash);
+  const std::string_view after = s.substr(dash + 1);
+
+  if (before.empty()) {
+    // suffix-byte-range-spec: "-suffix"
+    const auto suffix = parse_pos(after);
+    if (!suffix) return std::nullopt;
+    return ByteRangeSpec::suffix_of(*suffix);
+  }
+  const auto first = parse_pos(before);
+  if (!first) return std::nullopt;
+  if (after.empty()) return ByteRangeSpec::open(*first);
+  const auto last = parse_pos(after);
+  if (!last) return std::nullopt;
+  if (*last < *first) return std::nullopt;  // RFC 7233 §2.1: invalid spec
+  return ByteRangeSpec::closed(*first, *last);
+}
+
+}  // namespace
+
+std::string ByteRangeSpec::to_string() const {
+  if (is_suffix()) return "-" + std::to_string(*suffix);
+  std::string out = std::to_string(*first) + "-";
+  if (last) out += std::to_string(*last);
+  return out;
+}
+
+std::string RangeSet::to_string() const {
+  std::string out = "bytes=";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i) out.push_back(',');
+    out += specs[i].to_string();
+  }
+  return out;
+}
+
+std::optional<RangeSet> parse_range_header(std::string_view value) {
+  value = trim_ows(value);
+  constexpr std::string_view kUnit = "bytes=";
+  if (value.size() <= kUnit.size()) return std::nullopt;
+  // The bytes-unit is case-insensitive per RFC 7233 (range units are tokens
+  // compared case-insensitively).
+  for (std::size_t i = 0; i < kUnit.size(); ++i) {
+    const char a = value[i] >= 'A' && value[i] <= 'Z'
+                       ? static_cast<char>(value[i] - 'A' + 'a')
+                       : value[i];
+    if (a != kUnit[i]) return std::nullopt;
+  }
+  value.remove_prefix(kUnit.size());
+
+  RangeSet set;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const auto comma = value.find(',', start);
+    const std::string_view piece =
+        value.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                            : comma - start);
+    // RFC 7230 #rule allows empty list elements; skip them.
+    if (!trim_ows(piece).empty()) {
+      auto spec = parse_spec(piece);
+      if (!spec) return std::nullopt;
+      set.specs.push_back(*spec);
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (set.specs.empty()) return std::nullopt;  // byte-range-set is 1#(...)
+  return set;
+}
+
+std::optional<ResolvedRange> resolve(const ByteRangeSpec& spec,
+                                     std::uint64_t resource_size) noexcept {
+  if (resource_size == 0) return std::nullopt;
+  if (spec.is_suffix()) {
+    if (*spec.suffix == 0) return std::nullopt;  // "-0" selects nothing
+    const std::uint64_t len = std::min(*spec.suffix, resource_size);
+    return ResolvedRange{resource_size - len, resource_size - 1};
+  }
+  if (!spec.first) return std::nullopt;
+  if (*spec.first >= resource_size) return std::nullopt;
+  const std::uint64_t last =
+      spec.last ? std::min(*spec.last, resource_size - 1) : resource_size - 1;
+  return ResolvedRange{*spec.first, last};
+}
+
+std::vector<ResolvedRange> resolve_all(const RangeSet& set,
+                                       std::uint64_t resource_size) {
+  std::vector<ResolvedRange> out;
+  out.reserve(set.specs.size());
+  for (const auto& spec : set.specs) {
+    if (auto r = resolve(spec, resource_size)) out.push_back(*r);
+  }
+  return out;
+}
+
+bool any_overlap(const std::vector<ResolvedRange>& ranges) {
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      if (ranges[i].overlaps(ranges[j])) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t overlapping_pair_count(const std::vector<ResolvedRange>& ranges) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      if (ranges[i].overlaps(ranges[j])) ++n;
+    }
+  }
+  return n;
+}
+
+bool is_ascending_disjoint(const std::vector<ResolvedRange>& ranges) {
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].first <= ranges[i - 1].last) return false;
+  }
+  return true;
+}
+
+std::vector<ResolvedRange> coalesce(std::vector<ResolvedRange> ranges) {
+  if (ranges.empty()) return ranges;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const ResolvedRange& a, const ResolvedRange& b) {
+              return a.first < b.first || (a.first == b.first && a.last < b.last);
+            });
+  std::vector<ResolvedRange> out;
+  out.push_back(ranges.front());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (out.back().touches(ranges[i])) {
+      out.back().last = std::max(out.back().last, ranges[i].last);
+    } else {
+      out.push_back(ranges[i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t total_selected_bytes(const std::vector<ResolvedRange>& ranges) {
+  std::uint64_t total = 0;
+  for (const auto& r : ranges) total += r.length();
+  return total;
+}
+
+std::string content_range(const ResolvedRange& r, std::uint64_t resource_size) {
+  return "bytes " + std::to_string(r.first) + "-" + std::to_string(r.last) + "/" +
+         std::to_string(resource_size);
+}
+
+std::string content_range_unsatisfied(std::uint64_t resource_size) {
+  return "bytes */" + std::to_string(resource_size);
+}
+
+std::optional<ContentRange> parse_content_range(std::string_view value) {
+  value = trim_ows(value);
+  constexpr std::string_view kUnit = "bytes ";
+  if (!value.starts_with(kUnit)) return std::nullopt;
+  value.remove_prefix(kUnit.size());
+  const auto dash = value.find('-');
+  const auto slash = value.find('/');
+  if (dash == std::string_view::npos || slash == std::string_view::npos ||
+      dash > slash) {
+    return std::nullopt;
+  }
+  const auto first = parse_pos(value.substr(0, dash));
+  const auto last = parse_pos(value.substr(dash + 1, slash - dash - 1));
+  const auto size = parse_pos(value.substr(slash + 1));
+  if (!first || !last || !size || *last < *first || *last >= *size) {
+    return std::nullopt;
+  }
+  return ContentRange{ResolvedRange{*first, *last}, *size};
+}
+
+}  // namespace rangeamp::http

@@ -1,0 +1,45 @@
+// HTTP/1.1 message serialization and parsing.
+//
+// serialized_size() is the ground truth for every traffic measurement in the
+// reproduction: it is exactly the number of bytes to_bytes() would produce,
+// but computed without materializing synthetic payloads.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace rangeamp::http {
+
+/// Exact wire size of the request: request line + CRLF + header block +
+/// blank line + body.
+std::uint64_t serialized_size(const Request& req) noexcept;
+
+/// Exact wire size of the response: status line + CRLF + header block +
+/// blank line + body.
+std::uint64_t serialized_size(const Response& resp) noexcept;
+
+/// Wire size of a response when the transfer is cut off after
+/// `body_bytes_received` body bytes (headers always count in full).
+std::uint64_t serialized_size_truncated(const Response& resp,
+                                        std::uint64_t body_bytes_received) noexcept;
+
+/// Materializes the full request on the wire.  Test/debug helper.
+std::string to_bytes(const Request& req);
+
+/// Materializes the full response on the wire.  Test/debug helper.
+std::string to_bytes(const Response& resp);
+
+/// Parses a serialized request.  Returns nullopt on malformed input.
+/// Body extent is taken from Content-Length (0 when absent).
+std::optional<Request> parse_request(std::string_view bytes);
+
+/// Parses a serialized response.  Returns nullopt on malformed input.
+/// Body extent is taken from Content-Length; when absent the remainder of
+/// `bytes` is the body (connection-close framing).
+std::optional<Response> parse_response(std::string_view bytes);
+
+}  // namespace rangeamp::http

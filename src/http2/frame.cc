@@ -1,0 +1,78 @@
+#include "http2/frame.h"
+
+namespace rangeamp::http2 {
+
+std::string_view frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kHeaders: return "HEADERS";
+    case FrameType::kPriority: return "PRIORITY";
+    case FrameType::kRstStream: return "RST_STREAM";
+    case FrameType::kSettings: return "SETTINGS";
+    case FrameType::kPushPromise: return "PUSH_PROMISE";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoAway: return "GOAWAY";
+    case FrameType::kWindowUpdate: return "WINDOW_UPDATE";
+    case FrameType::kContinuation: return "CONTINUATION";
+  }
+  return "?";
+}
+
+std::string to_bytes(const Frame& frame) {
+  std::string out;
+  const std::uint64_t length = frame.payload.size();
+  out.reserve(static_cast<std::size_t>(9 + length));
+  out.push_back(static_cast<char>((length >> 16) & 0xFF));
+  out.push_back(static_cast<char>((length >> 8) & 0xFF));
+  out.push_back(static_cast<char>(length & 0xFF));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.flags));
+  out.push_back(static_cast<char>((frame.stream_id >> 24) & 0x7F));
+  out.push_back(static_cast<char>((frame.stream_id >> 16) & 0xFF));
+  out.push_back(static_cast<char>((frame.stream_id >> 8) & 0xFF));
+  out.push_back(static_cast<char>(frame.stream_id & 0xFF));
+  out.append(frame.payload.materialize());
+  return out;
+}
+
+std::uint64_t frames_size(const std::vector<Frame>& frames) noexcept {
+  std::uint64_t total = 0;
+  for (const Frame& f : frames) total += f.serialized_size();
+  return total;
+}
+
+std::optional<Frame> parse_frame(std::string_view bytes, std::size_t& pos,
+                                 std::uint32_t max_frame_size) {
+  if (bytes.size() - pos < 9) return std::nullopt;
+  const auto u8 = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos + i]));
+  };
+  const std::uint32_t length = (u8(0) << 16) | (u8(1) << 8) | u8(2);
+  if (length > max_frame_size) return std::nullopt;
+  const std::uint8_t type = static_cast<std::uint8_t>(u8(3));
+  if (type > static_cast<std::uint8_t>(FrameType::kContinuation)) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.flags = static_cast<std::uint8_t>(u8(4));
+  frame.stream_id = ((u8(5) & 0x7F) << 24) | (u8(6) << 16) | (u8(7) << 8) | u8(8);
+  if (bytes.size() - pos - 9 < length) return std::nullopt;
+  frame.payload = http::Body::literal(std::string{bytes.substr(pos + 9, length)});
+  pos += 9 + length;
+  return frame;
+}
+
+std::optional<std::vector<Frame>> parse_frames(std::string_view bytes,
+                                               std::uint32_t max_frame_size) {
+  std::vector<Frame> frames;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto frame = parse_frame(bytes, pos, max_frame_size);
+    if (!frame) return std::nullopt;
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+}  // namespace rangeamp::http2

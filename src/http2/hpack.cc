@@ -1,0 +1,273 @@
+#include "http2/hpack.h"
+
+#include <array>
+
+namespace rangeamp::http2 {
+namespace {
+
+// RFC 7541 appendix A, entries 1..61.
+const std::array<HeaderEntry, kStaticTableSize>& static_table() {
+  static const std::array<HeaderEntry, kStaticTableSize> kTable = {{
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  }};
+  return kTable;
+}
+
+// Raw string literal (H = 0), RFC 7541 section 5.2.
+void encode_string(std::string_view s, std::string& out) {
+  encode_integer(s.size(), 7, 0x00, out);
+  out.append(s);
+}
+
+std::optional<std::string> decode_string(std::string_view bytes,
+                                         std::size_t& pos) {
+  if (pos >= bytes.size()) return std::nullopt;
+  const bool huffman = (static_cast<std::uint8_t>(bytes[pos]) & 0x80) != 0;
+  const auto length = decode_integer(bytes, pos, 7);
+  if (!length || huffman) return std::nullopt;  // Huffman not supported
+  if (bytes.size() - pos < *length) return std::nullopt;
+  std::string out{bytes.substr(pos, static_cast<std::size_t>(*length))};
+  pos += static_cast<std::size_t>(*length);
+  return out;
+}
+
+}  // namespace
+
+const HeaderEntry& static_table_entry(std::size_t index) noexcept {
+  return static_table()[index - 1];
+}
+
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags, std::string& out) {
+  const std::uint64_t max_prefix = (1u << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<char>(first_byte_flags | value));
+    return;
+  }
+  out.push_back(static_cast<char>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<char>((value % 128) | 0x80));
+    value /= 128;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> decode_integer(std::string_view bytes,
+                                            std::size_t& pos, int prefix_bits) {
+  if (pos >= bytes.size()) return std::nullopt;
+  const std::uint64_t max_prefix = (1u << prefix_bits) - 1;
+  std::uint64_t value = static_cast<std::uint8_t>(bytes[pos]) & max_prefix;
+  ++pos;
+  if (value < max_prefix) return value;
+  std::uint64_t shift = 0;
+  while (true) {
+    if (pos >= bytes.size() || shift > 56) return std::nullopt;
+    const std::uint8_t byte = static_cast<std::uint8_t>(bytes[pos]);
+    ++pos;
+    value += static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+void DynamicTable::insert(HeaderEntry entry) {
+  const std::size_t entry_size = entry.hpack_size();
+  if (entry_size > max_size_) {
+    // RFC 7541 section 4.4: too-large entries empty the table.
+    entries_.clear();
+    size_ = 0;
+    return;
+  }
+  entries_.push_front(std::move(entry));
+  size_ += entry_size;
+  evict();
+}
+
+void DynamicTable::set_max_size(std::size_t max_size) {
+  max_size_ = max_size;
+  evict();
+}
+
+void DynamicTable::evict() {
+  while (size_ > max_size_ && !entries_.empty()) {
+    size_ -= entries_.back().hpack_size();
+    entries_.pop_back();
+  }
+}
+
+const HeaderEntry* DynamicTable::lookup(std::size_t index) const noexcept {
+  if (index <= kStaticTableSize) return nullptr;
+  const std::size_t offset = index - kStaticTableSize - 1;
+  if (offset >= entries_.size()) return nullptr;
+  return &entries_[offset];
+}
+
+std::optional<std::size_t> DynamicTable::find(std::string_view name,
+                                              std::string_view value) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name && entries_[i].value == value) {
+      return kStaticTableSize + 1 + i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> DynamicTable::find_name(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return kStaticTableSize + 1 + i;
+  }
+  return std::nullopt;
+}
+
+std::string Encoder::encode(const std::vector<HeaderEntry>& headers) {
+  std::string out;
+  for (const HeaderEntry& h : headers) {
+    // Exact match: indexed representation (section 6.1).
+    std::optional<std::size_t> exact;
+    std::optional<std::size_t> name_only;
+    for (std::size_t i = 1; i <= kStaticTableSize; ++i) {
+      const HeaderEntry& e = static_table_entry(i);
+      if (e.name == h.name) {
+        if (!name_only) name_only = i;
+        if (e.value == h.value) {
+          exact = i;
+          break;
+        }
+      }
+    }
+    if (!exact) {
+      if (const auto dyn = table_.find(h.name, h.value)) exact = dyn;
+    }
+    if (exact) {
+      encode_integer(*exact, 7, 0x80, out);
+      continue;
+    }
+    if (!name_only) name_only = table_.find_name(h.name);
+
+    // Literal with incremental indexing (section 6.2.1).
+    if (name_only) {
+      encode_integer(*name_only, 6, 0x40, out);
+    } else {
+      out.push_back(0x40);
+      encode_string(h.name, out);
+    }
+    encode_string(h.value, out);
+    table_.insert(h);
+  }
+  return out;
+}
+
+std::optional<std::vector<HeaderEntry>> Decoder::decode(std::string_view block) {
+  std::vector<HeaderEntry> out;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const std::uint8_t first = static_cast<std::uint8_t>(block[pos]);
+    if (first & 0x80) {
+      // Indexed header field.
+      const auto index = decode_integer(block, pos, 7);
+      if (!index || *index == 0) return std::nullopt;
+      if (*index <= kStaticTableSize) {
+        out.push_back(static_table_entry(static_cast<std::size_t>(*index)));
+      } else {
+        const HeaderEntry* e = table_.lookup(static_cast<std::size_t>(*index));
+        if (!e) return std::nullopt;
+        out.push_back(*e);
+      }
+      continue;
+    }
+    if ((first & 0xE0) == 0x20) {
+      // Dynamic table size update (section 6.3).
+      const auto new_size = decode_integer(block, pos, 5);
+      if (!new_size) return std::nullopt;
+      table_.set_max_size(static_cast<std::size_t>(*new_size));
+      continue;
+    }
+    // Literal representations: with incremental indexing (0x40), without
+    // indexing (0x00) or never indexed (0x10).
+    const bool incremental = (first & 0xC0) == 0x40;
+    const int prefix = incremental ? 6 : 4;
+    const auto name_index = decode_integer(block, pos, prefix);
+    if (!name_index) return std::nullopt;
+    HeaderEntry entry;
+    if (*name_index == 0) {
+      auto name = decode_string(block, pos);
+      if (!name) return std::nullopt;
+      entry.name = std::move(*name);
+    } else if (*name_index <= kStaticTableSize) {
+      entry.name = static_table_entry(static_cast<std::size_t>(*name_index)).name;
+    } else {
+      const HeaderEntry* e = table_.lookup(static_cast<std::size_t>(*name_index));
+      if (!e) return std::nullopt;
+      entry.name = e->name;
+    }
+    auto value = decode_string(block, pos);
+    if (!value) return std::nullopt;
+    entry.value = std::move(*value);
+    if (incremental) table_.insert(entry);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace rangeamp::http2

@@ -1,0 +1,112 @@
+// HPACK header compression (RFC 7541), without Huffman string coding.
+//
+// The paper's section VI-B observes that HTTP/2 changes nothing about the
+// RangeAmp attacks: RFC 7540 section 8.1 defers range semantics entirely to
+// RFC 7233.  This module exists to demonstrate that end-to-end -- the same
+// messages, framed over h2 streams with HPACK-compressed header blocks,
+// produce the same (in fact slightly larger, since the tiny 206 responses
+// compress well) amplification factors.
+//
+// Implemented: the full RFC 7541 static table, a size-managed dynamic table
+// with eviction, prefix integer coding (section 5.1), indexed and literal
+// representations (section 6), and dynamic-table-size updates on decode.
+// Omitted: Huffman string coding -- it is optional per the RFC (H bit = 0)
+// and orthogonal to everything measured here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rangeamp::http2 {
+
+struct HeaderEntry {
+  std::string name;   ///< lowercase, per RFC 7540 section 8.1.2
+  std::string value;
+
+  /// RFC 7541 section 4.1 entry size: name + value + 32.
+  std::size_t hpack_size() const noexcept {
+    return name.size() + value.size() + 32;
+  }
+
+  bool operator==(const HeaderEntry&) const = default;
+};
+
+/// The 61-entry static table of RFC 7541 appendix A.  1-based index.
+const HeaderEntry& static_table_entry(std::size_t index) noexcept;
+inline constexpr std::size_t kStaticTableSize = 61;
+
+/// Prefix integer coding (RFC 7541 section 5.1).  `prefix_bits` in [1,8];
+/// `first_byte_flags` holds the representation's flag bits above the prefix.
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags, std::string& out);
+
+/// Decodes a prefix integer at `pos`; advances pos past it.  Returns nullopt
+/// on truncation or overflow.
+std::optional<std::uint64_t> decode_integer(std::string_view bytes,
+                                            std::size_t& pos, int prefix_bits);
+
+/// The encoder/decoder dynamic table (RFC 7541 section 2.3.2).
+class DynamicTable {
+ public:
+  explicit DynamicTable(std::size_t max_size = 4096) : max_size_(max_size) {}
+
+  void insert(HeaderEntry entry);
+  void set_max_size(std::size_t max_size);
+
+  /// Entry by HPACK index (62 = most recent). nullptr when out of range.
+  const HeaderEntry* lookup(std::size_t index) const noexcept;
+
+  /// Finds an exact (name, value) match; returns the HPACK index (>= 62).
+  std::optional<std::size_t> find(std::string_view name,
+                                  std::string_view value) const noexcept;
+
+  /// Finds a name-only match; returns the HPACK index.
+  std::optional<std::size_t> find_name(std::string_view name) const noexcept;
+
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t max_size() const noexcept { return max_size_; }
+
+ private:
+  void evict();
+
+  std::size_t max_size_;
+  std::size_t size_ = 0;
+  std::deque<HeaderEntry> entries_;  ///< front = most recent
+};
+
+/// Stateful HPACK encoder (one per connection direction).
+class Encoder {
+ public:
+  explicit Encoder(std::size_t dynamic_table_size = 4096)
+      : table_(dynamic_table_size) {}
+
+  /// Encodes a header list into one header block fragment.
+  std::string encode(const std::vector<HeaderEntry>& headers);
+
+  const DynamicTable& table() const noexcept { return table_; }
+
+ private:
+  DynamicTable table_;
+};
+
+/// Stateful HPACK decoder (mirror of the peer's encoder).
+class Decoder {
+ public:
+  explicit Decoder(std::size_t dynamic_table_size = 4096)
+      : table_(dynamic_table_size) {}
+
+  /// Decodes a header block fragment.  Returns nullopt on malformed input.
+  std::optional<std::vector<HeaderEntry>> decode(std::string_view block);
+
+  const DynamicTable& table() const noexcept { return table_; }
+
+ private:
+  DynamicTable table_;
+};
+
+}  // namespace rangeamp::http2

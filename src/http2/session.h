@@ -1,0 +1,64 @@
+// HTTP/2 message <-> frame mapping (RFC 7540 section 8).
+//
+// A session owns the HPACK state of one connection: requests and responses
+// encoded through the same session share dynamic tables, exactly like frames
+// on one TCP connection.  This is what makes repeated attack requests cheap
+// on the wire -- and it is measurable: the second identical SBR request's
+// HEADERS frame is a handful of bytes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "http/message.h"
+#include "http2/frame.h"
+#include "http2/hpack.h"
+
+namespace rangeamp::http2 {
+
+/// Converts an http::Request/Response into the frame sequence a peer would
+/// send on a stream: HEADERS (+ CONTINUATIONs when the block exceeds the max
+/// frame size) followed by DATA frames chunked at the max frame size.
+class Http2Session {
+ public:
+  explicit Http2Session(std::uint32_t max_frame_size = kDefaultMaxFrameSize)
+      : max_frame_size_(max_frame_size) {}
+
+  std::vector<Frame> encode_request(const http::Request& request,
+                                    std::uint32_t stream_id);
+  std::vector<Frame> encode_response(const http::Response& response,
+                                     std::uint32_t stream_id);
+
+  const Encoder& request_encoder() const noexcept { return request_encoder_; }
+  const Encoder& response_encoder() const noexcept { return response_encoder_; }
+
+ private:
+  std::vector<Frame> frame_message(const std::string& header_block,
+                                   const http::Body& body,
+                                   std::uint32_t stream_id) const;
+
+  std::uint32_t max_frame_size_;
+  Encoder request_encoder_;
+  Encoder response_encoder_;
+};
+
+/// The decoding end of a session (a test double for the peer): rebuilds
+/// messages from frame sequences.
+class Http2Peer {
+ public:
+  std::optional<http::Request> decode_request(const std::vector<Frame>& frames);
+  std::optional<http::Response> decode_response(const std::vector<Frame>& frames);
+
+ private:
+  std::optional<std::pair<std::vector<HeaderEntry>, http::Body>> collect(
+      const std::vector<Frame>& frames, Decoder& decoder);
+
+  Decoder request_decoder_;
+  Decoder response_decoder_;
+};
+
+/// Header-list translation helpers (exposed for tests).
+std::vector<HeaderEntry> request_header_list(const http::Request& request);
+std::vector<HeaderEntry> response_header_list(const http::Response& response);
+
+}  // namespace rangeamp::http2

@@ -1,0 +1,87 @@
+#include "http2/wire.h"
+
+namespace rangeamp::http2 {
+namespace {
+
+// Empty SETTINGS frame (9 bytes) and SETTINGS ACK (9 bytes).
+constexpr std::uint64_t kSettingsFrame = 9;
+constexpr std::uint64_t kRstStreamFrame = 9 + 4;
+
+}  // namespace
+
+std::uint64_t Http2Wire::connection_setup_request_bytes() noexcept {
+  // Client: preface + SETTINGS + ACK of the server's SETTINGS.
+  return kConnectionPreface.size() + kSettingsFrame + kSettingsFrame;
+}
+
+std::uint64_t Http2Wire::connection_setup_response_bytes() noexcept {
+  // Server: SETTINGS + ACK of the client's SETTINGS.
+  return kSettingsFrame + kSettingsFrame;
+}
+
+http::Response Http2Wire::transfer(const http::Request& request,
+                                   const net::TransferOptions& options) {
+  net::ExchangeRecord record;
+  record.target = request.target;
+  record.range_header = std::string{request.headers.get_or("Range", "")};
+
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  if (!connected_) {
+    request_bytes += connection_setup_request_bytes();
+    response_bytes += connection_setup_response_bytes();
+    connected_ = true;
+  }
+
+  const std::uint32_t stream_id = next_stream_id_;
+  next_stream_id_ += 2;
+
+  request_bytes += frames_size(session_.encode_request(request, stream_id));
+
+  http::Response response = callee_->handle(request);
+  record.status = response.status;
+
+  std::optional<std::uint64_t> body_cap;
+  if (options.head_only) {
+    body_cap = 0;
+  } else if (options.abort_after_body_bytes) {
+    body_cap = *options.abort_after_body_bytes;
+  }
+
+  const auto frames = session_.encode_response(response, stream_id);
+  std::uint64_t body_received = 0;
+  if (body_cap && *body_cap < response.body.size()) {
+    // The receiver reads header frames and DATA until the cap, then resets
+    // the stream.  A partially-read DATA frame counts what actually arrived.
+    std::uint64_t body_seen = 0;
+    for (const Frame& frame : frames) {
+      if (frame.type != FrameType::kData) {
+        response_bytes += frame.serialized_size();
+        continue;
+      }
+      if (body_seen >= *body_cap) break;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(frame.payload.size(), *body_cap - body_seen);
+      response_bytes += 9 + take;
+      body_seen += take;
+    }
+    body_received = body_seen;
+    request_bytes += kRstStreamFrame;  // the abort itself
+    record.response_truncated = true;
+    response.body.truncate(*body_cap);
+  } else {
+    response_bytes += frames_size(frames);
+    body_received = response.body.size();
+  }
+  // Flow control: the receiver replenished the 64 KB window once per window
+  // of DATA it accepted (WINDOW_UPDATE, 13 bytes, request direction).  An
+  // aborting receiver stops granting credit past its cap.
+  request_bytes += (body_received / kInitialWindow) * (9 + 4);
+
+  record.request_bytes = request_bytes;
+  record.response_bytes = response_bytes;
+  recorder_->record(std::move(record));
+  return response;
+}
+
+}  // namespace rangeamp::http2

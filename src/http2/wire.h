@@ -1,0 +1,67 @@
+// An HTTP/2-framed connection segment with exact byte accounting.
+//
+// Drop-in analogue of net::Wire: the request and response cross the segment
+// as h2 frame sequences (preface + SETTINGS exchange on first use, then
+// HEADERS/CONTINUATION/DATA per exchange), and the TrafficRecorder sees the
+// exact framed sizes.  Receiver-side aborts are modelled as reading DATA
+// frames until the cap and answering with RST_STREAM, per RFC 7540.
+#pragma once
+
+#include "http2/session.h"
+#include "net/handler.h"
+#include "net/traffic.h"
+#include "net/wire.h"
+
+namespace rangeamp::http2 {
+
+class Http2Wire {
+ public:
+  Http2Wire(net::TrafficRecorder& recorder, net::HttpHandler& callee,
+            std::uint32_t max_frame_size = kDefaultMaxFrameSize)
+      : recorder_(&recorder), callee_(&callee), session_(max_frame_size) {}
+
+  /// Performs one exchange, HTTP/2-framed.  Stream ids follow the client
+  /// convention (odd, increasing).  The returned response body is truncated
+  /// to what the receiver accepted.
+  http::Response transfer(const http::Request& request,
+                          const net::TransferOptions& options = {});
+
+  net::TrafficRecorder& recorder() noexcept { return *recorder_; }
+
+  /// Frames the connection setup would add (preface + SETTINGS exchange);
+  /// exposed so tests can assert the first-transfer overhead.
+  static std::uint64_t connection_setup_request_bytes() noexcept;
+  static std::uint64_t connection_setup_response_bytes() noexcept;
+
+  /// RFC 7540 section 6.9: the receiver grants flow-control credit with
+  /// WINDOW_UPDATE frames as DATA arrives; one 13-byte frame per replenished
+  /// window.  This is HTTP/2's explicit form of the TCP receive-window
+  /// throttle the OBR attacker abuses (paper section IV-C): an aborting
+  /// receiver simply stops granting credit.
+  static constexpr std::uint32_t kInitialWindow = 65535;
+
+ private:
+  net::TrafficRecorder* recorder_;
+  net::HttpHandler* callee_;
+  Http2Session session_;
+  std::uint32_t next_stream_id_ = 1;
+  bool connected_ = false;
+};
+
+/// Adapter presenting an Http2Wire as an HttpHandler.
+class Http2WireHandler final : public net::HttpHandler {
+ public:
+  Http2WireHandler(net::TrafficRecorder& recorder, net::HttpHandler& callee)
+      : wire_(recorder, callee) {}
+
+  http::Response handle(const http::Request& request) override {
+    return wire_.transfer(request);
+  }
+
+  Http2Wire& wire() noexcept { return wire_; }
+
+ private:
+  Http2Wire wire_;
+};
+
+}  // namespace rangeamp::http2

@@ -1,0 +1,21 @@
+// The hop interface: anything that can answer an HTTP request.
+//
+// Origin servers, CDN nodes and test doubles all implement HttpHandler; a
+// network path (client -> FCDN -> BCDN -> origin) is a chain of handlers
+// joined by Wires that count the serialized bytes crossing each segment.
+#pragma once
+
+#include "http/message.h"
+
+namespace rangeamp::net {
+
+class HttpHandler {
+ public:
+  virtual ~HttpHandler() = default;
+
+  /// Answers one request.  Handlers are synchronous: the returned Response is
+  /// the complete message the peer would emit on the wire.
+  virtual http::Response handle(const http::Request& request) = 0;
+};
+
+}  // namespace rangeamp::net

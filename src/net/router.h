@@ -1,0 +1,47 @@
+// Host-based request routing.
+//
+// A CDN serves many customers; the edge picks the upstream by the Host
+// header.  This is the surface the paper's threat model leans on twice: the
+// attacker "maliciously deploys" its own site on the CDN (section IV-A) and
+// points an FCDN distribution at a BCDN ingress -- both are just routes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "net/handler.h"
+
+namespace rangeamp::net {
+
+class HostRouter final : public HttpHandler {
+ public:
+  /// Routes requests whose Host equals `host` to `upstream` (must outlive
+  /// the router).  Re-adding a host replaces the route.
+  void add_route(std::string host, HttpHandler& upstream) {
+    routes_[std::move(host)] = &upstream;
+  }
+
+  /// Upstream for hosts with no explicit route (nullptr = answer 404).
+  void set_default(HttpHandler& upstream) { default_ = &upstream; }
+
+  http::Response handle(const http::Request& request) override {
+    const auto host = std::string{request.headers.get_or("Host", "")};
+    const auto it = routes_.find(host);
+    HttpHandler* target = it != routes_.end() ? it->second : default_;
+    if (target == nullptr) {
+      http::Response resp;
+      resp.status = http::kNotFound;
+      resp.headers.add("Content-Length", "0");
+      return resp;
+    }
+    return target->handle(request);
+  }
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+ private:
+  std::unordered_map<std::string, HttpHandler*> routes_;
+  HttpHandler* default_ = nullptr;
+};
+
+}  // namespace rangeamp::net

@@ -1,0 +1,66 @@
+// Per-segment traffic accounting.
+//
+// The paper's measurements are all of the form "response traffic on the
+// cdn-origin connection" vs "response traffic on the client-cdn connection"
+// (Fig 6, Tables IV/V).  A TrafficRecorder is the tcpdump of this
+// reproduction: every Wire transfer adds the exact serialized request and
+// response byte counts of its segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rangeamp::net {
+
+/// Light record of one request/response exchange on a segment.
+struct ExchangeRecord {
+  std::string target;        ///< request target
+  std::string range_header;  ///< request Range value ("" when absent)
+  int status = 0;            ///< response status
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  bool response_truncated = false;  ///< receiver aborted mid-body
+};
+
+/// Byte and exchange counters for one connection segment.
+class TrafficRecorder {
+ public:
+  explicit TrafficRecorder(std::string segment_name = {})
+      : name_(std::move(segment_name)) {}
+
+  void record(ExchangeRecord record) {
+    request_bytes_ += record.request_bytes;
+    response_bytes_ += record.response_bytes;
+    ++exchanges_count_;
+    if (keep_log_) log_.push_back(std::move(record));
+  }
+
+  /// Enables/disables retention of per-exchange records (counters always
+  /// accumulate).  Scanners enable it; long benchmark sweeps leave it off.
+  void set_keep_log(bool keep) { keep_log_ = keep; }
+
+  void reset() {
+    request_bytes_ = 0;
+    response_bytes_ = 0;
+    exchanges_count_ = 0;
+    log_.clear();
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t request_bytes() const noexcept { return request_bytes_; }
+  std::uint64_t response_bytes() const noexcept { return response_bytes_; }
+  std::uint64_t total_bytes() const noexcept { return request_bytes_ + response_bytes_; }
+  std::uint64_t exchange_count() const noexcept { return exchanges_count_; }
+  const std::vector<ExchangeRecord>& log() const noexcept { return log_; }
+
+ private:
+  std::string name_;
+  std::uint64_t request_bytes_ = 0;
+  std::uint64_t response_bytes_ = 0;
+  std::uint64_t exchanges_count_ = 0;
+  bool keep_log_ = true;
+  std::vector<ExchangeRecord> log_;
+};
+
+}  // namespace rangeamp::net

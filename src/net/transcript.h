@@ -1,0 +1,61 @@
+// Human-readable exchange transcripts.
+//
+// The paper explains both attacks with message-flow figures (Fig 2, 4, 5).
+// A Transcript captures the exchanges crossing chosen segments and renders
+// them in that style -- request and response lines prefixed per direction,
+// bodies elided to a preview.  TranscriptHandler is a decorator that can be
+// spliced between any two hops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/handler.h"
+
+namespace rangeamp::net {
+
+struct TranscriptEntry {
+  std::string segment;
+  http::Request request;
+  http::Response response;
+};
+
+class Transcript {
+ public:
+  void add(std::string segment, http::Request request, http::Response response) {
+    entries_.push_back(
+        {std::move(segment), std::move(request), std::move(response)});
+  }
+
+  const std::vector<TranscriptEntry>& entries() const noexcept { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Renders all captured exchanges.  Bodies are shown as a byte count plus
+  /// up to `body_preview` leading bytes (non-printables escaped).
+  std::string render(std::size_t body_preview = 0) const;
+
+ private:
+  std::vector<TranscriptEntry> entries_;
+};
+
+/// Splices transcript capture in front of `next`.
+class TranscriptHandler final : public HttpHandler {
+ public:
+  TranscriptHandler(std::string segment, Transcript& transcript,
+                    HttpHandler& next)
+      : segment_(std::move(segment)), transcript_(&transcript), next_(&next) {}
+
+  http::Response handle(const http::Request& request) override {
+    http::Response response = next_->handle(request);
+    transcript_->add(segment_, request, response);
+    return response;
+  }
+
+ private:
+  std::string segment_;
+  Transcript* transcript_;
+  HttpHandler* next_;
+};
+
+}  // namespace rangeamp::net

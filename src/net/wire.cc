@@ -1,0 +1,33 @@
+#include "net/wire.h"
+
+namespace rangeamp::net {
+
+http::Response Wire::transfer(const http::Request& request,
+                              const TransferOptions& options) {
+  http::Response response = callee_->handle(request);
+
+  ExchangeRecord record;
+  record.target = request.target;
+  record.range_header = std::string{request.headers.get_or("Range", "")};
+  record.status = response.status;
+  record.request_bytes = http::serialized_size(request);
+
+  std::optional<std::uint64_t> body_cap;
+  if (options.head_only) {
+    body_cap = 0;
+  } else if (options.abort_after_body_bytes) {
+    body_cap = *options.abort_after_body_bytes;
+  }
+
+  if (body_cap && *body_cap < response.body.size()) {
+    record.response_bytes = http::serialized_size_truncated(response, *body_cap);
+    record.response_truncated = true;
+    response.body.truncate(*body_cap);
+  } else {
+    record.response_bytes = http::serialized_size(response);
+  }
+  recorder_->record(std::move(record));
+  return response;
+}
+
+}  // namespace rangeamp::net

@@ -1,0 +1,69 @@
+// A Wire joins two hops and counts every byte that crosses it.
+//
+// Wires model the TCP connection segments of Fig 1/3 in the paper
+// (client-cdn, cdn-origin, fcdn-bcdn, bcdn-origin).  A transfer serializes
+// the request toward the callee and the response back; the exact serialized
+// sizes are added to the segment's TrafficRecorder.
+//
+// TransferOptions model the two receiver-side tricks the paper describes:
+//   * abort_after_body_bytes -- the receiver closes the connection once that
+//     many response body bytes have arrived (Azure's 8 MB back-to-origin
+//     cutoff in section V-A; the OBR attacker's deliberate early abort in
+//     section IV-C).  The sender stops transmitting, so only the received
+//     prefix is counted and delivered.
+//   * head_only -- the receiver reads status line + headers, then aborts
+//     (models the attacker's tiny TCP receive window degenerate case).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/serialize.h"
+#include "net/handler.h"
+#include "net/traffic.h"
+
+namespace rangeamp::net {
+
+struct TransferOptions {
+  /// Abort the transfer once this many response *body* bytes were received.
+  std::optional<std::uint64_t> abort_after_body_bytes;
+  /// Receive only the response head (headers), no body bytes.
+  bool head_only = false;
+};
+
+class Wire {
+ public:
+  /// `recorder` and `callee` must outlive the wire.
+  Wire(TrafficRecorder& recorder, HttpHandler& callee)
+      : recorder_(&recorder), callee_(&callee) {}
+
+  /// Performs one exchange across this segment.  The returned response body
+  /// is truncated to what the receiver actually accepted.
+  http::Response transfer(const http::Request& request,
+                          const TransferOptions& options = {});
+
+  TrafficRecorder& recorder() noexcept { return *recorder_; }
+
+ private:
+  TrafficRecorder* recorder_;
+  HttpHandler* callee_;
+};
+
+/// Adapter: presents a Wire (a counted segment toward `callee`) as an
+/// HttpHandler, so a whole path can itself serve as someone's upstream.
+class WireHandler final : public HttpHandler {
+ public:
+  WireHandler(TrafficRecorder& recorder, HttpHandler& callee)
+      : wire_(recorder, callee) {}
+
+  http::Response handle(const http::Request& request) override {
+    return wire_.transfer(request);
+  }
+
+  Wire& wire() noexcept { return wire_; }
+
+ private:
+  Wire wire_;
+};
+
+}  // namespace rangeamp::net

@@ -1,0 +1,55 @@
+#include "origin/resource_store.h"
+
+namespace rangeamp::origin {
+namespace {
+
+std::uint64_t path_seed(std::string_view path) {
+  // FNV-1a 64-bit: stable content seed per path.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string weak_etag(std::string_view path, std::uint64_t size) {
+  // Apache-style "inode-size-mtime" flavored tag, derived deterministically.
+  const std::uint64_t seed = path_seed(path);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%llx-%llx\"",
+                static_cast<unsigned long long>(seed & 0xFFFFFF),
+                static_cast<unsigned long long>(size));
+  return buf;
+}
+
+}  // namespace
+
+Resource& ResourceStore::add_synthetic(std::string path, std::uint64_t size,
+                                       std::string content_type) {
+  Resource res;
+  res.path = path;
+  res.content_type = std::move(content_type);
+  res.entity = http::Body::synthetic(path_seed(path), 0, size);
+  res.etag = weak_etag(path, size);
+  auto [it, _] = resources_.insert_or_assign(std::move(path), std::move(res));
+  return it->second;
+}
+
+Resource& ResourceStore::add_literal(std::string path, std::string bytes,
+                                     std::string content_type) {
+  Resource res;
+  res.path = path;
+  res.content_type = std::move(content_type);
+  res.etag = weak_etag(path, bytes.size());
+  res.entity = http::Body::literal(std::move(bytes));
+  auto [it, _] = resources_.insert_or_assign(std::move(path), std::move(res));
+  return it->second;
+}
+
+const Resource* ResourceStore::find(std::string_view path) const {
+  const auto it = resources_.find(path);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rangeamp::origin

@@ -1,0 +1,49 @@
+// Static resource store backing an origin server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/body.h"
+
+namespace rangeamp::origin {
+
+/// A static web resource.
+struct Resource {
+  std::string path;
+  std::string content_type = "application/octet-stream";
+  http::Body entity;  ///< the full representation
+  std::string etag;
+  std::string last_modified = "Mon, 06 Jul 2020 11:22:33 GMT";
+
+  std::uint64_t size() const noexcept { return entity.size(); }
+};
+
+/// Path-keyed resource collection.  Lookups ignore the query string, as a
+/// static file server would (which is exactly why appending a random query
+/// string busts CDN caches without changing what the origin serves -- the
+/// cache-miss trick of section II-A).
+class ResourceStore {
+ public:
+  /// Adds a resource with synthetic content of `size` bytes.  The seed is
+  /// derived from the path so re-adding the same path yields identical bytes.
+  Resource& add_synthetic(std::string path, std::uint64_t size,
+                          std::string content_type = "application/octet-stream");
+
+  /// Adds a resource with literal content.
+  Resource& add_literal(std::string path, std::string bytes,
+                        std::string content_type = "text/plain");
+
+  /// Looks up by request path (query ignored by the caller).
+  const Resource* find(std::string_view path) const;
+
+  std::size_t size() const noexcept { return resources_.size(); }
+
+ private:
+  std::map<std::string, Resource, std::less<>> resources_;
+};
+
+}  // namespace rangeamp::origin

@@ -1,0 +1,87 @@
+#include "sim/attack_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rangeamp::sim {
+
+std::vector<BandwidthSample> simulate_attack_load(const AttackLoadConfig& config) {
+  const double capacity_bps = config.origin_uplink_mbps * 1e6 / 8.0;  // bytes/s
+  FluidLink uplink(capacity_bps);
+
+  const double horizon = config.duration_s + config.drain_s;
+  const std::size_t seconds = static_cast<std::size_t>(std::ceil(horizon));
+  std::vector<BandwidthSample> series(seconds);
+  for (std::size_t s = 0; s < seconds; ++s) series[s].second = static_cast<double>(s);
+
+  double next_burst = 0;
+  double prev_transferred = 0;
+  std::unordered_set<std::uint64_t> benign_ids;
+  for (std::size_t s = 0; s < seconds; ++s) {
+    double origin_bytes_this_second = 0;
+    double client_bytes_this_second = 0;
+    double benign_bytes_this_second = 0;
+    double benign_latency_sum = 0;
+    std::size_t benign_completions = 0;
+    const double sec_end = static_cast<double>(s) + 1.0;
+    while (uplink.now() < sec_end - 1e-9) {
+      if (uplink.now() + 1e-9 >= next_burst && next_burst < config.duration_s) {
+        for (int i = 0; i < config.requests_per_second; ++i) {
+          uplink.start_flow(config.origin_response_bytes);
+        }
+        for (int i = 0; i < config.benign_requests_per_second; ++i) {
+          benign_ids.insert(uplink.start_flow(config.benign_response_bytes));
+        }
+        next_burst += 1.0;
+      }
+      const double until_burst =
+          next_burst < config.duration_s ? next_burst - uplink.now() : horizon;
+      const double dt =
+          std::min({config.dt, sec_end - uplink.now(), std::max(until_burst, 1e-9)});
+      uplink.step(dt);
+      for (const Flow& f : uplink.take_completed()) {
+        if (const auto it = benign_ids.find(f.id); it != benign_ids.end()) {
+          benign_ids.erase(it);
+          benign_bytes_this_second += static_cast<double>(f.total_bytes);
+          benign_latency_sum +=
+              f.completion_time - f.start_time + config.network_rtt_s;
+          ++benign_completions;
+          continue;
+        }
+        // The CDN forwards the tiny 206 to the client once its back-to-origin
+        // pull finishes.
+        client_bytes_this_second += static_cast<double>(config.client_response_bytes);
+      }
+    }
+    series[s].benign_goodput_mbps = benign_bytes_this_second * 8.0 / 1e6;
+    series[s].benign_latency_s =
+        benign_completions ? benign_latency_sum / benign_completions : -1;
+    origin_bytes_this_second = uplink.total_transferred() - prev_transferred;
+    prev_transferred = uplink.total_transferred();
+    series[s].origin_out_mbps = origin_bytes_this_second * 8.0 / 1e6;
+    series[s].client_in_kbps = client_bytes_this_second * 8.0 / 1e3;
+    series[s].in_flight = uplink.active_flows();
+  }
+  return series;
+}
+
+AttackLoadSummary summarize(const AttackLoadConfig& config,
+                            const std::vector<BandwidthSample>& series) {
+  AttackLoadSummary out;
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& s : series) {
+    out.peak_origin_out_mbps = std::max(out.peak_origin_out_mbps, s.origin_out_mbps);
+    out.peak_client_in_kbps = std::max(out.peak_client_in_kbps, s.client_in_kbps);
+    if (s.second >= 5.0 && s.second < config.duration_s) {
+      sum += s.origin_out_mbps;
+      ++n;
+    }
+  }
+  out.mean_origin_out_mbps = n ? sum / static_cast<double>(n) : 0;
+  out.saturated = out.mean_origin_out_mbps >= 0.98 * config.origin_uplink_mbps;
+  return out;
+}
+
+}  // namespace rangeamp::sim

@@ -1,0 +1,107 @@
+// Discrete-event simulation engine and an exact processor-sharing link.
+//
+// The fluid model in fluid.h integrates with a fixed step; this module
+// computes the same dynamics *exactly*: a processor-sharing (PS) queue's
+// next completion time is analytic (min remaining / fair share), so the
+// simulation can jump from event to event with no integration error.  The
+// attack-load experiment exists in both engines, and
+// `tests/sim/des_test.cc` pins them against each other -- the kind of
+// cross-validation a simulation result needs before it is trusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/attack_load.h"
+
+namespace rangeamp::sim {
+
+/// A time-ordered event queue.  Events scheduled for the same instant run
+/// in scheduling order (stable).
+class EventQueue {
+ public:
+  using Event = std::function<void()>;
+
+  /// Schedules `event` at absolute time `at` (must be >= now()).
+  void schedule(double at, Event event);
+
+  /// Schedules `event` `delay` seconds from now.
+  void schedule_in(double delay, Event event) { schedule(now_ + delay, std::move(event)); }
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs every event scheduled strictly before `horizon`; time ends at
+  /// `horizon` (or at the last event if beyond).
+  void run_until(double horizon);
+
+  double now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double at;
+    std::uint64_t seq;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+/// An exact processor-sharing link driven by an EventQueue: flows share the
+/// capacity equally, and completions fire as events at their analytic times.
+class PsLink {
+ public:
+  using CompletionHandler = std::function<void(std::uint64_t flow_id,
+                                               std::uint64_t bytes,
+                                               double start_time)>;
+
+  PsLink(EventQueue& queue, double capacity_bytes_per_sec,
+         CompletionHandler on_completion)
+      : queue_(&queue),
+        capacity_(capacity_bytes_per_sec),
+        on_completion_(std::move(on_completion)) {}
+
+  /// Starts a flow now; returns its id.
+  std::uint64_t start_flow(std::uint64_t bytes);
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Total bytes that have fully crossed the link (completed flows).
+  double completed_bytes() const noexcept { return completed_bytes_; }
+
+ private:
+  struct PsFlow {
+    std::uint64_t id;
+    double total;
+    double remaining;
+    double start_time;
+  };
+
+  void advance_to_now();
+  void arm_next_completion();
+
+  EventQueue* queue_;
+  double capacity_;
+  CompletionHandler on_completion_;
+  std::vector<PsFlow> flows_;
+  double last_update_ = 0;
+  double completed_bytes_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t arm_generation_ = 0;  ///< invalidates stale completion events
+};
+
+/// The Fig 7 attack-load experiment on the event-driven engine.  Semantics
+/// match simulate_attack_load() exactly; outputs are directly comparable.
+std::vector<BandwidthSample> simulate_attack_load_des(const AttackLoadConfig& config);
+
+}  // namespace rangeamp::sim

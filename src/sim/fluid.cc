@@ -1,0 +1,63 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+
+namespace rangeamp::sim {
+
+std::uint64_t FluidLink::start_flow(std::uint64_t bytes) {
+  Flow f;
+  f.id = next_id_++;
+  f.start_time = now_;
+  f.total_bytes = bytes;
+  if (bytes == 0) {
+    f.completion_time = now_;
+    completed_.push_back(f);
+  } else {
+    flows_.push_back(f);
+  }
+  return f.id;
+}
+
+void FluidLink::step(double dt) {
+  const double step_end = now_ + dt;
+  // Processor sharing: within the step, repeatedly advance to the next flow
+  // completion (or the step end), giving each active flow an equal share.
+  while (!flows_.empty() && now_ < step_end) {
+    const double share = capacity_ / static_cast<double>(flows_.size());
+    // Time until the first in-flight flow would finish at this share.
+    double min_finish = step_end - now_;
+    for (const Flow& f : flows_) {
+      min_finish = std::min(min_finish, f.remaining() / share);
+    }
+    const double advance = std::max(min_finish, 0.0);
+    for (Flow& f : flows_) {
+      const double moved = std::min(share * advance, f.remaining());
+      f.transferred += moved;
+      total_transferred_ += moved;
+    }
+    now_ += advance;
+    // Retire completed flows (tolerate floating-point dust).
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->remaining() <= 1e-6) {
+        it->transferred = static_cast<double>(it->total_bytes);
+        it->completion_time = now_;
+        completed_.push_back(*it);
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (advance <= 0) break;  // nothing can progress (degenerate)
+  }
+  now_ = step_end;
+}
+
+std::size_t FluidLink::active_flows() const noexcept { return flows_.size(); }
+
+std::vector<Flow> FluidLink::take_completed() {
+  std::vector<Flow> out;
+  out.swap(completed_);
+  return out;
+}
+
+}  // namespace rangeamp::sim

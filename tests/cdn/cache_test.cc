@@ -1,0 +1,57 @@
+#include "cdn/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::cdn {
+namespace {
+
+TEST(Cache, KeyIncludesHostAndFullTarget) {
+  EXPECT_EQ(Cache::key("h.example", "/a?q=1"), "h.example|/a?q=1");
+  // The cache-busting trick of section II-A: a different query is a
+  // different key.
+  EXPECT_NE(Cache::key("h", "/a?q=1"), Cache::key("h", "/a?q=2"));
+  EXPECT_NE(Cache::key("h1", "/a"), Cache::key("h2", "/a"));
+}
+
+TEST(Cache, MissThenHit) {
+  Cache cache;
+  const auto key = Cache::key("h", "/a");
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  CachedEntity entity;
+  entity.entity = http::Body::synthetic(1, 0, 100);
+  entity.content_type = "image/png";
+  cache.put(key, entity);
+
+  const CachedEntity* hit = cache.find(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  EXPECT_EQ(hit->content_type, "image/png");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, PutOverwrites) {
+  Cache cache;
+  CachedEntity a, b;
+  a.entity = http::Body::synthetic(1, 0, 10);
+  b.entity = http::Body::synthetic(1, 0, 20);
+  cache.put("k", a);
+  cache.put("k", b);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find("k")->size(), 20u);
+}
+
+TEST(Cache, ClearEmpties) {
+  Cache cache;
+  CachedEntity e;
+  e.entity = http::Body::literal("x");
+  cache.put("k", e);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("k"), nullptr);
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

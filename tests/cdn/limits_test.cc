@@ -1,0 +1,113 @@
+#include "cdn/limits.h"
+
+#include <gtest/gtest.h>
+
+#include "core/obr.h"
+
+namespace rangeamp::cdn {
+namespace {
+
+http::Request request_with_range(std::string host, std::string target,
+                                 std::string range) {
+  http::Request req = http::make_get(std::move(host), std::move(target));
+  if (!range.empty()) req.headers.add("Range", std::move(range));
+  return req;
+}
+
+TEST(Limits, NoLimitsAcceptEverything) {
+  RequestHeaderLimits limits;
+  const auto req = request_with_range("h", "/p", std::string(100000, 'x'));
+  EXPECT_FALSE(check_request_limits(limits, req));
+}
+
+TEST(Limits, TotalHeaderBytesBoundary) {
+  RequestHeaderLimits limits;
+  limits.total_header_bytes = 100;
+  http::Request req = http::make_get("h", "/p");  // "Host: h\r\n" = 9
+  req.headers.add("A", std::string(100 - 9 - 6, 'v'));  // "A: v..\r\n" = len+5+...
+  // header block = 9 + (1+2+85+2)=90 -> 99 <= 100 OK
+  EXPECT_FALSE(check_request_limits(limits, req));
+  req.headers.add("B", "xx");  // +7 -> over
+  EXPECT_TRUE(check_request_limits(limits, req));
+}
+
+TEST(Limits, SingleHeaderLineBoundary) {
+  RequestHeaderLimits limits;
+  limits.single_header_line_bytes = 16;
+  // "Range: bytes=0-0" line size is exactly 16.
+  EXPECT_FALSE(
+      check_request_limits(limits, request_with_range("h", "/p", "bytes=0-0")));
+  // One more byte trips it.
+  EXPECT_TRUE(
+      check_request_limits(limits, request_with_range("h", "/p", "bytes=0-10")));
+}
+
+TEST(Limits, CloudflareFormulaBoundary) {
+  RequestHeaderLimits limits;
+  limits.cloudflare_range_budget = 32411;
+  // RL = "GET /p HTTP/1.1" = 15, HHL = "Host: h" = 7 -> RL + 2*HHL = 29.
+  // RHL budget = 32411 - 29 = 32382; RHL = 7 + len(value).
+  const std::size_t max_value = 32382 - 7;
+  EXPECT_FALSE(check_request_limits(
+      limits, request_with_range("h", "/p", std::string(max_value, 'r'))));
+  EXPECT_TRUE(check_request_limits(
+      limits, request_with_range("h", "/p", std::string(max_value + 1, 'r'))));
+}
+
+TEST(Limits, CloudflareFormulaIgnoresRangelessRequests) {
+  RequestHeaderLimits limits;
+  limits.cloudflare_range_budget = 10;  // absurdly small
+  EXPECT_FALSE(check_request_limits(limits, request_with_range("h", "/p", "")));
+}
+
+TEST(Limits, PaperMaxNValues) {
+  // The section V-C arithmetic: with the OBR harness host/path, the largest
+  // n each FCDN's own ingress accepts matches Table V.
+  const std::string host{core::kObrHost};
+  const std::string path{core::kObrPath};
+
+  // CDN77: single header line <= 16 KB with "bytes=-1024,0-,...".
+  {
+    RequestHeaderLimits limits;
+    limits.single_header_line_bytes = 16 * 1024;
+    const auto ok = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCdn77, 5455).to_string());
+    const auto over = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCdn77, 5456).to_string());
+    EXPECT_FALSE(check_request_limits(limits, ok));
+    EXPECT_TRUE(check_request_limits(limits, over));
+  }
+  // CDNsun: 5456 with "bytes=1-,0-,...".
+  {
+    RequestHeaderLimits limits;
+    limits.single_header_line_bytes = 16 * 1024;
+    const auto ok = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCdnsun, 5456).to_string());
+    const auto over = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCdnsun, 5457).to_string());
+    EXPECT_FALSE(check_request_limits(limits, ok));
+    EXPECT_TRUE(check_request_limits(limits, over));
+  }
+  // Cloudflare: RL + 2*HHL + RHL <= 32411 -> n = 10750.
+  {
+    RequestHeaderLimits limits;
+    limits.cloudflare_range_budget = 32411;
+    const auto ok = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCloudflare, 10750).to_string());
+    const auto over = request_with_range(
+        host, path, core::obr_range_case(Vendor::kCloudflare, 10751).to_string());
+    EXPECT_FALSE(check_request_limits(limits, ok));
+    EXPECT_TRUE(check_request_limits(limits, over));
+  }
+}
+
+TEST(Limits, PolicyNamesAreStable) {
+  EXPECT_EQ(forward_policy_name(ForwardPolicy::kLaziness), "Laziness");
+  EXPECT_EQ(forward_policy_name(ForwardPolicy::kDeletion), "Deletion");
+  EXPECT_EQ(forward_policy_name(ForwardPolicy::kExpansion), "Expansion");
+  EXPECT_EQ(reply_policy_name(MultiRangeReplyPolicy::kHonorOverlapping),
+            "n-part (overlapping honored)");
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

@@ -1,0 +1,220 @@
+// Rule-based profiles: spec parsing and differential equivalence with the
+// hand-coded vendor logics.
+#include "cdn/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scanner.h"
+#include "core/testbed.h"
+
+namespace rangeamp::cdn {
+namespace {
+
+using http::Request;
+using http::Response;
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(ProfileSpec, ParsesFullDocument) {
+  const char* spec = R"(# a comment
+name: ExampleCDN
+limit.total_header_bytes: 32768
+limit.single_header_line_bytes: 16384
+limit.cloudflare_range_budget: 32411
+limit.max_range_count: 100
+reply: honor
+reply.max_ranges: 64
+cache: on
+response_target_bytes: 700
+
+rule: single-closed if first<1024 -> delete
+rule: single-suffix -> delete
+rule: single-closed if size>=10485760 -> delete
+rule: multi -> lazy
+rule: default -> lazy
+)";
+  std::string error;
+  const auto profile = parse_profile_spec(spec, &error);
+  ASSERT_TRUE(profile) << error;
+  EXPECT_EQ(profile->traits.name, "ExampleCDN");
+  EXPECT_EQ(profile->traits.limits.total_header_bytes, 32768u);
+  EXPECT_EQ(profile->traits.limits.single_header_line_bytes, 16384u);
+  EXPECT_EQ(profile->traits.limits.cloudflare_range_budget, 32411u);
+  EXPECT_EQ(profile->traits.ingress_max_range_count, 100u);
+  EXPECT_EQ(profile->traits.multi_reply, MultiRangeReplyPolicy::kHonorOverlapping);
+  EXPECT_EQ(profile->traits.multi_reply_max_ranges, 64u);
+  EXPECT_TRUE(profile->traits.cache_enabled);
+  EXPECT_GT(profile->traits.response_pad_bytes, 0u);
+  const auto* logic = dynamic_cast<RuleBasedLogic*>(profile->logic.get());
+  ASSERT_NE(logic, nullptr);
+  EXPECT_EQ(logic->rules().size(), 5u);
+  EXPECT_EQ(logic->rules()[0].first_below, 1024u);
+  EXPECT_EQ(logic->rules()[2].size_at_least, 10485760u);
+}
+
+TEST(ProfileSpec, RejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(parse_profile_spec("no colon here", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parse_profile_spec("rule: single-closed -> explode", &error));
+  EXPECT_FALSE(parse_profile_spec("rule: weird-shape -> lazy", &error));
+  EXPECT_FALSE(parse_profile_spec("rule: multi if wat>5 -> lazy", &error));
+  EXPECT_FALSE(parse_profile_spec("rule: multi lazy", &error));  // no arrow
+  EXPECT_FALSE(parse_profile_spec("reply: sometimes", &error));
+  EXPECT_FALSE(parse_profile_spec("cache: maybe", &error));
+  EXPECT_FALSE(parse_profile_spec("limit.total_header_bytes: many", &error));
+  EXPECT_FALSE(parse_profile_spec("unknown.key: 5", &error));
+}
+
+TEST(ProfileSpec, ActionParameters) {
+  const auto profile = parse_profile_spec(
+      "rule: single-closed -> expand:4096\nrule: default -> slice:65536\n");
+  ASSERT_TRUE(profile);
+  const auto* logic = dynamic_cast<RuleBasedLogic*>(profile->logic.get());
+  ASSERT_NE(logic, nullptr);
+  EXPECT_EQ(logic->rules()[0].action.kind, RuleAction::Kind::kExpand);
+  EXPECT_EQ(logic->rules()[0].action.parameter, 4096u);
+  EXPECT_EQ(logic->rules()[1].action.kind, RuleAction::Kind::kSlice);
+  EXPECT_EQ(logic->rules()[1].action.parameter, 65536u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule evaluation
+// ---------------------------------------------------------------------------
+
+core::SingleCdnTestbed bed_for(const char* spec, std::uint64_t size) {
+  auto profile = parse_profile_spec(spec);
+  EXPECT_TRUE(profile);
+  core::SingleCdnTestbed bed(std::move(*profile));
+  bed.origin().resources().add_synthetic("/r.bin", size);
+  return bed;
+}
+
+Response send_range(core::SingleCdnTestbed& bed, const std::string& range,
+                    const std::string& cb = "1") {
+  Request req = http::make_get("h.example", "/r.bin?cb=" + cb);
+  if (!range.empty()) req.headers.add("Range", range);
+  return bed.send(req);
+}
+
+TEST(RuleBasedLogic, FirstMatchWins) {
+  auto bed = bed_for(
+      "rule: single-closed if first<1024 -> delete\n"
+      "rule: single-closed -> lazy\n",
+      1u << 20);
+  send_range(bed, "bytes=0-0", "a");
+  EXPECT_FALSE(bed.origin().request_log()[0].headers.has("Range"));
+  send_range(bed, "bytes=2048-2049", "b");
+  EXPECT_EQ(bed.origin().request_log()[1].headers.get("Range"),
+            "bytes=2048-2049");
+}
+
+TEST(RuleBasedLogic, SizeConditionTriggersHeadProbe) {
+  auto bed = bed_for("rule: single-suffix if size<10485760 -> delete\n"
+                     "rule: default -> lazy\n",
+                     1u << 20);
+  send_range(bed, "bytes=-1");
+  ASSERT_EQ(bed.origin().request_log().size(), 2u);
+  EXPECT_EQ(bed.origin().request_log()[0].method, http::Method::HEAD);
+  EXPECT_FALSE(bed.origin().request_log()[1].headers.has("Range"));
+}
+
+TEST(RuleBasedLogic, UnmatchedRequestsFallBackToLazy) {
+  auto bed = bed_for("rule: single-suffix -> delete\n", 1u << 20);
+  send_range(bed, "bytes=5-9");
+  EXPECT_EQ(bed.origin().request_log()[0].headers.get("Range"), "bytes=5-9");
+}
+
+TEST(RuleBasedLogic, ExpandAndSliceActionsWork) {
+  auto bed = bed_for("rule: single-closed -> expand:100\n", 1u << 20);
+  const Response resp = send_range(bed, "bytes=10-19");
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_EQ(resp.body.size(), 10u);
+  EXPECT_EQ(bed.origin().request_log()[0].headers.get("Range"), "bytes=10-119");
+
+  auto sliced = bed_for("rule: default -> slice:4096\n", 1u << 20);
+  const Response sresp = send_range(sliced, "bytes=0-0");
+  EXPECT_EQ(sresp.status, 206);
+  EXPECT_LT(sliced.origin_traffic().response_bytes(), 8192u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: rule-spec replicas of built-in vendors behave identically
+// under the policy scanner.
+// ---------------------------------------------------------------------------
+
+void expect_same_scan(VendorProfile (*make_replica)(), Vendor builtin) {
+  // Compare forwarding signatures per probe at two file sizes.
+  for (const std::uint64_t size : {1u << 20, 12u << 20}) {
+    for (const auto& probe : core::standard_forward_probes()) {
+      core::SingleCdnTestbed a(make_profile(builtin));
+      a.origin().resources().add_synthetic("/d.bin", size);
+      core::SingleCdnTestbed b(make_replica());
+      b.origin().resources().add_synthetic("/d.bin", size);
+
+      Request req = http::make_get("h.example", "/d.bin?cb=1");
+      req.headers.add("Range", probe.range.to_string());
+      a.send(req);
+      b.send(req);
+
+      // Identical origin-side Range header sequences...
+      ASSERT_EQ(a.origin().request_log().size(), b.origin().request_log().size())
+          << vendor_name(builtin) << " " << probe.label << " size=" << size;
+      for (std::size_t i = 0; i < a.origin().request_log().size(); ++i) {
+        EXPECT_EQ(a.origin().request_log()[i].headers.get_or("Range", ""),
+                  b.origin().request_log()[i].headers.get_or("Range", ""))
+            << vendor_name(builtin) << " " << probe.label;
+      }
+      // ...and identical origin-side byte totals.
+      EXPECT_EQ(a.origin_traffic().response_bytes(),
+                b.origin_traffic().response_bytes())
+          << vendor_name(builtin) << " " << probe.label;
+    }
+  }
+}
+
+TEST(RuleDifferential, Cdn77ReplicaMatchesBuiltin) {
+  expect_same_scan(
+      [] {
+        return *parse_profile_spec(
+            "name: CDN77-replica\n"
+            "limit.single_header_line_bytes: 16384\n"
+            "reply: coalesce\n"
+            "rule: single-closed if first<1024 -> delete\n"
+            "rule: default -> lazy\n");
+      },
+      Vendor::kCdn77);
+}
+
+TEST(RuleDifferential, TencentReplicaMatchesBuiltin) {
+  expect_same_scan(
+      [] {
+        return *parse_profile_spec(
+            "name: Tencent-replica\n"
+            "reply: coalesce\n"
+            "rule: single-closed -> delete\n"
+            "rule: multi -> delete\n"
+            "rule: default -> lazy\n");
+      },
+      Vendor::kTencentCloud);
+}
+
+TEST(RuleDifferential, HuaweiReplicaMatchesBuiltin) {
+  expect_same_scan(
+      [] {
+        return *parse_profile_spec(
+            "name: Huawei-replica\n"
+            "reply: coalesce\n"
+            "rule: single-open -> lazy\n"
+            "rule: single-suffix if size<10485760 -> delete\n"
+            "rule: single-closed if size>=10485760 -> delete\n"
+            "rule: multi -> delete\n"
+            "rule: default -> lazy\n");
+      },
+      Vendor::kHuaweiCloud);
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/cost.h"
+#include "core/detector.h"
+
+namespace rangeamp::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Detector unit behaviour
+// ---------------------------------------------------------------------------
+
+DetectorSample attack_sample() {
+  DetectorSample s;
+  s.selected_bytes = 1;
+  s.resource_bytes = 10u << 20;
+  s.client_response_bytes = 800;
+  s.origin_response_bytes = 10u << 20;
+  s.cache_hit = false;
+  return s;
+}
+
+DetectorSample benign_page_sample() {
+  DetectorSample s;
+  s.selected_bytes = UINT64_MAX;  // no Range
+  s.resource_bytes = 128 * 1024;
+  s.client_response_bytes = 128 * 1024;
+  s.origin_response_bytes = 0;  // cache hit
+  s.cache_hit = true;
+  return s;
+}
+
+TEST(Detector, AlarmsOnSustainedAttackPattern) {
+  RangeAmpDetector detector;
+  for (int i = 0; i < 19; ++i) {
+    detector.observe(attack_sample());
+    EXPECT_FALSE(detector.alarmed()) << "below min_samples at " << i;
+  }
+  detector.observe(attack_sample());
+  EXPECT_TRUE(detector.alarmed());
+  const auto stats = detector.stats();
+  EXPECT_GT(stats.asymmetry, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.tiny_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.miss_fraction, 1.0);
+}
+
+TEST(Detector, AlarmIsLatched) {
+  RangeAmpDetector detector;
+  for (int i = 0; i < 25; ++i) detector.observe(attack_sample());
+  ASSERT_TRUE(detector.alarmed());
+  for (int i = 0; i < 100; ++i) detector.observe(benign_page_sample());
+  EXPECT_TRUE(detector.alarmed());
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(Detector, SilentOnBenignTraffic) {
+  RangeAmpDetector detector;
+  for (int i = 0; i < 200; ++i) detector.observe(benign_page_sample());
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(Detector, SilentOnColdCacheWarmup) {
+  // A burst of cache misses without tiny ranges (a crawler, a deploy) must
+  // not alarm: asymmetry ~1 and no tiny ranges.
+  RangeAmpDetector detector;
+  for (int i = 0; i < 100; ++i) {
+    DetectorSample s;
+    s.selected_bytes = UINT64_MAX;
+    s.resource_bytes = 1u << 20;
+    s.client_response_bytes = 1u << 20;
+    s.origin_response_bytes = 1u << 20;
+    s.cache_hit = false;
+    detector.observe(s);
+  }
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(Detector, SilentOnLegitProbeRequests) {
+  // Occasional tiny probes (players asking bytes=0-1 for metadata) mixed
+  // into normal traffic stay under the tiny-fraction threshold.
+  RangeAmpDetector detector;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 5 == 0) {
+      DetectorSample s = attack_sample();
+      s.origin_response_bytes = 0;  // served from cache
+      s.cache_hit = true;
+      detector.observe(s);
+    } else {
+      detector.observe(benign_page_sample());
+    }
+  }
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(Detector, SlidingWindowForgetsOldAttack) {
+  DetectorConfig config;
+  config.window = 30;
+  RangeAmpDetector detector(config);
+  for (int i = 0; i < 10; ++i) detector.observe(attack_sample());
+  for (int i = 0; i < 60; ++i) detector.observe(benign_page_sample());
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_EQ(detector.stats().samples, 30u);
+  EXPECT_DOUBLE_EQ(detector.stats().tiny_fraction, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, SbrCampaignAmplifiesAndTripsDetector) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 5;
+  config.duration_s = 10;
+  config.edge_nodes = 4;
+  const auto result = run_sbr_campaign(config);
+  EXPECT_GT(result.amplification, 5000.0);
+  EXPECT_EQ(result.nodes_touched, 4u);
+  EXPECT_TRUE(result.detector_alarmed);
+  // 50 requests x ~10 MB from the origin.
+  EXPECT_NEAR(static_cast<double>(result.origin_response_bytes),
+              50.0 * 10 * (1u << 20), 50.0 * 64 * 1024);
+}
+
+TEST(Campaign, RoundRobinSpreadsOriginLoadEvenly) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 4;
+  config.duration_s = 8;
+  config.edge_nodes = 4;
+  const auto result = run_sbr_campaign(config);
+  ASSERT_EQ(result.per_node_upstream_bytes.size(), 4u);
+  const auto expect = result.origin_response_bytes / 4;
+  for (const auto bytes : result.per_node_upstream_bytes) {
+    EXPECT_NEAR(static_cast<double>(bytes), static_cast<double>(expect),
+                static_cast<double>(expect) * 0.05);
+  }
+}
+
+TEST(Campaign, PinnedTargetsOneNode) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 3;
+  config.duration_s = 5;
+  config.edge_nodes = 6;
+  config.selection = cdn::NodeSelection::kPinned;
+  const auto result = run_sbr_campaign(config);
+  EXPECT_EQ(result.nodes_touched, 1u);
+  EXPECT_EQ(result.per_node_upstream_bytes[0], result.origin_response_bytes);
+}
+
+TEST(Campaign, TimeSeriesSaturatesForHighRate) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 14;
+  config.duration_s = 10;
+  const auto result = run_sbr_campaign(config);
+  EXPECT_TRUE(result.bandwidth.saturated);
+  EXPECT_LT(result.bandwidth.peak_client_in_kbps, 500.0);
+}
+
+TEST(Campaign, KeyCdnCampaignUsesDoubleSends) {
+  SbrCampaignConfig config;
+  config.vendor = cdn::Vendor::kKeyCdn;
+  config.requests_per_second = 3;
+  config.duration_s = 10;
+  const auto result = run_sbr_campaign(config);
+  EXPECT_GT(result.amplification, 3000.0);
+  EXPECT_TRUE(result.detector_alarmed);
+}
+
+TEST(Campaign, MitigatedDeploymentNeitherAmplifiesNorAlarms) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 4;
+  config.duration_s = 10;
+  config.mitigation = Mitigation::kLaziness;
+  const auto result = run_sbr_campaign(config);
+  // With Laziness everywhere, the "attack" is just tiny requests: no
+  // amplification, no uplink pressure -- and the detector correctly stays
+  // silent (there is nothing to detect).
+  EXPECT_LT(result.amplification, 2.0);
+  EXPECT_FALSE(result.bandwidth.saturated);
+  EXPECT_FALSE(result.detector_alarmed);
+}
+
+TEST(Campaign, SliceMitigatedClusterCostsOneFillPerNode) {
+  SbrCampaignConfig config;
+  config.requests_per_second = 5;
+  config.duration_s = 10;
+  config.edge_nodes = 4;
+  config.mitigation = Mitigation::kSlice1M;
+  const auto result = run_sbr_campaign(config);
+  // Each node's slice cache fills once (~1 MiB each); 50 attack requests
+  // cost the origin ~4 slices total instead of 50 x 10 MB.
+  EXPECT_LT(result.origin_response_bytes, 4ull * ((1u << 20) + 65536));
+  EXPECT_GT(result.origin_response_bytes, 3ull << 20);
+}
+
+TEST(Campaign, LegitWorkloadDoesNotAlarm) {
+  LegitWorkloadConfig config;
+  config.requests = 300;
+  const auto result = run_legit_workload(config);
+  EXPECT_FALSE(result.detector_alarmed);
+  // A healthy cache: hit rate well above zero.
+  EXPECT_GT(result.cache_hit_rate, 0.1);
+  // And no amplification: origin traffic is bounded by client traffic plus
+  // cold-cache pulls of the catalog (~70 MB).
+  EXPECT_LT(result.detector_stats.asymmetry, 50.0);
+}
+
+TEST(Campaign, LegitWorkloadIsSeedDeterministic) {
+  LegitWorkloadConfig config;
+  config.requests = 100;
+  const auto a = run_legit_workload(config);
+  const auto b = run_legit_workload(config);
+  EXPECT_EQ(a.client_response_bytes, b.client_response_bytes);
+  EXPECT_EQ(a.origin_response_bytes, b.origin_response_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// OBR campaign (the node-exhaustion experiment the paper could not run)
+// ---------------------------------------------------------------------------
+
+TEST(ObrCampaign, SustainedCascadeKeepsFullPerRequestTraffic) {
+  ObrCampaignConfig config;
+  config.requests_per_second = 2;
+  config.duration_s = 5;
+  const auto result = run_obr_campaign(config);
+  ASSERT_GT(result.n, 10000u);
+  // Every request moves ~n * 1KB across fcdn-bcdn: the FCDN cache must not
+  // absorb the campaign (queries rotate).
+  EXPECT_GT(result.fcdn_bcdn_bytes_per_request, result.n * 1024ull);
+  // The origin serves each (cache-busted) request once: ~1.7 KB each.
+  EXPECT_LT(result.bcdn_origin_response_bytes, 10ull * 2000);
+  EXPECT_GT(result.amplification, 5000.0);
+}
+
+TEST(ObrCampaign, SaturatesAGigabitNodeUplinkInSeconds) {
+  ObrCampaignConfig config;
+  config.requests_per_second = 20;
+  config.duration_s = 10;
+  config.node_uplink_mbps = 1000.0;
+  const auto result = run_obr_campaign(config);
+  EXPECT_TRUE(result.bandwidth.saturated);
+  EXPECT_GE(result.seconds_to_saturation, 0.0);
+  EXPECT_LE(result.seconds_to_saturation, 3.0);
+}
+
+TEST(ObrCampaign, AzureCapPreventsSaturation) {
+  ObrCampaignConfig config;
+  config.bcdn = cdn::Vendor::kAzure;
+  config.requests_per_second = 20;
+  config.duration_s = 5;
+  const auto result = run_obr_campaign(config);
+  EXPECT_LE(result.n, 64u);
+  EXPECT_FALSE(result.bandwidth.saturated);
+  EXPECT_LT(result.seconds_to_saturation, 0.0);
+}
+
+TEST(ObrCampaign, InfeasibleCascadeReportsZero) {
+  ObrCampaignConfig config;
+  config.fcdn = cdn::Vendor::kStackPath;
+  config.bcdn = cdn::Vendor::kStackPath;
+  const auto result = run_obr_campaign(config);
+  EXPECT_EQ(result.n, 0u);
+}
+
+TEST(ObrCampaign, ExplicitNOverridesPlanner) {
+  ObrCampaignConfig config;
+  config.overlapping_ranges = 100;
+  config.requests_per_second = 1;
+  config.duration_s = 3;
+  const auto result = run_obr_campaign(config);
+  EXPECT_EQ(result.n, 100u);
+  EXPECT_GT(result.fcdn_bcdn_bytes_per_request, 100u * 1024);
+  EXPECT_LT(result.fcdn_bcdn_bytes_per_request, 140u * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(Cost, PlansExistForAllVendors) {
+  EXPECT_EQ(default_price_plans().size(), 13u);
+  for (const cdn::Vendor vendor : cdn::kAllVendors) {
+    const auto plan = price_plan(vendor);
+    EXPECT_EQ(plan.vendor, vendor);
+    EXPECT_GE(plan.egress_usd_per_gb, 0.0);
+  }
+}
+
+TEST(Cost, EstimateArithmetic) {
+  PricePlan plan;
+  plan.egress_usd_per_gb = 0.10;
+  plan.origin_pull_usd_per_gb = 0.05;
+  plan.origin_bandwidth_usd_per_gb = 0.09;
+  constexpr std::uint64_t kGiB = 1024ull * 1024 * 1024;
+  const auto cost = estimate_victim_cost(plan, 10 * kGiB, 100 * kGiB);
+  EXPECT_NEAR(cost.cdn_egress_usd, 1.0, 1e-9);
+  EXPECT_NEAR(cost.cdn_origin_pull_usd, 5.0, 1e-9);
+  EXPECT_NEAR(cost.origin_bandwidth_usd, 9.0, 1e-9);
+  EXPECT_NEAR(cost.total_usd, 15.0, 1e-9);
+}
+
+TEST(Cost, SbrCampaignCostIsAsymmetric) {
+  // One laptop at 10 req/s for a day against a 25 MB target: the victim's
+  // origin-side bill dwarfs the attacker's tiny egress share.
+  const auto plan = price_plan(cdn::Vendor::kCloudFront);
+  const auto cost = estimate_campaign_cost(plan, /*client=*/700,
+                                           /*origin=*/25u << 20,
+                                           /*rps=*/10, /*hours=*/24);
+  EXPECT_GT(cost.total_usd, 1000.0);  // thousands of dollars/day
+  EXPECT_LT(cost.cdn_egress_usd, 1.0);
+  EXPECT_GT(cost.origin_bandwidth_usd, 100.0 * cost.cdn_egress_usd);
+}
+
+}  // namespace
+}  // namespace rangeamp::core

@@ -1,0 +1,118 @@
+#include "core/obr.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::core {
+namespace {
+
+using cdn::Vendor;
+
+TEST(ObrCase, BuildersMatchTableVColumn3) {
+  // CDN77 leads with -1024; CDNsun with 1-; the rest are pure 0- chains.
+  EXPECT_EQ(obr_range_case(Vendor::kCdn77, 2).to_string(), "bytes=-1024,0-,0-");
+  EXPECT_EQ(obr_range_case(Vendor::kCdnsun, 2).to_string(), "bytes=1-,0-,0-");
+  EXPECT_EQ(obr_range_case(Vendor::kCloudflare, 3).to_string(), "bytes=0-,0-,0-");
+  EXPECT_EQ(obr_range_case(Vendor::kStackPath, 1).to_string(), "bytes=0-");
+  EXPECT_EQ(obr_case_description(Vendor::kCdn77), "bytes=-1024,0-,...,0-");
+  EXPECT_EQ(obr_case_description(Vendor::kCloudflare), "bytes=0-,0-,...,0-");
+}
+
+TEST(ObrCase, AllCasesAreGrammarValidAndOverlapping) {
+  for (const Vendor fcdn : obr_fcdn_candidates()) {
+    const auto set = obr_range_case(fcdn, 16);
+    const auto parsed = http::parse_range_header(set.to_string());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, set);
+    const auto resolved = http::resolve_all(set, 1024);
+    EXPECT_TRUE(http::any_overlap(resolved));
+  }
+}
+
+TEST(ObrCandidates, MatchTablesIIandIII) {
+  const auto fcdns = obr_fcdn_candidates();
+  EXPECT_EQ(fcdns.size(), 4u);
+  const auto bcdns = obr_bcdn_candidates();
+  EXPECT_EQ(bcdns.size(), 3u);
+}
+
+TEST(ObrOriginConfig, RangesDisabled) {
+  const auto config = obr_origin_config();
+  EXPECT_FALSE(config.supports_ranges);
+  EXPECT_FALSE(config.extra_headers.empty());
+}
+
+TEST(ObrMeasure, SelfCascadeExcluded) {
+  const auto m = measure_obr(Vendor::kStackPath, Vendor::kStackPath);
+  EXPECT_FALSE(m.feasible);
+  EXPECT_EQ(m.max_n, 0u);
+}
+
+TEST(ObrMeasure, MaxNMatchesTableV) {
+  // The header-limit arithmetic of section V-C, end to end.
+  EXPECT_EQ(measure_obr(Vendor::kCdn77, Vendor::kAkamai).max_n, 5455u);
+  EXPECT_EQ(measure_obr(Vendor::kCdnsun, Vendor::kAkamai).max_n, 5456u);
+  EXPECT_EQ(measure_obr(Vendor::kCloudflare, Vendor::kAkamai).max_n, 10750u);
+  EXPECT_EQ(measure_obr(Vendor::kStackPath, Vendor::kAkamai).max_n, 10801u);
+}
+
+TEST(ObrMeasure, AzureBcdnCappedNear64) {
+  // Azure honors at most 64 ranges; with CDN77/CDNsun's leading extra spec
+  // the overlapping-n lands at 63, with pure 0- chains at 64 (the paper
+  // reports 64 for all; the off-by-one is the leading spec's accounting).
+  EXPECT_EQ(measure_obr(Vendor::kCloudflare, Vendor::kAzure).max_n, 64u);
+  EXPECT_EQ(measure_obr(Vendor::kStackPath, Vendor::kAzure).max_n, 64u);
+  EXPECT_EQ(measure_obr(Vendor::kCdn77, Vendor::kAzure).max_n, 63u);
+  EXPECT_EQ(measure_obr(Vendor::kCdnsun, Vendor::kAzure).max_n, 63u);
+}
+
+TEST(ObrMeasure, AmplificationScalesWithN) {
+  // fcdn-bcdn traffic is ~n * (resource + part overhead): the headline
+  // Cloudflare->Akamai cascade must land in Table V's range.
+  const auto m = measure_obr(Vendor::kCloudflare, Vendor::kAkamai);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_NEAR(m.amplification, 7432.0, 150.0);
+  EXPECT_GT(m.fcdn_bcdn_response_bytes, m.max_n * 1024u);
+  // The origin served the 1 KB resource exactly once.
+  EXPECT_LT(m.bcdn_origin_response_bytes, 2000u);
+  EXPECT_NEAR(static_cast<double>(m.bcdn_origin_response_bytes), 1676.0, 30.0);
+}
+
+TEST(ObrMeasure, AttackerReceivesAlmostNothing) {
+  const auto m = measure_obr(Vendor::kCloudflare, Vendor::kAkamai);
+  // The early-abort trick: the attacker accepted a few KB of a 12 MB body.
+  EXPECT_LT(m.client_response_bytes, 8 * 1024u);
+  EXPECT_GT(m.fcdn_bcdn_response_bytes, 1000 * m.client_response_bytes);
+}
+
+TEST(ObrMeasure, AllElevenCombinationsFeasible) {
+  const auto all = measure_all_obr();
+  std::size_t feasible = 0;
+  for (const auto& m : all) {
+    if (m.feasible) {
+      ++feasible;
+      EXPECT_GT(m.amplification, 10.0)
+          << cdn::vendor_name(m.fcdn) << "->" << cdn::vendor_name(m.bcdn);
+    }
+  }
+  EXPECT_EQ(all.size(), 12u);
+  EXPECT_EQ(feasible, 11u);  // paper: 11 combinations
+}
+
+TEST(ObrMeasure, AkamaiBcdnBeatsAzureBcdn) {
+  // Table V shape: Azure's 64-range cap keeps its amplification ~50, two
+  // orders of magnitude below Akamai's.
+  const auto akamai = measure_obr(Vendor::kCdn77, Vendor::kAkamai);
+  const auto azure = measure_obr(Vendor::kCdn77, Vendor::kAzure);
+  EXPECT_GT(akamai.amplification, 50 * azure.amplification);
+  EXPECT_NEAR(azure.amplification, 53.0, 5.0);
+}
+
+TEST(ObrMeasure, BiggerResourceRaisesTrafficNotN) {
+  const auto small = measure_obr(Vendor::kCloudflare, Vendor::kAkamai, 1024);
+  const auto large = measure_obr(Vendor::kCloudflare, Vendor::kAkamai, 4096);
+  EXPECT_EQ(small.max_n, large.max_n);
+  EXPECT_GT(large.fcdn_bcdn_response_bytes, 3 * small.fcdn_bcdn_response_bytes);
+}
+
+}  // namespace
+}  // namespace rangeamp::core

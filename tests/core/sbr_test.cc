@@ -1,0 +1,132 @@
+#include "core/sbr.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::core {
+namespace {
+
+using cdn::Vendor;
+constexpr std::uint64_t kMiB = 1u << 20;
+
+TEST(SbrPlan, MatchesTableIVColumn2) {
+  EXPECT_EQ(sbr_plan(Vendor::kAkamai, kMiB).description, "bytes=0-0");
+  EXPECT_EQ(sbr_plan(Vendor::kAlibabaCloud, kMiB).description, "bytes=-1");
+  EXPECT_EQ(sbr_plan(Vendor::kAzure, kMiB).description, "bytes=0-0 (F<=8MB)");
+  EXPECT_EQ(sbr_plan(Vendor::kAzure, 25 * kMiB).description,
+            "bytes=8388608-8388608 (F>8MB)");
+  EXPECT_EQ(sbr_plan(Vendor::kCloudFront, kMiB).description,
+            "bytes=0-0,9437184-9437184");
+  EXPECT_EQ(sbr_plan(Vendor::kHuaweiCloud, kMiB).description, "bytes=-1 (F<10MB)");
+  EXPECT_EQ(sbr_plan(Vendor::kHuaweiCloud, 10 * kMiB).description,
+            "bytes=0-0 (F>=10MB)");
+  EXPECT_EQ(sbr_plan(Vendor::kKeyCdn, kMiB).sends, 2);
+  EXPECT_EQ(sbr_plan(Vendor::kAkamai, kMiB).sends, 1);
+}
+
+TEST(SbrPlan, RangeSetsAreValid) {
+  for (const Vendor vendor : cdn::kAllVendors) {
+    for (const std::uint64_t size : {kMiB, 10 * kMiB, 25 * kMiB}) {
+      const SbrPlan plan = sbr_plan(vendor, size);
+      EXPECT_FALSE(plan.range.empty());
+      const auto reparsed = http::parse_range_header(plan.range.to_string());
+      ASSERT_TRUE(reparsed) << plan.description;
+    }
+  }
+}
+
+TEST(SbrMeasure, EveryVendorAmplifiesAboveThousandAt10MB) {
+  // Table IV: the smallest 10 MB amplification factor is KeyCDN's ~7100;
+  // everything must clear 1000 by a wide margin.
+  for (const Vendor vendor : cdn::kAllVendors) {
+    const auto m = measure_sbr(vendor, 10 * kMiB);
+    EXPECT_GT(m.amplification, 1000.0) << cdn::vendor_name(vendor);
+    EXPECT_LT(m.client_response_bytes, 2000u) << cdn::vendor_name(vendor);
+  }
+}
+
+TEST(SbrMeasure, PaperHeadlineNumbers) {
+  // "using Akamai or G-Core Labs ... response traffic 43000 times larger".
+  EXPECT_NEAR(measure_sbr(Vendor::kAkamai, 25 * kMiB).amplification, 43093, 500);
+  EXPECT_NEAR(measure_sbr(Vendor::kGcoreLabs, 25 * kMiB).amplification, 43330, 500);
+  EXPECT_NEAR(measure_sbr(Vendor::kCloudflare, 25 * kMiB).amplification, 31836,
+              500);
+  EXPECT_NEAR(measure_sbr(Vendor::kKeyCdn, 25 * kMiB).amplification, 17744, 300);
+}
+
+TEST(SbrMeasure, AzureFlattensPast16MB) {
+  const auto at17 = measure_sbr(Vendor::kAzure, 17 * kMiB);
+  const auto at25 = measure_sbr(Vendor::kAzure, 25 * kMiB);
+  EXPECT_NEAR(at17.amplification, at25.amplification, at25.amplification * 0.02);
+  // And both ship ~16 MB from the origin, not the file size.
+  EXPECT_NEAR(static_cast<double>(at25.origin_response_bytes), 16.0 * kMiB,
+              0.1 * kMiB);
+}
+
+TEST(SbrMeasure, CloudFrontFlattensPast10MB) {
+  const auto at10 = measure_sbr(Vendor::kCloudFront, 10 * kMiB);
+  const auto at25 = measure_sbr(Vendor::kCloudFront, 25 * kMiB);
+  EXPECT_NEAR(at10.amplification, at25.amplification, at25.amplification * 0.02);
+  EXPECT_NEAR(static_cast<double>(at25.origin_response_bytes), 10.0 * kMiB,
+              0.1 * kMiB);
+}
+
+TEST(SbrMeasure, KeyCdnClientTrafficIsLargest) {
+  // Fig 6b: KeyCDN generates the largest client-side response traffic
+  // (two responses per amplification unit).
+  const auto keycdn = measure_sbr(Vendor::kKeyCdn, 10 * kMiB);
+  for (const Vendor vendor : cdn::kAllVendors) {
+    if (vendor == Vendor::kKeyCdn) continue;
+    const auto other = measure_sbr(vendor, 10 * kMiB);
+    EXPECT_GT(keycdn.client_response_bytes, other.client_response_bytes)
+        << cdn::vendor_name(vendor);
+  }
+}
+
+TEST(SbrMeasure, AkamaiAndGcoreHaveSteepestSlopes) {
+  // Fig 6a: fewer response headers -> larger amplification.
+  const auto akamai = measure_sbr(Vendor::kAkamai, 25 * kMiB);
+  const auto gcore = measure_sbr(Vendor::kGcoreLabs, 25 * kMiB);
+  for (const Vendor vendor : cdn::kAllVendors) {
+    if (vendor == Vendor::kAkamai || vendor == Vendor::kGcoreLabs) continue;
+    const auto other = measure_sbr(vendor, 25 * kMiB);
+    EXPECT_GT(akamai.amplification, other.amplification)
+        << cdn::vendor_name(vendor);
+    EXPECT_GT(gcore.amplification, other.amplification)
+        << cdn::vendor_name(vendor);
+  }
+}
+
+// Property sweep: amplification grows monotonically with file size for
+// Deletion-policy vendors (Fig 6a's "basically proportional").
+class SbrMonotonicity : public ::testing::TestWithParam<Vendor> {};
+
+TEST_P(SbrMonotonicity, AmplificationGrowsWithFileSize) {
+  const auto sweep =
+      sweep_sbr(GetParam(), {1 * kMiB, 5 * kMiB, 10 * kMiB, 20 * kMiB});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].amplification, sweep[i - 1].amplification)
+        << sweep[i].file_size;
+  }
+  // And it is roughly linear: AF(20MB) ~ 20 * AF(1MB) within 15%.
+  EXPECT_NEAR(sweep[3].amplification, 20.0 * sweep[0].amplification,
+              3.0 * sweep[0].amplification);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeletionVendors, SbrMonotonicity,
+                         ::testing::Values(Vendor::kAkamai, Vendor::kCdn77,
+                                           Vendor::kCdnsun, Vendor::kCloudflare,
+                                           Vendor::kFastly, Vendor::kGcoreLabs,
+                                           Vendor::kStackPath,
+                                           Vendor::kTencentCloud,
+                                           Vendor::kAlibabaCloud,
+                                           Vendor::kKeyCdn));
+
+TEST(SbrMeasure, MeasurementIsDeterministic) {
+  const auto a = measure_sbr(Vendor::kFastly, 3 * kMiB);
+  const auto b = measure_sbr(Vendor::kFastly, 3 * kMiB);
+  EXPECT_EQ(a.client_response_bytes, b.client_response_bytes);
+  EXPECT_EQ(a.origin_response_bytes, b.origin_response_bytes);
+}
+
+}  // namespace
+}  // namespace rangeamp::core

@@ -1,0 +1,155 @@
+#include "core/scanner.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::core {
+namespace {
+
+using cdn::Vendor;
+
+TEST(ForwardProbes, CoverTheAttackShapes) {
+  const auto probes = standard_forward_probes();
+  EXPECT_GE(probes.size(), 8u);
+  for (const auto& probe : probes) {
+    EXPECT_FALSE(probe.range.empty()) << probe.label;
+    // Every probe is grammar-valid.
+    EXPECT_TRUE(http::parse_range_header(probe.range.to_string()))
+        << probe.label;
+  }
+}
+
+TEST(OriginView, SummaryJoinsWithAmpersand) {
+  OriginView view;
+  EXPECT_EQ(view.summary(), "(no origin request)");
+  view.forwarded = {"None"};
+  EXPECT_EQ(view.summary(), "None");
+  view.forwarded = {"None", "bytes=8388608-16777215"};
+  EXPECT_EQ(view.summary(), "None & bytes=8388608-16777215");
+}
+
+TEST(ScanForwarding, FindsAllThirteenSbrVulnerable) {
+  std::size_t vulnerable = 0;
+  for (const Vendor vendor : cdn::kAllVendors) {
+    const auto observations = scan_forwarding(vendor);
+    bool any = false;
+    for (const auto& obs : observations) {
+      if (obs.sbr_vulnerable) any = true;
+    }
+    if (any) ++vulnerable;
+  }
+  EXPECT_EQ(vulnerable, 13u);  // Table I: all 13 CDNs
+}
+
+TEST(ScanForwarding, AkamaiSignature) {
+  const auto observations = scan_forwarding(Vendor::kAkamai, {}, {1u << 20});
+  bool tiny_deleted = false, suffix_deleted = false, open_lazy = false;
+  for (const auto& obs : observations) {
+    if (obs.probe_label == "bytes=first-last (tiny)") {
+      tiny_deleted = obs.first_request.summary() == "None";
+    }
+    if (obs.probe_label == "bytes=-suffix") {
+      suffix_deleted = obs.first_request.summary() == "None";
+    }
+    if (obs.probe_label == "bytes=first-") {
+      open_lazy = obs.first_request.summary() == "Unchanged";
+    }
+  }
+  EXPECT_TRUE(tiny_deleted);
+  EXPECT_TRUE(suffix_deleted);
+  EXPECT_TRUE(open_lazy);
+}
+
+TEST(ScanForwarding, KeyCdnStatefulSignature) {
+  const auto observations = scan_forwarding(Vendor::kKeyCdn, {}, {1u << 20});
+  for (const auto& obs : observations) {
+    if (obs.probe_label != "bytes=first-last (tiny)") continue;
+    EXPECT_EQ(obs.first_request.summary(), "Unchanged");
+    EXPECT_EQ(obs.second_request.summary(), "None");
+    EXPECT_TRUE(obs.sbr_vulnerable);
+  }
+}
+
+TEST(ScanForwarding, AzureSizeConditionalSignature) {
+  const auto small = scan_forwarding(Vendor::kAzure, {}, {1u << 20});
+  const auto large = scan_forwarding(Vendor::kAzure, {}, {12u << 20});
+  for (const auto& obs : small) {
+    if (obs.probe_label == "bytes=first-last (second 8MiB window)") {
+      // 8388608 >= 1MB file: unsatisfiable -> still a Deletion fetch, but
+      // whatever happens it must not be the window pattern.
+      EXPECT_EQ(obs.first_request.forwarded[0], "None");
+    }
+  }
+  bool window_seen = false;
+  for (const auto& obs : large) {
+    if (obs.probe_label == "bytes=first-last (second 8MiB window)") {
+      window_seen = obs.first_request.summary() == "None & bytes=8388608-16777215";
+    }
+  }
+  EXPECT_TRUE(window_seen);
+}
+
+TEST(ScanForwarding, ObrVulnerabilityOnlyForLazyMultiForwarders) {
+  std::set<std::string_view> fcdn_capable;
+  for (const Vendor vendor : cdn::kAllVendors) {
+    cdn::ProfileOptions options;
+    if (vendor == Vendor::kCloudflare) {
+      options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+    }
+    for (const auto& obs : scan_forwarding(vendor, options, {1u << 20})) {
+      if (obs.obr_forward_vulnerable) fcdn_capable.insert(cdn::vendor_name(vendor));
+    }
+  }
+  EXPECT_EQ(fcdn_capable,
+            (std::set<std::string_view>{"CDN77", "CDNsun", "Cloudflare",
+                                        "StackPath"}));
+}
+
+TEST(ScanCorpus, ClassifiesDeterministically) {
+  const auto a = scan_corpus(Vendor::kFastly, 7, 35, 1u << 20);
+  const auto b = scan_corpus(Vendor::kFastly, 7, 35, 1u << 20);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].total, b[i].total);
+    EXPECT_EQ(a[i].deleted, b[i].deleted);
+    EXPECT_EQ(a[i].lazy, b[i].lazy);
+    total += a[i].total;
+  }
+  EXPECT_EQ(total, 35u);
+}
+
+TEST(ScanCorpus, TinyClosedAlwaysDeletedOnDeletionVendor) {
+  const auto rows = scan_corpus(Vendor::kGcoreLabs, 11, 70, 1u << 20);
+  for (const auto& row : rows) {
+    if (row.shape == http::RangeShape::kTinyClosed) {
+      EXPECT_EQ(row.deleted, row.total);
+      EXPECT_EQ(row.lazy, 0u);
+    }
+    if (row.shape == http::RangeShape::kSingleOpen) {
+      EXPECT_EQ(row.lazy, row.total);
+    }
+  }
+}
+
+TEST(ScanReplying, MatchesTableIII) {
+  const auto akamai = scan_replying(Vendor::kAkamai);
+  EXPECT_TRUE(akamai.obr_reply_vulnerable);
+  EXPECT_EQ(akamai.honored_cap, 0u);  // unlimited within tested bound
+
+  const auto azure = scan_replying(Vendor::kAzure);
+  EXPECT_TRUE(azure.obr_reply_vulnerable);
+  EXPECT_EQ(azure.honored_cap, 64u);
+
+  const auto stackpath = scan_replying(Vendor::kStackPath);
+  EXPECT_TRUE(stackpath.obr_reply_vulnerable);
+
+  for (const Vendor vendor :
+       {Vendor::kAlibabaCloud, Vendor::kCdn77, Vendor::kCloudflare,
+        Vendor::kFastly, Vendor::kGcoreLabs, Vendor::kTencentCloud}) {
+    EXPECT_FALSE(scan_replying(vendor).obr_reply_vulnerable)
+        << cdn::vendor_name(vendor);
+  }
+}
+
+}  // namespace
+}  // namespace rangeamp::core

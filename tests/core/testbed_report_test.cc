@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/testbed.h"
+#include "http/serialize.h"
+
+namespace rangeamp::core {
+namespace {
+
+using cdn::Vendor;
+
+// ---------------------------------------------------------------------------
+// Testbeds
+// ---------------------------------------------------------------------------
+
+TEST(SingleCdnTestbed, WiresSegmentsWithMatchingByteCounts) {
+  SingleCdnTestbed bed(cdn::make_profile(Vendor::kFastly));
+  bed.origin().resources().add_synthetic("/a.bin", 2048);
+  auto req = http::make_get("h.example", "/a.bin");
+  const auto resp = bed.send(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(bed.client_traffic().request_bytes(), http::serialized_size(req));
+  EXPECT_EQ(bed.client_traffic().response_bytes(), http::serialized_size(resp));
+  EXPECT_GT(bed.origin_traffic().response_bytes(), 2048u);
+  EXPECT_EQ(bed.client_traffic().name(), "client-cdn");
+  EXPECT_EQ(bed.origin_traffic().name(), "cdn-origin");
+}
+
+TEST(CascadeTestbed, ThreeSegmentsAllRecorded) {
+  cdn::ProfileOptions bypass;
+  bypass.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  CascadeTestbed bed(cdn::make_profile(Vendor::kCloudflare, bypass),
+                     cdn::make_profile(Vendor::kAkamai));
+  bed.origin().resources().add_synthetic("/a.bin", 2048);
+  const auto resp = bed.send(http::make_get("h.example", "/a.bin"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_GT(bed.client_traffic().response_bytes(), 2048u);
+  EXPECT_GT(bed.fcdn_bcdn_traffic().response_bytes(), 2048u);
+  EXPECT_GT(bed.bcdn_origin_traffic().response_bytes(), 2048u);
+  EXPECT_EQ(bed.fcdn_bcdn_traffic().name(), "fcdn-bcdn");
+  EXPECT_EQ(bed.bcdn_origin_traffic().name(), "bcdn-origin");
+}
+
+TEST(CascadeTestbed, BcdnCacheShieldsOrigin) {
+  cdn::ProfileOptions bypass;
+  bypass.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  CascadeTestbed bed(cdn::make_profile(Vendor::kCloudflare, bypass),
+                     cdn::make_profile(Vendor::kAkamai));
+  bed.origin().resources().add_synthetic("/a.bin", 2048);
+  bed.send(http::make_get("h.example", "/a.bin"));
+  const auto origin_bytes = bed.bcdn_origin_traffic().response_bytes();
+  bed.send(http::make_get("h.example", "/a.bin"));
+  // FCDN is bypass (no cache) so the BCDN sees the request again -- but
+  // serves it from its own cache.
+  EXPECT_EQ(bed.bcdn_origin_traffic().response_bytes(), origin_bytes);
+  EXPECT_GT(bed.fcdn_bcdn_traffic().exchange_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+TEST(Report, MarkdownShapesUp) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(md.find("|-----|----|"), std::string::npos);
+  EXPECT_NE(md.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Report, MarkdownToleratesShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| only |"), std::string::npos);
+}
+
+TEST(Report, CsvIsPlain) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Report, JsonShapesUpAndEscapes) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"tricky \"x\"", "a\\b\nc"});
+  EXPECT_EQ(t.to_json(),
+            "[{\"name\":\"plain\",\"value\":\"1\"},"
+            "{\"name\":\"tricky \\\"x\\\"\",\"value\":\"a\\\\b\\nc\"}]");
+  Table empty({"a"});
+  EXPECT_EQ(empty.to_json(), "[]");
+}
+
+TEST(Report, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(26214400), "26,214,400");
+  EXPECT_EQ(with_thousands(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(Report, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(43093.0, 0), "43093");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rangeamp_report_test.csv";
+  ASSERT_TRUE(write_file(path, "a,b\n1,2\n"));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-xyz/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace rangeamp::core

@@ -1,0 +1,133 @@
+#include "http/body.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rangeamp::http {
+namespace {
+
+TEST(SyntheticByte, DeterministicInSeedAndOffset) {
+  EXPECT_EQ(synthetic_byte(1, 0), synthetic_byte(1, 0));
+  EXPECT_EQ(synthetic_byte(7, 123456), synthetic_byte(7, 123456));
+  // Different seeds/offsets should (for these samples) differ.
+  EXPECT_NE(synthetic_byte(1, 0), synthetic_byte(2, 0));
+}
+
+TEST(Body, LiteralRoundTrip) {
+  const Body b = Body::literal("hello world");
+  EXPECT_EQ(b.size(), 11u);
+  EXPECT_EQ(b.materialize(), "hello world");
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Body, EmptyBody) {
+  Body b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.materialize(), "");
+}
+
+TEST(Body, SyntheticSizeIsO1AndConsistent) {
+  const Body b = Body::synthetic(42, 0, 25u << 20);
+  EXPECT_EQ(b.size(), 25u << 20);
+  // at() agrees with materialize() on a small body.
+  const Body small = Body::synthetic(42, 0, 64);
+  const std::string bytes = small.materialize();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(bytes[i]), small.at(i)) << i;
+  }
+}
+
+TEST(Body, SliceOfSyntheticEqualsSubstringOfWhole) {
+  const Body whole = Body::synthetic(9, 0, 1024);
+  const std::string all = whole.materialize();
+  const Body slice = whole.slice(100, 200);
+  EXPECT_EQ(slice.size(), 200u);
+  EXPECT_EQ(slice.materialize(), all.substr(100, 200));
+}
+
+TEST(Body, SliceAcrossMixedChunks) {
+  Body b = Body::literal("header:");
+  b.append_synthetic(5, 0, 100);
+  b.append_literal(":footer");
+  const std::string all = b.materialize();
+  ASSERT_EQ(all.size(), 114u);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> cases{
+      {0, 114}, {3, 20}, {6, 2}, {7, 100}, {106, 8}, {113, 1}, {50, 0}};
+  for (const auto& [first, len] : cases) {
+    EXPECT_EQ(b.slice(first, len).materialize(),
+              all.substr(static_cast<std::size_t>(first), static_cast<std::size_t>(len)))
+        << first << "+" << len;
+  }
+}
+
+TEST(Body, AppendMergesAdjacentChunks) {
+  Body b;
+  b.append_literal("ab");
+  b.append_literal("cd");
+  EXPECT_EQ(b.chunks().size(), 1u);
+  b.append_synthetic(3, 0, 10);
+  b.append_synthetic(3, 10, 10);  // contiguous -> merged
+  EXPECT_EQ(b.chunks().size(), 2u);
+  b.append_synthetic(3, 100, 5);  // gap -> new chunk
+  EXPECT_EQ(b.chunks().size(), 3u);
+  b.append_synthetic(4, 105, 5);  // different seed -> new chunk
+  EXPECT_EQ(b.chunks().size(), 4u);
+  EXPECT_EQ(b.size(), 4u + 20u + 5u + 5u);
+}
+
+TEST(Body, AppendIgnoresEmptyChunks) {
+  Body b;
+  b.append_literal("");
+  b.append_synthetic(1, 0, 0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.chunks().empty());
+}
+
+TEST(Body, TruncateShortensAndIsIdempotent) {
+  Body b = Body::synthetic(8, 0, 1000);
+  const std::string before = b.materialize();
+  b.truncate(300);
+  EXPECT_EQ(b.size(), 300u);
+  EXPECT_EQ(b.materialize(), before.substr(0, 300));
+  b.truncate(300);
+  EXPECT_EQ(b.size(), 300u);
+  b.truncate(1000);  // larger than current: no-op
+  EXPECT_EQ(b.size(), 300u);
+}
+
+TEST(Body, EqualityComparesLogicalBytes) {
+  // Same logical bytes, different chunking.
+  Body a = Body::synthetic(6, 0, 50);
+  Body b;
+  b.append_synthetic(6, 0, 20);
+  b.append_synthetic(6, 20, 30);
+  EXPECT_EQ(a, b);
+  Body c = Body::literal(a.materialize());
+  EXPECT_EQ(a, c);
+  Body d = Body::synthetic(6, 1, 50);
+  EXPECT_NE(a, d);
+  EXPECT_NE(a, Body::synthetic(6, 0, 49));
+}
+
+TEST(Body, AppendBodyConcatenates) {
+  Body a = Body::literal("xy");
+  Body b = Body::synthetic(2, 0, 8);
+  Body c;
+  c.append_body(a);
+  c.append_body(b);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(c.materialize(), a.materialize() + b.materialize());
+}
+
+TEST(Body, SliceWholeBodyIsIdentity) {
+  Body b;
+  b.append_literal("head");
+  b.append_synthetic(11, 7, 33);
+  const Body s = b.slice(0, b.size());
+  EXPECT_EQ(s, b);
+}
+
+}  // namespace
+}  // namespace rangeamp::http

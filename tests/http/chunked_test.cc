@@ -1,0 +1,75 @@
+#include "http/chunked.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::http {
+namespace {
+
+TEST(Chunked, EncodeSmallBody) {
+  const Body framed = encode_chunked(Body::literal("hello"), 8);
+  EXPECT_EQ(framed.materialize(), "5\r\nhello\r\n0\r\n\r\n");
+}
+
+TEST(Chunked, EncodeSplitsAtChunkSize) {
+  const Body framed = encode_chunked(Body::literal("abcdefghij"), 4);
+  EXPECT_EQ(framed.materialize(),
+            "4\r\nabcd\r\n4\r\nefgh\r\n2\r\nij\r\n0\r\n\r\n");
+}
+
+TEST(Chunked, EmptyBodyIsJustTerminator) {
+  EXPECT_EQ(encode_chunked(Body{}, 8).materialize(), "0\r\n\r\n");
+}
+
+TEST(Chunked, SizeHelperMatchesEncoding) {
+  for (const std::uint64_t size : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull,
+                                   8192ull, 100000ull}) {
+    const Body body = Body::synthetic(13, 0, size);
+    EXPECT_EQ(encode_chunked(body).size(), chunked_size(size)) << size;
+    EXPECT_EQ(encode_chunked(body, 100).size(), chunked_size(size, 100)) << size;
+  }
+}
+
+TEST(Chunked, RoundTrip) {
+  const Body body = Body::synthetic(21, 0, 50000);
+  const Body framed = encode_chunked(body);
+  const auto decoded = decode_chunked(framed.materialize());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, body);
+}
+
+TEST(Chunked, DecodeAcceptsExtensionsAndTrailers) {
+  const auto decoded = decode_chunked(
+      "5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->materialize(), "hello");
+}
+
+TEST(Chunked, DecodeRejectsFramingErrors) {
+  EXPECT_FALSE(decode_chunked("5\r\nhell"));              // truncated payload
+  EXPECT_FALSE(decode_chunked("5\r\nhelloXX0\r\n\r\n"));  // missing CRLF
+  EXPECT_FALSE(decode_chunked("zz\r\nhello\r\n0\r\n\r\n"));  // bad size
+  EXPECT_FALSE(decode_chunked("5\r\nhello\r\n"));         // no terminator
+  EXPECT_FALSE(decode_chunked(""));
+}
+
+TEST(Chunked, ResponseCodingHelpers) {
+  Response resp = make_response(kOk, Body::synthetic(5, 0, 1000));
+  apply_chunked_coding(resp, 256);
+  EXPECT_TRUE(is_chunked(resp));
+  EXPECT_FALSE(resp.headers.has("Content-Length"));
+  EXPECT_EQ(resp.body.size(), chunked_size(1000, 256));
+
+  ASSERT_TRUE(remove_chunked_coding(resp));
+  EXPECT_FALSE(is_chunked(resp));
+  EXPECT_EQ(resp.headers.get("Content-Length"), "1000");
+  EXPECT_EQ(resp.body, Body::synthetic(5, 0, 1000));
+}
+
+TEST(Chunked, RemoveCodingIsNoopOnPlainResponses) {
+  Response resp = make_response(kOk, Body::literal("xy"));
+  EXPECT_TRUE(remove_chunked_coding(resp));
+  EXPECT_EQ(resp.body.materialize(), "xy");
+}
+
+}  // namespace
+}  // namespace rangeamp::http

@@ -1,0 +1,55 @@
+#include "http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::http {
+namespace {
+
+TEST(HttpDate, FormatsKnownInstants) {
+  EXPECT_EQ(format_http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+  // The RFC 7231 example instant.
+  EXPECT_EQ(format_http_date(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+  // The testbed's frozen clocks.
+  EXPECT_EQ(format_http_date(1594005753), "Mon, 06 Jul 2020 03:22:33 GMT");
+}
+
+TEST(HttpDate, ParsesWhatItFormats) {
+  for (const std::int64_t ts :
+       {0LL, 1LL, 86399LL, 86400LL, 784111777LL, 951868800LL /* 2000-02-29 */,
+        1594005753LL, 4102444800LL /* 2100-01-01 */}) {
+    const std::string text = format_http_date(ts);
+    const auto parsed = parse_http_date(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(*parsed, ts) << text;
+  }
+}
+
+TEST(HttpDate, ParsesRfcExample) {
+  const auto parsed = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, 784111777);
+}
+
+TEST(HttpDate, RejectsMalformedDates) {
+  EXPECT_FALSE(parse_http_date(""));
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 08:49:37"));        // no GMT
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 08:49:37 UTC"));    // not GMT
+  EXPECT_FALSE(parse_http_date("Sunday, 06-Nov-94 08:49:37 GMT"));   // RFC 850
+  EXPECT_FALSE(parse_http_date("Sun Nov  6 08:49:37 1994"));         // asctime
+  EXPECT_FALSE(parse_http_date("Sun, 32 Nov 1994 08:49:37 GMT"));    // day 32
+  EXPECT_FALSE(parse_http_date("Sun, 06 Foo 1994 08:49:37 GMT"));    // month
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 24:49:37 GMT"));    // hour 24
+  EXPECT_FALSE(parse_http_date("Xxx, 06 Nov 1994 08:49:37 GMT"));    // weekday
+  // Right shape, wrong weekday for the date: rejected by consistency check.
+  EXPECT_FALSE(parse_http_date("Mon, 06 Nov 1994 08:49:37 GMT"));
+}
+
+TEST(HttpDate, OrderingMatchesInstants) {
+  const auto early = parse_http_date("Mon, 06 Jul 2020 11:22:33 GMT");
+  const auto late = parse_http_date("Tue, 07 Jul 2020 03:14:15 GMT");
+  ASSERT_TRUE(early && late);
+  EXPECT_LT(*early, *late);
+}
+
+}  // namespace
+}  // namespace rangeamp::http

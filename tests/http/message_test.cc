@@ -1,0 +1,141 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+#include "http/serialize.h"
+
+namespace rangeamp::http {
+namespace {
+
+TEST(Message, PathAndQuerySplit) {
+  Request req;
+  req.target = "/a/b.bin?x=1&y=2";
+  EXPECT_EQ(req.path(), "/a/b.bin");
+  EXPECT_EQ(req.query(), "x=1&y=2");
+  req.target = "/plain";
+  EXPECT_EQ(req.path(), "/plain");
+  EXPECT_EQ(req.query(), "");
+  req.target = "/q?";
+  EXPECT_EQ(req.path(), "/q");
+  EXPECT_EQ(req.query(), "");
+}
+
+TEST(Message, RequestLineSizeMatchesSerializedLine) {
+  Request req = make_get("example.com", "/x");
+  // "GET /x HTTP/1.1" = 15
+  EXPECT_EQ(req.request_line_size(), 15u);
+  const std::string bytes = to_bytes(req);
+  EXPECT_EQ(bytes.find("\r\n"), req.request_line_size());
+}
+
+TEST(Message, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(206), "Partial Content");
+  EXPECT_EQ(reason_phrase(416), "Range Not Satisfiable");
+  EXPECT_EQ(reason_phrase(431), "Request Header Fields Too Large");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+TEST(Message, MakeResponseSetsContentLength) {
+  const Response resp = make_response(kOk, Body::literal("abcd"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers.get("Content-Length"), "4");
+  EXPECT_TRUE(resp.ok());
+  EXPECT_FALSE(make_response(kNotFound).ok());
+}
+
+TEST(Serialize, RequestBytesAreExact) {
+  Request req = make_get("example.com", "/1KB.jpg");
+  req.headers.add("Range", "bytes=0-0");
+  const std::string bytes = to_bytes(req);
+  EXPECT_EQ(bytes,
+            "GET /1KB.jpg HTTP/1.1\r\n"
+            "Host: example.com\r\n"
+            "Range: bytes=0-0\r\n"
+            "\r\n");
+  EXPECT_EQ(serialized_size(req), bytes.size());
+}
+
+TEST(Serialize, ResponseBytesAreExact) {
+  Response resp;
+  resp.status = kPartialContent;
+  resp.headers.add("Content-Length", "1");
+  resp.headers.add("Content-Range", "bytes 0-0/1000");
+  resp.body = Body::literal("x");
+  const std::string bytes = to_bytes(resp);
+  EXPECT_EQ(bytes,
+            "HTTP/1.1 206 Partial Content\r\n"
+            "Content-Length: 1\r\n"
+            "Content-Range: bytes 0-0/1000\r\n"
+            "\r\nx");
+  EXPECT_EQ(serialized_size(resp), bytes.size());
+}
+
+TEST(Serialize, SizeOfSyntheticBodyWithoutMaterializing) {
+  Response resp = make_response(kOk, Body::synthetic(1, 0, 25u << 20));
+  // status line "HTTP/1.1 200 OK" 15 + CRLF 2 +
+  // "Content-Length: 26214400\r\n" 26 + blank 2.
+  EXPECT_EQ(serialized_size(resp), 15u + 2 + 26 + 2 + (25u << 20));
+}
+
+TEST(Serialize, TruncatedSizeCapsBodyOnly) {
+  Response resp = make_response(kOk, Body::synthetic(1, 0, 1000));
+  const auto full = serialized_size(resp);
+  EXPECT_EQ(serialized_size_truncated(resp, 100), full - 900);
+  EXPECT_EQ(serialized_size_truncated(resp, 0), full - 1000);
+  EXPECT_EQ(serialized_size_truncated(resp, 5000), full);
+}
+
+TEST(Parse, RequestRoundTrip) {
+  Request req = make_get("h.example", "/p?q=1");
+  req.headers.add("Range", "bytes=-2");
+  const auto parsed = parse_request(to_bytes(req));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->method, Method::GET);
+  EXPECT_EQ(parsed->target, "/p?q=1");
+  EXPECT_EQ(parsed->headers.get("Host"), "h.example");
+  EXPECT_EQ(parsed->headers.get("Range"), "bytes=-2");
+}
+
+TEST(Parse, ResponseRoundTrip) {
+  Response resp = make_response(kPartialContent, Body::literal("abc"));
+  resp.headers.add("Content-Range", "bytes 0-2/10");
+  const auto parsed = parse_response(to_bytes(resp));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, 206);
+  EXPECT_EQ(parsed->body.materialize(), "abc");
+  EXPECT_EQ(parsed->headers.get("Content-Range"), "bytes 0-2/10");
+}
+
+TEST(Parse, RejectsGarbage) {
+  EXPECT_FALSE(parse_request("not http"));
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n"));           // missing version
+  EXPECT_FALSE(parse_request("BREW /pot HTTP/1.1\r\n\r\n"));  // unknown method
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"));
+  EXPECT_FALSE(parse_response("HTTP/1.1 banana OK\r\n\r\n"));
+  EXPECT_FALSE(parse_response("HTTP/1.1 99 Too Low\r\n\r\n"));
+  // Declared body longer than payload.
+  EXPECT_FALSE(parse_response("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc"));
+}
+
+TEST(Parse, HeaderValueOwsIsTrimmed) {
+  const auto parsed =
+      parse_request("GET / HTTP/1.1\r\nHost:   spaced.example  \r\n\r\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->headers.get("Host"), "spaced.example");
+}
+
+TEST(Parse, MethodNames) {
+  for (Method m : {Method::GET, Method::HEAD, Method::POST, Method::PUT,
+                   Method::DELETE, Method::OPTIONS}) {
+    Request req;
+    req.method = m;
+    req.headers.add("Host", "x");
+    const auto parsed = parse_request(to_bytes(req));
+    ASSERT_TRUE(parsed) << method_name(m);
+    EXPECT_EQ(parsed->method, m);
+  }
+}
+
+}  // namespace
+}  // namespace rangeamp::http

@@ -1,0 +1,262 @@
+#include "http2/hpack.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::http2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prefix integers (RFC 7541 section 5.1, incl. the C.1 examples)
+// ---------------------------------------------------------------------------
+
+std::string enc(std::uint64_t value, int prefix, std::uint8_t flags = 0) {
+  std::string out;
+  encode_integer(value, prefix, flags, out);
+  return out;
+}
+
+TEST(HpackInteger, Rfc7541ExampleC11) {
+  // Encoding 10 with a 5-bit prefix -> 0x0A.
+  EXPECT_EQ(enc(10, 5), std::string{"\x0a"});
+}
+
+TEST(HpackInteger, Rfc7541ExampleC12) {
+  // Encoding 1337 with a 5-bit prefix -> 1F 9A 0A.
+  EXPECT_EQ(enc(1337, 5), std::string("\x1f\x9a\x0a", 3));
+}
+
+TEST(HpackInteger, Rfc7541ExampleC13) {
+  // Encoding 42 on 8 bits -> 0x2A.
+  EXPECT_EQ(enc(42, 8), std::string{"\x2a"});
+}
+
+TEST(HpackInteger, RoundTripSweep) {
+  for (const int prefix : {1, 4, 5, 6, 7, 8}) {
+    for (const std::uint64_t value :
+         {0ULL, 1ULL, 30ULL, 31ULL, 127ULL, 128ULL, 1337ULL, 65535ULL,
+          1000000ULL, (1ULL << 40)}) {
+      const std::string bytes = enc(value, prefix);
+      std::size_t pos = 0;
+      const auto decoded = decode_integer(bytes, pos, prefix);
+      ASSERT_TRUE(decoded) << value << "/" << prefix;
+      EXPECT_EQ(*decoded, value);
+      EXPECT_EQ(pos, bytes.size());
+    }
+  }
+}
+
+TEST(HpackInteger, FlagsPreservedInFirstByte) {
+  const std::string bytes = enc(2, 7, 0x80);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0x82);  // :method GET index
+}
+
+TEST(HpackInteger, DecodeRejectsTruncation) {
+  std::string bytes = enc(1337, 5);
+  bytes.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(decode_integer(bytes, pos, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Static & dynamic tables
+// ---------------------------------------------------------------------------
+
+TEST(HpackTable, StaticEntriesMatchRfcAppendixA) {
+  EXPECT_EQ(static_table_entry(2), (HeaderEntry{":method", "GET"}));
+  EXPECT_EQ(static_table_entry(8), (HeaderEntry{":status", "200"}));
+  EXPECT_EQ(static_table_entry(10), (HeaderEntry{":status", "206"}));
+  EXPECT_EQ(static_table_entry(50), (HeaderEntry{"range", ""}));
+  EXPECT_EQ(static_table_entry(61), (HeaderEntry{"www-authenticate", ""}));
+}
+
+TEST(HpackTable, DynamicInsertLookupAndIndexing) {
+  DynamicTable table;
+  table.insert({"x-a", "1"});
+  table.insert({"x-b", "2"});
+  // 62 = most recent.
+  ASSERT_NE(table.lookup(62), nullptr);
+  EXPECT_EQ(table.lookup(62)->name, "x-b");
+  EXPECT_EQ(table.lookup(63)->name, "x-a");
+  EXPECT_EQ(table.lookup(64), nullptr);
+  EXPECT_EQ(table.find("x-a", "1"), 63u);
+  EXPECT_EQ(table.find("x-a", "9"), std::nullopt);
+  EXPECT_EQ(table.find_name("x-a"), 63u);
+}
+
+TEST(HpackTable, EvictionOnOverflow) {
+  DynamicTable table(100);  // each small entry ~ 32 + a few bytes
+  table.insert({"a", "1"});  // 34
+  table.insert({"b", "2"});  // 34 -> 68
+  table.insert({"c", "3"});  // 34 -> 102 > 100 -> evict "a"
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_EQ(table.find_name("a"), std::nullopt);
+  EXPECT_TRUE(table.find_name("c").has_value());
+}
+
+TEST(HpackTable, OversizedEntryEmptiesTable) {
+  DynamicTable table(64);
+  table.insert({"a", "1"});
+  table.insert({"huge-name", std::string(100, 'v')});
+  EXPECT_EQ(table.entry_count(), 0u);
+}
+
+TEST(HpackTable, SetMaxSizeEvicts) {
+  DynamicTable table(200);
+  table.insert({"a", "1"});
+  table.insert({"b", "2"});
+  table.set_max_size(40);
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_EQ(table.lookup(62)->name, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Encoder/decoder
+// ---------------------------------------------------------------------------
+
+std::vector<HeaderEntry> sample_headers() {
+  return {
+      {":method", "GET"},
+      {":scheme", "https"},
+      {":authority", "victim.example.com"},
+      {":path", "/payload.bin?cb=1"},
+      {"range", "bytes=0-0"},
+      {"user-agent", "rangeamp/1.0"},
+  };
+}
+
+TEST(Hpack, EncodeDecodeRoundTrip) {
+  Encoder encoder;
+  Decoder decoder;
+  const auto headers = sample_headers();
+  const std::string block = encoder.encode(headers);
+  const auto decoded = decoder.decode(block);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, headers);
+}
+
+TEST(Hpack, StaticMatchesEncodeToOneByte) {
+  Encoder encoder;
+  const std::string block = encoder.encode({{":method", "GET"}});
+  ASSERT_EQ(block.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint8_t>(block[0]), 0x82);
+}
+
+TEST(Hpack, RepeatedHeadersCompressToIndexedForm) {
+  Encoder encoder;
+  Decoder decoder;
+  const auto headers = sample_headers();
+  const std::string first = encoder.encode(headers);
+  const std::string second = encoder.encode(headers);
+  // Every field of the second block is an index into the dynamic table.
+  EXPECT_LT(second.size(), first.size() / 3);
+  EXPECT_LE(second.size(), headers.size() * 2);
+  // And both decode identically with shared state.
+  EXPECT_EQ(decoder.decode(first), headers);
+  EXPECT_EQ(decoder.decode(second), headers);
+}
+
+TEST(Hpack, HugeRangeHeaderRoundTrips) {
+  // The OBR attack header: ~32 KB of overlapping ranges.
+  std::string value = "bytes=0-";
+  for (int i = 0; i < 10749; ++i) value += ",0-";
+  Encoder encoder;
+  Decoder decoder;
+  const std::string block = encoder.encode({{"range", value}});
+  const auto decoded = decoder.decode(block);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].value, value);
+  // Raw-string literal coding: the block is value + small framing.
+  EXPECT_LT(block.size(), value.size() + 8);
+}
+
+TEST(Hpack, DecoderRejectsGarbage) {
+  Decoder decoder;
+  EXPECT_FALSE(decoder.decode(std::string_view{"\x80", 1}));  // index 0
+  // Indexed reference beyond both tables.
+  std::string bad;
+  encode_integer(1000, 7, 0x80, bad);
+  EXPECT_FALSE(decoder.decode(bad));
+  // Huffman-flagged string (unsupported).
+  EXPECT_FALSE(decoder.decode(std::string("\x40\x01" "a" "\x81", 4)));
+  // Truncated literal.
+  EXPECT_FALSE(decoder.decode(std::string("\x40\x05" "ab", 4)));
+}
+
+TEST(Hpack, DynamicTableSizeUpdateHonored) {
+  Encoder encoder;
+  Decoder decoder;
+  // Prime the decoder's dynamic table.
+  const std::string block = encoder.encode({{"x-key", "value"}});
+  ASSERT_TRUE(decoder.decode(block));
+  EXPECT_EQ(decoder.table().entry_count(), 1u);
+  // A size-0 update (0x20 prefix) must flush it.
+  EXPECT_TRUE(decoder.decode(std::string_view{"\x20", 1}));
+  EXPECT_EQ(decoder.table().entry_count(), 0u);
+}
+
+// RFC 7541 appendix C.3: three requests on one connection, encoded without
+// Huffman coding.  The expected byte strings are copied from the RFC.
+TEST(Hpack, Rfc7541AppendixC3ExactBytes) {
+  Encoder encoder;
+  Decoder decoder;
+
+  // C.3.1 -- first request.
+  const std::vector<HeaderEntry> first = {
+      {":method", "GET"},
+      {":scheme", "http"},
+      {":path", "/"},
+      {":authority", "www.example.com"},
+  };
+  const std::string block1 = encoder.encode(first);
+  EXPECT_EQ(block1, std::string("\x82\x86\x84\x41\x0f"
+                                "www.example.com",
+                                20));
+  EXPECT_EQ(decoder.decode(block1), first);
+
+  // C.3.2 -- second request: :authority now sits in the dynamic table
+  // (index 62 -> 0xbe) and cache-control uses static name index 24 (0x58).
+  const std::vector<HeaderEntry> second = {
+      {":method", "GET"},
+      {":scheme", "http"},
+      {":path", "/"},
+      {":authority", "www.example.com"},
+      {"cache-control", "no-cache"},
+  };
+  const std::string block2 = encoder.encode(second);
+  EXPECT_EQ(block2, std::string("\x82\x86\x84\xbe\x58\x08"
+                                "no-cache",
+                                14));
+  EXPECT_EQ(decoder.decode(block2), second);
+
+  // C.3.3 -- third request: https/index.html static matches, both earlier
+  // dynamic entries referenced, one brand-new custom header.
+  const std::vector<HeaderEntry> third = {
+      {":method", "GET"},
+      {":scheme", "https"},
+      {":path", "/index.html"},
+      {":authority", "www.example.com"},
+      {"custom-key", "custom-value"},
+  };
+  const std::string block3 = encoder.encode(third);
+  EXPECT_EQ(block3, std::string("\x82\x87\x85\xbf\x40\x0a"
+                                "custom-key"
+                                "\x0c"
+                                "custom-value",
+                                29));
+  EXPECT_EQ(decoder.decode(block3), third);
+
+  // Dynamic table state after C.3.3 (RFC: 3 entries, 164 bytes).
+  EXPECT_EQ(decoder.table().entry_count(), 3u);
+  EXPECT_EQ(decoder.table().size(), 164u);
+}
+
+TEST(Hpack, ValueOnlyDifferenceUsesNameIndex) {
+  Encoder encoder;
+  const std::string first = encoder.encode({{"range", "bytes=0-0"}});
+  // "range" is static index 50: the literal starts with 0x40 | 50.
+  EXPECT_EQ(static_cast<std::uint8_t>(first[0]), 0x40 | 50);
+}
+
+}  // namespace
+}  // namespace rangeamp::http2

@@ -1,0 +1,102 @@
+// Deeper topologies: three-level cascades and h2 segments composed freely.
+//
+// Nodes are plain HttpHandlers, so any chain composes.  A three-CDN chain
+// with two Laziness forwarders in front of an overlap-honoring tail carries
+// the n-part blob across TWO inter-CDN segments -- the damage compounds
+// with cascade depth, a corollary of the paper's OBR analysis.
+#include <gtest/gtest.h>
+
+#include "core/rangeamp.h"
+#include "http2/wire.h"
+
+namespace rangeamp {
+namespace {
+
+using cdn::Vendor;
+
+cdn::ProfileOptions bypass_options() {
+  cdn::ProfileOptions options;
+  options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  return options;
+}
+
+TEST(DeepCascade, TripleChainCarriesObrBlobOnTwoSegments) {
+  origin::OriginServer origin(core::obr_origin_config());
+  origin.resources().add_synthetic("/t.bin", 1024);
+
+  cdn::CdnNode tail(cdn::make_profile(Vendor::kAkamai), origin, "tail-origin");
+  cdn::CdnNode middle(cdn::make_profile(Vendor::kCdn77), tail, "middle-tail");
+  cdn::CdnNode front(cdn::make_profile(Vendor::kCloudflare, bypass_options()),
+                     middle, "front-middle");
+
+  net::TrafficRecorder client_rec("client-front");
+  net::Wire client_wire(client_rec, front);
+
+  constexpr std::size_t kN = 64;
+  auto request = http::make_get("victim.example", "/t.bin");
+  request.headers.add("Range",
+                      core::obr_range_case(Vendor::kCdn77, kN).to_string());
+  net::TransferOptions abort_early;
+  abort_early.abort_after_body_bytes = 2048;
+  const auto response = client_wire.transfer(request, abort_early);
+  EXPECT_EQ(response.status, 206);
+
+  // The n-part blob crossed BOTH inter-CDN segments; the origin served 1 KB.
+  EXPECT_GT(middle.upstream_traffic().response_bytes(), kN * 1024u);
+  EXPECT_GT(front.upstream_traffic().response_bytes(), kN * 1024u);
+  EXPECT_LT(tail.upstream_traffic().response_bytes(), 2048u);
+  // The attacker aborted early.
+  EXPECT_LT(client_rec.response_bytes(), 8 * 1024u);
+}
+
+TEST(DeepCascade, CachesAtAnyLevelShieldEverythingBehindThem) {
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/a.bin", 8192);
+  cdn::CdnNode tail(cdn::make_profile(Vendor::kAkamai), origin, "tail-origin");
+  cdn::CdnNode front(cdn::make_profile(Vendor::kFastly), tail, "front-tail");
+
+  front.handle(http::make_get("h.example", "/a.bin"));
+  const auto tail_pull = tail.upstream_traffic().response_bytes();
+  ASSERT_GT(tail_pull, 8192u);
+  // Second request: the FRONT cache answers; neither segment behind moves.
+  const auto front_pull = front.upstream_traffic().response_bytes();
+  front.handle(http::make_get("h.example", "/a.bin"));
+  EXPECT_EQ(front.upstream_traffic().response_bytes(), front_pull);
+  EXPECT_EQ(tail.upstream_traffic().response_bytes(), tail_pull);
+}
+
+TEST(DeepCascade, MixedFramingChainWorks) {
+  // client ==h2==> front ==h1.1==> tail ==h2==> origin.
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/m.bin", 32 * 1024);
+  cdn::CdnNode tail(cdn::make_profile(Vendor::kAkamai), origin, "tail-origin",
+                    cdn::SegmentFraming::kHttp2);
+  cdn::CdnNode front(cdn::make_profile(Vendor::kCdn77), tail, "front-tail");
+  net::TrafficRecorder client_rec("client(h2)");
+  http2::Http2Wire client_wire(client_rec, front);
+
+  auto request = http::make_get("h.example", "/m.bin");
+  request.headers.add("Range", "bytes=1000-1999");
+  const auto response = client_wire.transfer(request);
+  ASSERT_EQ(response.status, 206);
+  EXPECT_EQ(response.body.size(), 1000u);
+  EXPECT_EQ(response.body.materialize(),
+            origin.resources().find("/m.bin")->entity.materialize().substr(
+                1000, 1000));
+}
+
+TEST(DeepCascade, Http2WireHandlerComposesAsUpstream) {
+  // An Http2WireHandler makes any handler reachable over a counted h2 hop.
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/x.bin", 4096);
+  net::TrafficRecorder rec("h2-hop");
+  http2::Http2WireHandler hop(rec, origin);
+  const auto response = hop.handle(http::make_get("h.example", "/x.bin"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 4096u);
+  EXPECT_GT(rec.response_bytes(), 4096u);
+  EXPECT_EQ(rec.exchange_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rangeamp

@@ -1,0 +1,135 @@
+// Cross-vendor property sweeps: invariants every one of the 13 profiles must
+// satisfy, parameterized over the whole vendor registry (TEST_P).
+#include <gtest/gtest.h>
+
+#include "core/rangeamp.h"
+
+namespace rangeamp {
+namespace {
+
+using cdn::Vendor;
+
+class VendorInvariants : public ::testing::TestWithParam<Vendor> {
+ protected:
+  static core::SingleCdnTestbed make_bed(std::uint64_t size) {
+    core::SingleCdnTestbed bed(cdn::make_profile(GetParam()));
+    bed.origin().resources().add_synthetic("/inv.bin", size);
+    return bed;
+  }
+};
+
+TEST_P(VendorInvariants, RangeSemanticsMatchOriginBytesForManyRanges) {
+  auto bed = make_bed(96 * 1024);
+  const std::string entity =
+      bed.origin().resources().find("/inv.bin")->entity.materialize();
+  http::Rng rng{static_cast<std::uint64_t>(GetParam()) + 1};
+  for (int i = 0; i < 24; ++i) {
+    const auto generated =
+        http::generate_range(rng, i % 2 ? http::RangeShape::kSingleClosed
+                                        : http::RangeShape::kSingleSuffix,
+                             96 * 1024);
+    http::Request request =
+        http::make_get("site.example", "/inv.bin?cb=" + std::to_string(i));
+    request.headers.add("Range", generated.set.to_string());
+    const http::Response response = bed.send(request);
+    const auto resolved = http::resolve_all(generated.set, 96 * 1024);
+    ASSERT_EQ(resolved.size(), 1u);
+    ASSERT_EQ(response.status, 206)
+        << cdn::vendor_name(GetParam()) << " " << generated.set.to_string();
+    EXPECT_EQ(response.body.materialize(),
+              entity.substr(static_cast<std::size_t>(resolved[0].first),
+                            static_cast<std::size_t>(resolved[0].length())));
+  }
+}
+
+TEST_P(VendorInvariants, SecondIdenticalRequestNeverCostsMoreOrigin) {
+  // Whatever the vendor's policy, repeating the exact same request must not
+  // increase the per-request origin cost (caches only help).
+  auto bed = make_bed(512 * 1024);
+  http::Request request = http::make_get("site.example", "/inv.bin?cb=0");
+  request.headers.add("Range", "bytes=0-99");
+  bed.send(request);
+  bed.send(request);
+  const auto after_two = bed.origin_traffic().response_bytes();
+  bed.send(request);
+  const auto third_cost = bed.origin_traffic().response_bytes() - after_two;
+  EXPECT_LE(third_cost, after_two) << cdn::vendor_name(GetParam());
+}
+
+TEST_P(VendorInvariants, CachedEntityServesByteIdenticalContent) {
+  auto bed = make_bed(256 * 1024);
+  http::Request plain = http::make_get("site.example", "/inv.bin");
+  const http::Response first = bed.send(plain);
+  const http::Response second = bed.send(plain);
+  ASSERT_EQ(first.status, 200) << cdn::vendor_name(GetParam());
+  EXPECT_EQ(first.body, second.body);
+}
+
+TEST_P(VendorInvariants, UnsatisfiableRangeNeverLeaksEntityToClient) {
+  auto bed = make_bed(1024);
+  http::Request request = http::make_get("site.example", "/inv.bin?cb=9");
+  request.headers.add("Range", "bytes=4096-8192");
+  const http::Response response = bed.send(request);
+  EXPECT_EQ(response.status, 416) << cdn::vendor_name(GetParam());
+  EXPECT_EQ(response.body.size(), 0u);
+}
+
+TEST_P(VendorInvariants, HeadersAdvertiseRangeSupport) {
+  // Section III-B: all 13 CDNs answer range requests with Accept-Ranges:
+  // bytes even when the origin does not support ranges.
+  origin::OriginConfig config;
+  config.supports_ranges = false;
+  core::SingleCdnTestbed bed(cdn::make_profile(GetParam()), config);
+  bed.origin().resources().add_synthetic("/inv.bin", 4096);
+  http::Request request = http::make_get("site.example", "/inv.bin");
+  request.headers.add("Range", "bytes=0-99");
+  const http::Response response = bed.send(request);
+  EXPECT_EQ(response.headers.get("Accept-Ranges"), "bytes")
+      << cdn::vendor_name(GetParam());
+  // And the CDN itself satisfies the range from the 200 entity (RFC 2616's
+  // proxy rule) -- the exact behaviour section III-B measures.
+  EXPECT_EQ(response.status, 206) << cdn::vendor_name(GetParam());
+}
+
+TEST_P(VendorInvariants, TrafficRecordersOnlyGrow) {
+  auto bed = make_bed(4096);
+  std::uint64_t last_client = 0, last_origin = 0;
+  for (int i = 0; i < 5; ++i) {
+    http::Request request =
+        http::make_get("site.example", "/inv.bin?cb=" + std::to_string(i));
+    bed.send(request);
+    EXPECT_GT(bed.client_traffic().response_bytes(), last_client);
+    EXPECT_GE(bed.origin_traffic().response_bytes(), last_origin);
+    last_client = bed.client_traffic().response_bytes();
+    last_origin = bed.origin_traffic().response_bytes();
+  }
+}
+
+TEST_P(VendorInvariants, MitigatedProfileStillServesCorrectly) {
+  for (const auto mitigation :
+       {core::Mitigation::kLaziness, core::Mitigation::kBoundedExpansion8K,
+        core::Mitigation::kCoalesceMulti}) {
+    core::SingleCdnTestbed bed(
+        core::apply_mitigation(cdn::make_profile(GetParam()), mitigation));
+    bed.origin().resources().add_synthetic("/inv.bin", 64 * 1024);
+    http::Request request = http::make_get("site.example", "/inv.bin");
+    request.headers.add("Range", "bytes=1000-1999");
+    const http::Response response = bed.send(request);
+    ASSERT_EQ(response.status, 206)
+        << cdn::vendor_name(GetParam()) << " " << core::mitigation_name(mitigation);
+    EXPECT_EQ(response.body.size(), 1000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVendors, VendorInvariants, ::testing::ValuesIn(cdn::kAllVendors),
+    [](const ::testing::TestParamInfo<Vendor>& info) {
+      std::string name{cdn::vendor_name(info.param)};
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rangeamp

@@ -1,0 +1,74 @@
+#include "net/transcript.h"
+
+#include <gtest/gtest.h>
+
+#include "origin/origin_server.h"
+
+namespace rangeamp::net {
+namespace {
+
+TEST(Transcript, CapturesExchangesInOrder) {
+  origin::OriginServer origin;
+  origin.resources().add_literal("/a", "payload-a", "text/plain");
+  origin.resources().add_literal("/b", "payload-b", "text/plain");
+
+  Transcript transcript;
+  TranscriptHandler tap("seg", transcript, origin);
+  tap.handle(http::make_get("h.example", "/a"));
+  tap.handle(http::make_get("h.example", "/b"));
+
+  ASSERT_EQ(transcript.entries().size(), 2u);
+  EXPECT_EQ(transcript.entries()[0].request.target, "/a");
+  EXPECT_EQ(transcript.entries()[1].request.target, "/b");
+  EXPECT_EQ(transcript.entries()[0].response.status, 200);
+}
+
+TEST(Transcript, RenderShowsDirectionsAndBodies) {
+  origin::OriginServer origin;
+  origin.resources().add_literal("/x", "hello world", "text/plain");
+  Transcript transcript;
+  TranscriptHandler tap("client-cdn", transcript, origin);
+  auto req = http::make_get("h.example", "/x");
+  req.headers.add("Range", "bytes=0-4");
+  tap.handle(req);
+
+  const std::string text = transcript.render(/*body_preview=*/8);
+  EXPECT_NE(text.find("=== client-cdn ==="), std::string::npos);
+  EXPECT_NE(text.find("> GET /x HTTP/1.1"), std::string::npos);
+  EXPECT_NE(text.find("> Range: bytes=0-4"), std::string::npos);
+  EXPECT_NE(text.find("< HTTP/1.1 206 Partial Content"), std::string::npos);
+  EXPECT_NE(text.find("[5 body bytes: hello]"), std::string::npos);
+}
+
+TEST(Transcript, RenderEscapesBinaryPreview) {
+  origin::OriginServer origin;
+  origin.resources().add_literal("/bin", std::string("\x01\x02\x7f", 3),
+                                 "application/octet-stream");
+  Transcript transcript;
+  TranscriptHandler tap("s", transcript, origin);
+  tap.handle(http::make_get("h", "/bin"));
+  const std::string text = transcript.render(8);
+  EXPECT_NE(text.find("\\x01\\x02"), std::string::npos);
+}
+
+TEST(Transcript, ZeroPreviewShowsCountOnly) {
+  origin::OriginServer origin;
+  origin.resources().add_literal("/x", "secret", "text/plain");
+  Transcript transcript;
+  TranscriptHandler tap("s", transcript, origin);
+  tap.handle(http::make_get("h", "/x"));
+  const std::string text = transcript.render(0);
+  EXPECT_NE(text.find("[6 body bytes]"), std::string::npos);
+  EXPECT_EQ(text.find("secret"), std::string::npos);
+}
+
+TEST(Transcript, ClearEmpties) {
+  Transcript transcript;
+  transcript.add("s", http::make_get("h", "/"), http::make_response(200));
+  transcript.clear();
+  EXPECT_TRUE(transcript.entries().empty());
+  EXPECT_EQ(transcript.render(), "");
+}
+
+}  // namespace
+}  // namespace rangeamp::net

@@ -1,0 +1,242 @@
+#include "origin/origin_server.h"
+
+#include <gtest/gtest.h>
+
+#include "http/multipart.h"
+#include "http/serialize.h"
+
+namespace rangeamp::origin {
+namespace {
+
+using http::Body;
+using http::Request;
+using http::Response;
+
+Request ranged(std::string target, std::string range) {
+  Request req = http::make_get("origin.example", std::move(target));
+  if (!range.empty()) req.headers.add("Range", std::move(range));
+  return req;
+}
+
+class OriginServerTest : public ::testing::Test {
+ protected:
+  OriginServerTest() {
+    server_.resources().add_synthetic("/1KB.jpg", 1000, "image/jpeg");
+    server_.resources().add_synthetic("/big.bin", 1u << 20);
+  }
+  OriginServer server_;
+};
+
+TEST_F(OriginServerTest, PlainGetReturns200WithFullEntity) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", ""));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+  EXPECT_EQ(resp.headers.get("Content-Length"), "1000");
+  EXPECT_EQ(resp.headers.get("Content-Type"), "image/jpeg");
+  EXPECT_EQ(resp.headers.get("Accept-Ranges"), "bytes");
+  EXPECT_TRUE(resp.headers.has("ETag"));
+  EXPECT_TRUE(resp.headers.has("Last-Modified"));
+  EXPECT_EQ(resp.headers.get("Server"), "Apache/2.4.18 (Ubuntu)");
+}
+
+TEST_F(OriginServerTest, QueryStringIgnoredForLookup) {
+  const Response resp = server_.handle(ranged("/1KB.jpg?rand=123456", ""));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+}
+
+TEST_F(OriginServerTest, MissingResourceIs404) {
+  const Response resp = server_.handle(ranged("/nope", ""));
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST_F(OriginServerTest, SingleRangeIs206WithContentRange) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=0-0"));
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_EQ(resp.body.size(), 1u);
+  EXPECT_EQ(resp.headers.get("Content-Range"), "bytes 0-0/1000");
+  EXPECT_EQ(resp.headers.get("Content-Length"), "1");
+  // Fig 2c: single-part 206 carries the part directly, no multipart type.
+  EXPECT_EQ(resp.headers.get("Content-Type"), "image/jpeg");
+}
+
+TEST_F(OriginServerTest, RangePayloadMatchesEntitySlice) {
+  const Response full = server_.handle(ranged("/1KB.jpg", ""));
+  const Response part = server_.handle(ranged("/1KB.jpg", "bytes=100-199"));
+  EXPECT_EQ(part.body.materialize(), full.body.materialize().substr(100, 100));
+}
+
+TEST_F(OriginServerTest, SuffixRange) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=-2"));
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_EQ(resp.headers.get("Content-Range"), "bytes 998-999/1000");
+}
+
+TEST_F(OriginServerTest, OpenRangeRunsToEnd) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=990-"));
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_EQ(resp.body.size(), 10u);
+}
+
+TEST_F(OriginServerTest, UnsatisfiableRangeIs416) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=1000-1001"));
+  EXPECT_EQ(resp.status, 416);
+  EXPECT_EQ(resp.headers.get("Content-Range"), "bytes */1000");
+  EXPECT_EQ(resp.body.size(), 0u);
+}
+
+TEST_F(OriginServerTest, MalformedRangeIsIgnored) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=5-4"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+}
+
+TEST_F(OriginServerTest, MultiRangeDisjointIsMultipart206) {
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=1-1,998-999"));
+  EXPECT_EQ(resp.status, 206);
+  const auto ct = resp.headers.get("Content-Type");
+  ASSERT_TRUE(ct);
+  const auto boundary = http::boundary_from_content_type(*ct);
+  ASSERT_TRUE(boundary);
+  const auto parts =
+      http::parse_multipart_byteranges(resp.body.materialize(), *boundary);
+  ASSERT_TRUE(parts);
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0].range, (http::ResolvedRange{1, 1}));
+  EXPECT_EQ((*parts)[1].range, (http::ResolvedRange{998, 999}));
+  // Multipart reassembly equals the requested slices of the entity.
+  const Response full = server_.handle(ranged("/1KB.jpg", ""));
+  EXPECT_EQ((*parts)[0].payload.materialize(),
+            full.body.materialize().substr(1, 1));
+  // Content-Length covers the whole multipart body.
+  EXPECT_EQ(resp.headers.get("Content-Length"),
+            std::to_string(resp.body.size()));
+}
+
+TEST_F(OriginServerTest, OverlappingRangesAreCoalescedByDefault) {
+  // Apache post-CVE-2011-3192 behaviour: "0-,0-,0-" collapses to one range,
+  // answered as a single-part 206 of the whole entity.
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=0-,0-,0-"));
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_EQ(resp.body.size(), 1000u);
+  EXPECT_EQ(resp.headers.get("Content-Range"), "bytes 0-999/1000");
+}
+
+TEST_F(OriginServerTest, NaiveModeHonorsOverlaps) {
+  server_.config().coalesce_overlapping = false;
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=0-,0-,0-"));
+  EXPECT_EQ(resp.status, 206);
+  EXPECT_GE(resp.body.size(), 3000u);
+}
+
+TEST_F(OriginServerTest, MaxRangesFallsBackToFullEntity) {
+  server_.config().max_ranges = 3;
+  const Response resp =
+      server_.handle(ranged("/1KB.jpg", "bytes=0-0,2-2,4-4,6-6"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+  // At the limit it is still honored.
+  const Response ok = server_.handle(ranged("/1KB.jpg", "bytes=0-0,2-2,4-4"));
+  EXPECT_EQ(ok.status, 206);
+}
+
+TEST_F(OriginServerTest, RangesDisabledIgnoresHeaderEntirely) {
+  server_.config().supports_ranges = false;
+  const Response resp = server_.handle(ranged("/1KB.jpg", "bytes=0-0"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+  EXPECT_FALSE(resp.headers.has("Accept-Ranges"));
+}
+
+TEST_F(OriginServerTest, IfRangeWithCurrentValidatorServesRange) {
+  const Resource* res = server_.resources().find("/1KB.jpg");
+  Request req = ranged("/1KB.jpg", "bytes=0-0");
+  req.headers.add("If-Range", res->etag);
+  EXPECT_EQ(server_.handle(req).status, 206);
+  Request by_date = ranged("/1KB.jpg", "bytes=0-0");
+  by_date.headers.add("If-Range", res->last_modified);
+  EXPECT_EQ(server_.handle(by_date).status, 206);
+}
+
+TEST_F(OriginServerTest, IfRangeWithStaleValidatorDowngradesTo200) {
+  Request req = ranged("/1KB.jpg", "bytes=0-0");
+  req.headers.add("If-Range", "\"stale-etag\"");
+  const Response resp = server_.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 1000u);
+}
+
+TEST_F(OriginServerTest, IfRangeWithoutRangeIsIgnored) {
+  Request req = ranged("/1KB.jpg", "");
+  req.headers.add("If-Range", "\"stale-etag\"");
+  EXPECT_EQ(server_.handle(req).status, 200);
+}
+
+TEST_F(OriginServerTest, HeadHasHeadersButNoBody) {
+  Request req = ranged("/big.bin", "");
+  req.method = http::Method::HEAD;
+  const Response resp = server_.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), 0u);
+  EXPECT_EQ(resp.headers.get("Content-Length"), std::to_string(1u << 20));
+}
+
+TEST_F(OriginServerTest, NonGetMethodsRejected) {
+  Request req = ranged("/1KB.jpg", "");
+  req.method = http::Method::POST;
+  EXPECT_EQ(server_.handle(req).status, 400);
+}
+
+TEST_F(OriginServerTest, RequestLogRecordsEverything) {
+  server_.handle(ranged("/1KB.jpg", "bytes=0-0"));
+  server_.handle(ranged("/big.bin", ""));
+  ASSERT_EQ(server_.request_log().size(), 2u);
+  EXPECT_EQ(server_.request_log()[0].headers.get("Range"), "bytes=0-0");
+  EXPECT_FALSE(server_.request_log()[1].headers.has("Range"));
+  server_.clear_log();
+  EXPECT_TRUE(server_.request_log().empty());
+}
+
+TEST_F(OriginServerTest, ExtraHeadersAppendedToEveryResponse) {
+  server_.config().extra_headers = {{"Cache-Control", "max-age=60"}};
+  EXPECT_EQ(server_.handle(ranged("/1KB.jpg", "")).headers.get("Cache-Control"),
+            "max-age=60");
+  EXPECT_EQ(server_.handle(ranged("/nope", "")).headers.get("Cache-Control"),
+            "max-age=60");
+}
+
+TEST_F(OriginServerTest, DeterministicAcrossInstances) {
+  OriginServer other;
+  other.resources().add_synthetic("/1KB.jpg", 1000, "image/jpeg");
+  const Response a = server_.handle(ranged("/1KB.jpg", ""));
+  const Response b = other.handle(ranged("/1KB.jpg", ""));
+  EXPECT_EQ(http::serialized_size(a), http::serialized_size(b));
+  EXPECT_EQ(a.body.materialize(), b.body.materialize());
+}
+
+TEST(ResourceStore, LiteralAndLookup) {
+  ResourceStore store;
+  store.add_literal("/hello.txt", "hi there", "text/plain");
+  const Resource* res = store.find("/hello.txt");
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->size(), 8u);
+  EXPECT_EQ(res->content_type, "text/plain");
+  EXPECT_FALSE(res->etag.empty());
+  EXPECT_EQ(store.find("/other"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ResourceStore, SamePathSameBytes) {
+  ResourceStore a, b;
+  a.add_synthetic("/x.bin", 128);
+  b.add_synthetic("/x.bin", 128);
+  EXPECT_EQ(a.find("/x.bin")->entity.materialize(),
+            b.find("/x.bin")->entity.materialize());
+  // Different paths produce different content streams.
+  a.add_synthetic("/y.bin", 128);
+  EXPECT_NE(a.find("/x.bin")->entity.materialize(),
+            a.find("/y.bin")->entity.materialize());
+}
+
+}  // namespace
+}  // namespace rangeamp::origin

@@ -1,0 +1,152 @@
+#include "sim/attack_load.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::sim {
+namespace {
+
+AttackLoadConfig base_config(int m) {
+  AttackLoadConfig config;
+  config.requests_per_second = m;
+  config.origin_response_bytes = 10'486'029;  // 10 MB + headers
+  config.client_response_bytes = 822;
+  config.duration_s = 30.0;
+  return config;
+}
+
+TEST(AttackLoad, SubSaturationIsProportionalToM) {
+  // Paper: "When m <= 10, it is ... almost proportional to m."
+  for (const int m : {1, 4, 8, 10}) {
+    const auto config = base_config(m);
+    const auto series = simulate_attack_load(config);
+    const auto stats = summarize(config, series);
+    const double expected_mbps = m * 10'486'029 * 8.0 / 1e6;
+    EXPECT_NEAR(stats.mean_origin_out_mbps, expected_mbps, expected_mbps * 0.02)
+        << m;
+    EXPECT_FALSE(stats.saturated) << m;
+  }
+}
+
+TEST(AttackLoad, SaturatesAtUplinkCapacityForLargeM) {
+  // Paper: "when m >= 14, the outgoing bandwidth ... is exhausted completely."
+  for (const int m : {12, 14, 15}) {
+    const auto config = base_config(m);
+    const auto stats = summarize(config, simulate_attack_load(config));
+    EXPECT_TRUE(stats.saturated) << m;
+    EXPECT_LE(stats.peak_origin_out_mbps, 1000.0 + 1e-6);
+    EXPECT_GE(stats.mean_origin_out_mbps, 995.0);
+  }
+}
+
+TEST(AttackLoad, ClientIncomingStaysUnder500Kbps) {
+  // Paper Fig 7a: the client's incoming bandwidth never exceeds 500 Kbps.
+  for (const int m : {1, 5, 10, 15}) {
+    const auto config = base_config(m);
+    const auto stats = summarize(config, simulate_attack_load(config));
+    EXPECT_LT(stats.peak_client_in_kbps, 500.0) << m;
+    EXPECT_GT(stats.peak_client_in_kbps, 0.0) << m;
+  }
+}
+
+TEST(AttackLoad, BacklogGrowsOnlyUnderSaturation) {
+  const auto sub = simulate_attack_load(base_config(5));
+  const auto sat = simulate_attack_load(base_config(15));
+  // At t=29 (last attack second) the saturated run has a big backlog.
+  const auto& sub29 = sub[29];
+  const auto& sat29 = sat[29];
+  EXPECT_LE(sub29.in_flight, 6u);
+  EXPECT_GT(sat29.in_flight, 20u);
+}
+
+TEST(AttackLoad, TransfersDrainAfterAttackEnds) {
+  auto config = base_config(5);
+  config.drain_s = 20.0;
+  const auto series = simulate_attack_load(config);
+  EXPECT_EQ(series.back().in_flight, 0u);
+  // Total bytes moved equal requests * per-request size.
+  double total_mb = 0;
+  for (const auto& s : series) total_mb += s.origin_out_mbps / 8.0;  // MB/s * 1s
+  EXPECT_NEAR(total_mb * 1e6, 30.0 * 5 * 10'486'029, 30.0 * 5 * 10'486'029 * 0.001);
+}
+
+TEST(AttackLoad, SeriesCoversDurationPlusDrain) {
+  auto config = base_config(2);
+  config.duration_s = 10.0;
+  config.drain_s = 5.0;
+  const auto series = simulate_attack_load(config);
+  EXPECT_EQ(series.size(), 15u);
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 14.0);
+}
+
+TEST(AttackLoad, BenignTrafficSuffersOnlyPastTheKnee) {
+  const auto run = [](int m) {
+    auto config = base_config(m);
+    config.benign_requests_per_second = 2;
+    config.benign_response_bytes = 5u << 20;
+    config.drain_s = 30.0;
+    const auto series = simulate_attack_load(config);
+    double goodput = 0, latency = 0;
+    std::size_t n = 0, ln = 0;
+    for (const auto& s : series) {
+      if (s.second < 5 || s.second >= 30) continue;
+      goodput += s.benign_goodput_mbps;
+      ++n;
+      if (s.benign_latency_s >= 0) {
+        latency += s.benign_latency_s;
+        ++ln;
+      }
+    }
+    return std::pair{goodput / static_cast<double>(n),
+                     ln ? latency / static_cast<double>(ln) : -1.0};
+  };
+  const auto [goodput0, latency0] = run(0);
+  const auto [goodput8, latency8] = run(8);
+  const auto [goodput15, latency15] = run(15);
+  // Below the knee: goodput preserved, latency only inflated by sharing.
+  EXPECT_NEAR(goodput8, goodput0, goodput0 * 0.05);
+  EXPECT_GT(latency8, latency0);
+  EXPECT_LT(latency8, 10 * latency0);
+  // Past the knee: goodput degrades and latency explodes.
+  EXPECT_LT(goodput15, goodput0 * 0.85);
+  EXPECT_GT(latency15, 20 * latency0);
+}
+
+TEST(AttackLoad, BenignOnlyBaselineIsUnconstrained) {
+  auto config = base_config(0);
+  config.benign_requests_per_second = 2;
+  config.benign_response_bytes = 5u << 20;
+  const auto series = simulate_attack_load(config);
+  for (const auto& s : series) {
+    if (s.second >= 5 && s.second < 25 && s.benign_latency_s >= 0) {
+      // 2 x 5 MB/s over 1000 Mbps: each fetch takes ~42 ms alone, ~84 ms
+      // when both flows of a burst share the link.
+      EXPECT_LT(s.benign_latency_s, 0.15);
+    }
+  }
+}
+
+TEST(AttackLoad, NetworkRttSetsTheLatencyFloor) {
+  auto config = base_config(0);
+  config.benign_requests_per_second = 1;
+  config.benign_response_bytes = 1024;  // negligible transfer time
+  config.network_rtt_s = 0.080;
+  const auto series = simulate_attack_load(config);
+  for (const auto& s : series) {
+    if (s.benign_latency_s >= 0) {
+      EXPECT_GE(s.benign_latency_s, 0.080);
+      EXPECT_LT(s.benign_latency_s, 0.082);
+    }
+  }
+}
+
+TEST(AttackLoad, SaturationKneeMatchesArithmetic) {
+  // 1000 Mbps / (10 MB * 8 bits) = 11.92 requests/s: m=11 fits, m=12 doesn't.
+  const auto at11 = summarize(base_config(11), simulate_attack_load(base_config(11)));
+  const auto at12 = summarize(base_config(12), simulate_attack_load(base_config(12)));
+  EXPECT_FALSE(at11.saturated);
+  EXPECT_TRUE(at12.saturated);
+}
+
+}  // namespace
+}  // namespace rangeamp::sim

@@ -1,0 +1,198 @@
+#include "sim/des.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SameInstantIsStable) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  while (queue.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule_in(0.5, [&] { ++fired; });
+  });
+  queue.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  queue.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue queue;
+  queue.schedule(2.0, [] {});
+  queue.run_until(3.0);
+  double fired_at = -1;
+  queue.schedule(1.0, [&] { fired_at = queue.now(); });  // in the past
+  queue.run_next();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// PsLink: analytic processor sharing
+// ---------------------------------------------------------------------------
+
+TEST(PsLink, SingleFlowCompletesAtExactTime) {
+  EventQueue queue;
+  double completed_at = -1;
+  PsLink link(queue, 1000.0, [&](std::uint64_t, std::uint64_t, double) {
+    completed_at = queue.now();
+  });
+  link.start_flow(500);
+  queue.run_until(10.0);
+  EXPECT_DOUBLE_EQ(completed_at, 0.5);
+  EXPECT_DOUBLE_EQ(link.completed_bytes(), 500.0);
+}
+
+TEST(PsLink, TwoFlowsShareExactly) {
+  // Flow A (300 B) and flow B (600 B) on a 300 B/s link, both at t=0:
+  // share 150 B/s each; A done at t=2 (300/150); then B alone finishes its
+  // remaining 300 B at 300 B/s -> t=3.
+  EventQueue queue;
+  std::vector<double> completions;
+  PsLink link(queue, 300.0, [&](std::uint64_t, std::uint64_t, double) {
+    completions.push_back(queue.now());
+  });
+  link.start_flow(300);
+  link.start_flow(600);
+  queue.run_until(10.0);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 2.0, 1e-9);
+  EXPECT_NEAR(completions[1], 3.0, 1e-9);
+}
+
+TEST(PsLink, LateArrivalRescalesShares) {
+  // 1000 B at t=0 on 100 B/s; at t=5 another 1000 B arrives.
+  // First flow: 500 B done by t=5, then 50 B/s -> finishes at t=15.
+  // Second: 50 B/s until t=15 (500 B), then 100 B/s -> finishes at t=20.
+  EventQueue queue;
+  std::vector<double> completions;
+  PsLink link(queue, 100.0, [&](std::uint64_t, std::uint64_t, double) {
+    completions.push_back(queue.now());
+  });
+  link.start_flow(1000);
+  queue.schedule(5.0, [&] { link.start_flow(1000); });
+  queue.run_until(50.0);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 15.0, 1e-9);
+  EXPECT_NEAR(completions[1], 20.0, 1e-9);
+}
+
+TEST(PsLink, ZeroByteFlowCompletesImmediately) {
+  EventQueue queue;
+  int completions = 0;
+  PsLink link(queue, 100.0, [&](std::uint64_t, std::uint64_t bytes, double) {
+    ++completions;
+    EXPECT_EQ(bytes, 0u);
+  });
+  link.start_flow(0);
+  queue.run_until(1.0);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation: DES vs fluid engine on the Fig 7 experiment
+// ---------------------------------------------------------------------------
+
+AttackLoadConfig fig7_config(int m) {
+  AttackLoadConfig config;
+  config.requests_per_second = m;
+  config.origin_response_bytes = 10'486'029;
+  config.client_response_bytes = 822;
+  config.duration_s = 20.0;
+  config.drain_s = 20.0;
+  return config;
+}
+
+TEST(DesVsFluid, SteadyStateUtilizationAgrees) {
+  for (const int m : {2, 8, 12, 15}) {
+    const auto config = fig7_config(m);
+    const auto fluid = simulate_attack_load(config);
+    const auto des = simulate_attack_load_des(config);
+    ASSERT_EQ(fluid.size(), des.size());
+    double fluid_sum = 0, des_sum = 0;
+    for (std::size_t s = 5; s < 20; ++s) {
+      fluid_sum += fluid[s].origin_out_mbps;
+      des_sum += des[s].origin_out_mbps;
+    }
+    EXPECT_NEAR(des_sum, fluid_sum, fluid_sum * 0.02 + 1.0) << "m=" << m;
+  }
+}
+
+TEST(DesVsFluid, CompletionDrivenClientTrafficAgrees) {
+  const auto config = fig7_config(8);
+  const auto fluid = simulate_attack_load(config);
+  const auto des = simulate_attack_load_des(config);
+  double fluid_total = 0, des_total = 0;
+  for (std::size_t s = 0; s < fluid.size(); ++s) {
+    fluid_total += fluid[s].client_in_kbps;
+    des_total += des[s].client_in_kbps;
+  }
+  // All 160 requests complete in both engines.
+  EXPECT_NEAR(des_total, fluid_total, fluid_total * 0.01 + 0.1);
+}
+
+TEST(DesVsFluid, BenignLatencyAgreesBelowSaturation) {
+  auto config = fig7_config(5);
+  config.benign_requests_per_second = 2;
+  config.benign_response_bytes = 5u << 20;
+  const auto fluid = simulate_attack_load(config);
+  const auto des = simulate_attack_load_des(config);
+  double fluid_latency = 0, des_latency = 0;
+  std::size_t fn = 0, dn = 0;
+  for (std::size_t s = 5; s < 20; ++s) {
+    if (fluid[s].benign_latency_s >= 0) {
+      fluid_latency += fluid[s].benign_latency_s;
+      ++fn;
+    }
+    if (des[s].benign_latency_s >= 0) {
+      des_latency += des[s].benign_latency_s;
+      ++dn;
+    }
+  }
+  ASSERT_GT(fn, 0u);
+  ASSERT_GT(dn, 0u);
+  EXPECT_NEAR(des_latency / dn, fluid_latency / fn,
+              0.05 * fluid_latency / fn + 0.002);
+}
+
+}  // namespace
+}  // namespace rangeamp::sim

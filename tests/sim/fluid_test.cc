@@ -1,0 +1,94 @@
+#include "sim/fluid.h"
+
+#include <gtest/gtest.h>
+
+namespace rangeamp::sim {
+namespace {
+
+TEST(FluidLink, SingleFlowTransfersAtCapacity) {
+  FluidLink link(1000.0);  // 1000 B/s
+  link.start_flow(500);
+  link.step(0.25);
+  EXPECT_DOUBLE_EQ(link.total_transferred(), 250.0);
+  EXPECT_EQ(link.active_flows(), 1u);
+  link.step(0.25);
+  EXPECT_DOUBLE_EQ(link.total_transferred(), 500.0);
+  const auto done = link.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].completion_time, 0.5, 1e-9);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(FluidLink, EqualSharingBetweenConcurrentFlows) {
+  FluidLink link(1000.0);
+  link.start_flow(1000);
+  link.start_flow(1000);
+  link.step(1.0);
+  // Each got 500 B/s.
+  for (const Flow& f : link.flows()) {
+    EXPECT_NEAR(f.transferred, 500.0, 1e-6);
+  }
+}
+
+TEST(FluidLink, CapacityConservation) {
+  FluidLink link(1000.0);
+  for (int i = 0; i < 7; ++i) link.start_flow(10'000);
+  link.step(3.0);
+  // No more than capacity * time can cross the link.
+  EXPECT_LE(link.total_transferred(), 3000.0 + 1e-6);
+  EXPECT_NEAR(link.total_transferred(), 3000.0, 1e-6);
+}
+
+TEST(FluidLink, FreedCapacityRedistributedWithinStep) {
+  // A tiny flow and a big flow: once the tiny one finishes, the big one gets
+  // the whole link for the rest of the step (processor sharing).
+  FluidLink link(1000.0);
+  link.start_flow(100);   // finishes at t = 0.2 under 500 B/s share
+  link.start_flow(10000);
+  link.step(1.0);
+  const auto done = link.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].completion_time, 0.2, 1e-9);
+  // Big flow: 0.2s at 500 B/s + 0.8s at 1000 B/s = 900 B.
+  ASSERT_EQ(link.active_flows(), 1u);
+  EXPECT_NEAR(link.flows()[0].transferred, 900.0, 1e-6);
+}
+
+TEST(FluidLink, CompletionOrderFollowsSize) {
+  FluidLink link(300.0);
+  link.start_flow(300);
+  link.start_flow(600);
+  link.start_flow(900);
+  link.step(10.0);
+  const auto done = link.take_completed();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_LE(done[0].completion_time, done[1].completion_time);
+  EXPECT_LE(done[1].completion_time, done[2].completion_time);
+  EXPECT_EQ(done[0].total_bytes, 300u);
+  EXPECT_EQ(done[2].total_bytes, 900u);
+}
+
+TEST(FluidLink, ZeroByteFlowCompletesImmediately) {
+  FluidLink link(100.0);
+  link.start_flow(0);
+  const auto done = link.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].completion_time, 0.0);
+}
+
+TEST(FluidLink, IdleLinkAdvancesTimeOnly) {
+  FluidLink link(100.0);
+  link.step(5.0);
+  EXPECT_DOUBLE_EQ(link.now(), 5.0);
+  EXPECT_DOUBLE_EQ(link.total_transferred(), 0.0);
+}
+
+TEST(FluidLink, FlowIdsAreUnique) {
+  FluidLink link(100.0);
+  const auto a = link.start_flow(10);
+  const auto b = link.start_flow(10);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rangeamp::sim
