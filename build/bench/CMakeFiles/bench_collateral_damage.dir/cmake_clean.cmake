@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collateral_damage.dir/bench_collateral_damage.cc.o"
+  "CMakeFiles/bench_collateral_damage.dir/bench_collateral_damage.cc.o.d"
+  "bench_collateral_damage"
+  "bench_collateral_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collateral_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feasibility_corpus.dir/bench_feasibility_corpus.cc.o"
+  "CMakeFiles/bench_feasibility_corpus.dir/bench_feasibility_corpus.cc.o.d"
+  "bench_feasibility_corpus"
+  "bench_feasibility_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feasibility_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_http2_rangeamp.dir/bench_http2_rangeamp.cc.o"
+  "CMakeFiles/bench_http2_rangeamp.dir/bench_http2_rangeamp.cc.o.d"
+  "bench_http2_rangeamp"
+  "bench_http2_rangeamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_http2_rangeamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obr_node_exhaustion.dir/bench_obr_node_exhaustion.cc.o"
+  "CMakeFiles/bench_obr_node_exhaustion.dir/bench_obr_node_exhaustion.cc.o.d"
+  "bench_obr_node_exhaustion"
+  "bench_obr_node_exhaustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obr_node_exhaustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

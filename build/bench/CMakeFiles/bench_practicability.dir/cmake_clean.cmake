@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_practicability.dir/bench_practicability.cc.o"
+  "CMakeFiles/bench_practicability.dir/bench_practicability.cc.o.d"
+  "bench_practicability"
+  "bench_practicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_practicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

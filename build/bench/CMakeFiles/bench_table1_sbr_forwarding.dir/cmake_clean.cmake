@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sbr_forwarding.dir/bench_table1_sbr_forwarding.cc.o"
+  "CMakeFiles/bench_table1_sbr_forwarding.dir/bench_table1_sbr_forwarding.cc.o.d"
+  "bench_table1_sbr_forwarding"
+  "bench_table1_sbr_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sbr_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

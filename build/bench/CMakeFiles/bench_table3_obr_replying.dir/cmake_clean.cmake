@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_obr_replying.dir/bench_table3_obr_replying.cc.o"
+  "CMakeFiles/bench_table3_obr_replying.dir/bench_table3_obr_replying.cc.o.d"
+  "bench_table3_obr_replying"
+  "bench_table3_obr_replying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_obr_replying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fig6_sbr_amplification.dir/bench_table4_fig6_sbr_amplification.cc.o"
+  "CMakeFiles/bench_table4_fig6_sbr_amplification.dir/bench_table4_fig6_sbr_amplification.cc.o.d"
+  "bench_table4_fig6_sbr_amplification"
+  "bench_table4_fig6_sbr_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fig6_sbr_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

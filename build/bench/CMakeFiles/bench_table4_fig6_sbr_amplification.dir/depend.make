@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_fig6_sbr_amplification.
+# This may be replaced when dependencies are built.

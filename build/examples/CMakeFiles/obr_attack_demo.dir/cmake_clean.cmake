@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obr_attack_demo.dir/obr_attack_demo.cpp.o"
+  "CMakeFiles/obr_attack_demo.dir/obr_attack_demo.cpp.o.d"
+  "obr_attack_demo"
+  "obr_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obr_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_cli.dir/rangeamp_cli.cpp.o"
+  "CMakeFiles/rangeamp_cli.dir/rangeamp_cli.cpp.o.d"
+  "rangeamp_cli"
+  "rangeamp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_attack_demo.dir/sbr_attack_demo.cpp.o"
+  "CMakeFiles/sbr_attack_demo.dir/sbr_attack_demo.cpp.o.d"
+  "sbr_attack_demo"
+  "sbr_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_demo.dir/scanner_demo.cpp.o"
+  "CMakeFiles/scanner_demo.dir/scanner_demo.cpp.o.d"
+  "scanner_demo"
+  "scanner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

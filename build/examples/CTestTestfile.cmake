@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sbr_attack_demo "/root/repo/build/examples/sbr_attack_demo" "0" "5" "5")
+set_tests_properties(example_sbr_attack_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_obr_attack_demo "/root/repo/build/examples/obr_attack_demo")
+set_tests_properties(example_obr_attack_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scanner_demo "/root/repo/build/examples/scanner_demo" "3" "35")
+set_tests_properties(example_scanner_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mitigation_demo "/root/repo/build/examples/mitigation_demo")
+set_tests_properties(example_mitigation_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protocol_trace "/root/repo/build/examples/protocol_trace")
+set_tests_properties(example_protocol_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_help "/root/repo/build/examples/rangeamp_cli" "help")
+set_tests_properties(example_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_sbr "/root/repo/build/examples/rangeamp_cli" "sbr" "8" "10")
+set_tests_properties(example_cli_sbr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_autoplan "/root/repo/build/examples/rangeamp_cli" "autoplan" "0" "10")
+set_tests_properties(example_cli_autoplan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_spec_vulnerable "/root/repo/build/examples/rangeamp_cli" "spec" "/root/repo/examples/specs/naive_cdn.spec" "10")
+set_tests_properties(example_cli_spec_vulnerable PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_spec_hardened "/root/repo/build/examples/rangeamp_cli" "spec" "/root/repo/examples/specs/hardened_cdn.spec" "10")
+set_tests_properties(example_cli_spec_hardened PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/cache.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/cache.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/cache.cc.o.d"
+  "/root/repo/src/cdn/cluster.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/cluster.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/cluster.cc.o.d"
+  "/root/repo/src/cdn/limits.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/limits.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/limits.cc.o.d"
+  "/root/repo/src/cdn/logic.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/logic.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/logic.cc.o.d"
+  "/root/repo/src/cdn/node.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/node.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/node.cc.o.d"
+  "/root/repo/src/cdn/profiles.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/profiles.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/profiles.cc.o.d"
+  "/root/repo/src/cdn/rules.cc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/rules.cc.o" "gcc" "src/cdn/CMakeFiles/rangeamp_cdn.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/rangeamp_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/rangeamp_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rangeamp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_cdn.dir/cache.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/cache.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/cluster.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/cluster.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/limits.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/limits.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/logic.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/logic.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/node.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/node.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/profiles.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/profiles.cc.o.d"
+  "CMakeFiles/rangeamp_cdn.dir/rules.cc.o"
+  "CMakeFiles/rangeamp_cdn.dir/rules.cc.o.d"
+  "librangeamp_cdn.a"
+  "librangeamp_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

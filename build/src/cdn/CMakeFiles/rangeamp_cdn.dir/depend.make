@@ -1,0 +1,2 @@
+# Empty dependencies file for rangeamp_cdn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoplan.cc" "src/core/CMakeFiles/rangeamp_core.dir/autoplan.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/autoplan.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/rangeamp_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/rangeamp_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/rangeamp_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/mitigations.cc" "src/core/CMakeFiles/rangeamp_core.dir/mitigations.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/mitigations.cc.o.d"
+  "/root/repo/src/core/obr.cc" "src/core/CMakeFiles/rangeamp_core.dir/obr.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/obr.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/rangeamp_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sbr.cc" "src/core/CMakeFiles/rangeamp_core.dir/sbr.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/sbr.cc.o.d"
+  "/root/repo/src/core/scanner.cc" "src/core/CMakeFiles/rangeamp_core.dir/scanner.cc.o" "gcc" "src/core/CMakeFiles/rangeamp_core.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/rangeamp_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rangeamp_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/rangeamp_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rangeamp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/rangeamp_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rangeamp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_core.dir/autoplan.cc.o"
+  "CMakeFiles/rangeamp_core.dir/autoplan.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/campaign.cc.o"
+  "CMakeFiles/rangeamp_core.dir/campaign.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/cost.cc.o"
+  "CMakeFiles/rangeamp_core.dir/cost.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/detector.cc.o"
+  "CMakeFiles/rangeamp_core.dir/detector.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/mitigations.cc.o"
+  "CMakeFiles/rangeamp_core.dir/mitigations.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/obr.cc.o"
+  "CMakeFiles/rangeamp_core.dir/obr.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/report.cc.o"
+  "CMakeFiles/rangeamp_core.dir/report.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/sbr.cc.o"
+  "CMakeFiles/rangeamp_core.dir/sbr.cc.o.d"
+  "CMakeFiles/rangeamp_core.dir/scanner.cc.o"
+  "CMakeFiles/rangeamp_core.dir/scanner.cc.o.d"
+  "librangeamp_core.a"
+  "librangeamp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

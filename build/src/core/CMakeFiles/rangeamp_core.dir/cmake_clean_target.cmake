@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librangeamp_core.a"
+)

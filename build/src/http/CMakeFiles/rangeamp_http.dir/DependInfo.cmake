@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/body.cc" "src/http/CMakeFiles/rangeamp_http.dir/body.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/body.cc.o.d"
+  "/root/repo/src/http/chunked.cc" "src/http/CMakeFiles/rangeamp_http.dir/chunked.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/chunked.cc.o.d"
+  "/root/repo/src/http/date.cc" "src/http/CMakeFiles/rangeamp_http.dir/date.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/date.cc.o.d"
+  "/root/repo/src/http/generator.cc" "src/http/CMakeFiles/rangeamp_http.dir/generator.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/generator.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/http/CMakeFiles/rangeamp_http.dir/headers.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/headers.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/rangeamp_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/message.cc.o.d"
+  "/root/repo/src/http/multipart.cc" "src/http/CMakeFiles/rangeamp_http.dir/multipart.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/multipart.cc.o.d"
+  "/root/repo/src/http/range.cc" "src/http/CMakeFiles/rangeamp_http.dir/range.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/range.cc.o.d"
+  "/root/repo/src/http/serialize.cc" "src/http/CMakeFiles/rangeamp_http.dir/serialize.cc.o" "gcc" "src/http/CMakeFiles/rangeamp_http.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_http.dir/body.cc.o"
+  "CMakeFiles/rangeamp_http.dir/body.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/chunked.cc.o"
+  "CMakeFiles/rangeamp_http.dir/chunked.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/date.cc.o"
+  "CMakeFiles/rangeamp_http.dir/date.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/generator.cc.o"
+  "CMakeFiles/rangeamp_http.dir/generator.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/headers.cc.o"
+  "CMakeFiles/rangeamp_http.dir/headers.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/message.cc.o"
+  "CMakeFiles/rangeamp_http.dir/message.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/multipart.cc.o"
+  "CMakeFiles/rangeamp_http.dir/multipart.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/range.cc.o"
+  "CMakeFiles/rangeamp_http.dir/range.cc.o.d"
+  "CMakeFiles/rangeamp_http.dir/serialize.cc.o"
+  "CMakeFiles/rangeamp_http.dir/serialize.cc.o.d"
+  "librangeamp_http.a"
+  "librangeamp_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

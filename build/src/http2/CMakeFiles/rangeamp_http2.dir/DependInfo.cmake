@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http2/frame.cc" "src/http2/CMakeFiles/rangeamp_http2.dir/frame.cc.o" "gcc" "src/http2/CMakeFiles/rangeamp_http2.dir/frame.cc.o.d"
+  "/root/repo/src/http2/hpack.cc" "src/http2/CMakeFiles/rangeamp_http2.dir/hpack.cc.o" "gcc" "src/http2/CMakeFiles/rangeamp_http2.dir/hpack.cc.o.d"
+  "/root/repo/src/http2/session.cc" "src/http2/CMakeFiles/rangeamp_http2.dir/session.cc.o" "gcc" "src/http2/CMakeFiles/rangeamp_http2.dir/session.cc.o.d"
+  "/root/repo/src/http2/wire.cc" "src/http2/CMakeFiles/rangeamp_http2.dir/wire.cc.o" "gcc" "src/http2/CMakeFiles/rangeamp_http2.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/rangeamp_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rangeamp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

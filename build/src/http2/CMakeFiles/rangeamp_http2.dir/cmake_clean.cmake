@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_http2.dir/frame.cc.o"
+  "CMakeFiles/rangeamp_http2.dir/frame.cc.o.d"
+  "CMakeFiles/rangeamp_http2.dir/hpack.cc.o"
+  "CMakeFiles/rangeamp_http2.dir/hpack.cc.o.d"
+  "CMakeFiles/rangeamp_http2.dir/session.cc.o"
+  "CMakeFiles/rangeamp_http2.dir/session.cc.o.d"
+  "CMakeFiles/rangeamp_http2.dir/wire.cc.o"
+  "CMakeFiles/rangeamp_http2.dir/wire.cc.o.d"
+  "librangeamp_http2.a"
+  "librangeamp_http2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_net.dir/transcript.cc.o"
+  "CMakeFiles/rangeamp_net.dir/transcript.cc.o.d"
+  "CMakeFiles/rangeamp_net.dir/wire.cc.o"
+  "CMakeFiles/rangeamp_net.dir/wire.cc.o.d"
+  "librangeamp_net.a"
+  "librangeamp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/origin/origin_server.cc" "src/origin/CMakeFiles/rangeamp_origin.dir/origin_server.cc.o" "gcc" "src/origin/CMakeFiles/rangeamp_origin.dir/origin_server.cc.o.d"
+  "/root/repo/src/origin/resource_store.cc" "src/origin/CMakeFiles/rangeamp_origin.dir/resource_store.cc.o" "gcc" "src/origin/CMakeFiles/rangeamp_origin.dir/resource_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/rangeamp_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rangeamp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_origin.dir/origin_server.cc.o"
+  "CMakeFiles/rangeamp_origin.dir/origin_server.cc.o.d"
+  "CMakeFiles/rangeamp_origin.dir/resource_store.cc.o"
+  "CMakeFiles/rangeamp_origin.dir/resource_store.cc.o.d"
+  "librangeamp_origin.a"
+  "librangeamp_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

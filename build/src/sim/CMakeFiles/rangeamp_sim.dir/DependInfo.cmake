@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack_load.cc" "src/sim/CMakeFiles/rangeamp_sim.dir/attack_load.cc.o" "gcc" "src/sim/CMakeFiles/rangeamp_sim.dir/attack_load.cc.o.d"
+  "/root/repo/src/sim/des.cc" "src/sim/CMakeFiles/rangeamp_sim.dir/des.cc.o" "gcc" "src/sim/CMakeFiles/rangeamp_sim.dir/des.cc.o.d"
+  "/root/repo/src/sim/fluid.cc" "src/sim/CMakeFiles/rangeamp_sim.dir/fluid.cc.o" "gcc" "src/sim/CMakeFiles/rangeamp_sim.dir/fluid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

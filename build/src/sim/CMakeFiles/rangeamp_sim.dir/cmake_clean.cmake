@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangeamp_sim.dir/attack_load.cc.o"
+  "CMakeFiles/rangeamp_sim.dir/attack_load.cc.o.d"
+  "CMakeFiles/rangeamp_sim.dir/des.cc.o"
+  "CMakeFiles/rangeamp_sim.dir/des.cc.o.d"
+  "CMakeFiles/rangeamp_sim.dir/fluid.cc.o"
+  "CMakeFiles/rangeamp_sim.dir/fluid.cc.o.d"
+  "librangeamp_sim.a"
+  "librangeamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangeamp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_tests.dir/cdn/cache_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/cache_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/cluster_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/cluster_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/limits_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/limits_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/node_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/node_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/profiles_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/profiles_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/revalidation_router_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/revalidation_router_test.cc.o.d"
+  "CMakeFiles/cdn_tests.dir/cdn/rules_test.cc.o"
+  "CMakeFiles/cdn_tests.dir/cdn/rules_test.cc.o.d"
+  "cdn_tests"
+  "cdn_tests.pdb"
+  "cdn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/autoplan_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/autoplan_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/detector_campaign_cost_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/detector_campaign_cost_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mitigations_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mitigations_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/obr_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/obr_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/sbr_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/sbr_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/scanner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/scanner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/testbed_report_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/testbed_report_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

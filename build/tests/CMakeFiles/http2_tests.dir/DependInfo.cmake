@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/http2/frame_session_test.cc" "tests/CMakeFiles/http2_tests.dir/http2/frame_session_test.cc.o" "gcc" "tests/CMakeFiles/http2_tests.dir/http2/frame_session_test.cc.o.d"
+  "/root/repo/tests/http2/hpack_test.cc" "tests/CMakeFiles/http2_tests.dir/http2/hpack_test.cc.o" "gcc" "tests/CMakeFiles/http2_tests.dir/http2/hpack_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rangeamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/rangeamp_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/rangeamp_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/rangeamp_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rangeamp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rangeamp_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rangeamp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

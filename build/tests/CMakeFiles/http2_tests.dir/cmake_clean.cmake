@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http2_tests.dir/http2/frame_session_test.cc.o"
+  "CMakeFiles/http2_tests.dir/http2/frame_session_test.cc.o.d"
+  "CMakeFiles/http2_tests.dir/http2/hpack_test.cc.o"
+  "CMakeFiles/http2_tests.dir/http2/hpack_test.cc.o.d"
+  "http2_tests"
+  "http2_tests.pdb"
+  "http2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

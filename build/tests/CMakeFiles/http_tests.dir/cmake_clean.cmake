@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_tests.dir/http/body_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/body_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/chunked_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/chunked_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/date_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/date_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/fuzz_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/fuzz_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/generator_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/generator_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/headers_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/headers_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/message_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/message_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/multipart_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/multipart_test.cc.o.d"
+  "CMakeFiles/http_tests.dir/http/range_test.cc.o"
+  "CMakeFiles/http_tests.dir/http/range_test.cc.o.d"
+  "http_tests"
+  "http_tests.pdb"
+  "http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origin_tests.dir/origin/origin_server_test.cc.o"
+  "CMakeFiles/origin_tests.dir/origin/origin_server_test.cc.o.d"
+  "origin_tests"
+  "origin_tests.pdb"
+  "origin_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origin_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
