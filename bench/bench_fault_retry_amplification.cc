@@ -1,0 +1,231 @@
+// Retry amplification under origin faults (the robustness companion to the
+// paper's Fig 6): what happens to the SBR amplification factor when the
+// cdn-origin segment is *unreliable* and the CDN spends a retry budget on
+// it.
+//
+// The paper measures AF = origin response bytes / client response bytes with
+// every hop healthy.  Under a Deletion policy each cache miss already costs
+// a full-entity origin fetch; when that fetch dies near the end of the
+// entity and the CDN naively retries, the origin pays the full entity
+// *per attempt* while the attacker's cost is unchanged -- the effective AF
+// scales with (1 + retries) at fault rate 1.  Three experiments:
+//
+//   1. rotation-miss grid: cache-busting SBR campaign x {fault rate} x
+//      {retry budget} against a Deletion vendor, truncate-late wire faults
+//      (the origin dies one byte short of finishing the entity);
+//   2. degradation policies: the same hostile cell (p=1) under
+//      synthesize-error / serve-stale / negative-cache, showing that
+//      query rotation starves both caches so no degradation policy helps
+//      the *miss* path -- and the stale-revalidation scenario, where
+//      serve-stale (RFC 5861 stale-if-error) keeps AF flat while the naive
+//      policy re-fetches the full entity after every failed revalidation;
+//   3. mitigation ablation under faults: section VI-C's mitigations re-run
+//      with the same fault schedule -- range-forwarding mitigations
+//      (Laziness, +8KB Expansion, slice) keep upstream fetches so small the
+//      truncate-late fault never fires, so they also kill the retry
+//      amplification vector.
+//
+// Everything is seeded and scheduled: two runs of this binary emit
+// byte-identical CSVs.
+#include <cstdio>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+namespace {
+
+constexpr std::uint64_t kFileSize = 1u << 20;  // 1 MiB entity
+constexpr int kRequests = 200;                 // campaign length per cell
+constexpr std::uint64_t kSeed = 0x5eedF417;    // fault-schedule seed
+
+struct CampaignResult {
+  std::uint64_t client_response_bytes = 0;
+  std::uint64_t origin_response_bytes = 0;
+  std::uint64_t origin_transfers = 0;  ///< upstream attempts (incl. retries)
+  std::uint64_t faults = 0;
+  int ok_responses = 0;       ///< 2xx/3xx to the client
+  int degraded_responses = 0; ///< 5xx to the client
+  double af() const {
+    return client_response_bytes == 0
+               ? 0.0
+               : static_cast<double>(origin_response_bytes) /
+                     static_cast<double>(client_response_bytes);
+  }
+};
+
+// A cache-busting SBR campaign (rotated query string, bytes=0-0) against one
+// vendor profile with a truncate-late fault schedule of rate `p` on the
+// cdn-origin segment.
+CampaignResult run_rotation_campaign(cdn::VendorProfile profile, double p) {
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/payload.bin", kFileSize);
+
+  net::FaultInjector faults;
+  if (p > 0) {
+    faults.fail_rate(p, kSeed, net::FaultSpec::truncate(kFileSize - 1));
+  }
+  bed.set_origin_fault_injector(&faults);
+
+  CampaignResult out;
+  for (int i = 0; i < kRequests; ++i) {
+    auto request = http::make_get(std::string{core::kDefaultHost},
+                                  "/payload.bin?cb=" + std::to_string(i));
+    request.headers.add("Range", "bytes=0-0");
+    const auto response = bed.send(request);
+    if (response.status >= 500) {
+      ++out.degraded_responses;
+    } else {
+      ++out.ok_responses;
+    }
+  }
+  out.client_response_bytes = bed.client_traffic().response_bytes();
+  out.origin_response_bytes = bed.origin_traffic().response_bytes();
+  out.origin_transfers = faults.transfers_seen();
+  out.faults = faults.faults_injected();
+  return out;
+}
+
+cdn::VendorProfile deletion_profile(int retries,
+                                    cdn::DegradationPolicy degradation) {
+  cdn::VendorProfile profile = cdn::make_profile(cdn::Vendor::kAkamai);
+  profile.traits.resilience.max_retries = retries;
+  profile.traits.resilience.degradation = degradation;
+  return profile;
+}
+
+// Stale-revalidation scenario: the attacker hammers a *cached but stale*
+// URL while the origin's app layer answers every conditional revalidation
+// with 503 (the origin fault injector gates on If-None-Match, so plain
+// refetches still succeed).  A serve-stale vendor absorbs each failure with
+// the stale copy; a synthesize-error vendor burns its retry budget on 503s
+// and then re-fetches the full entity on the vendor miss path.
+CampaignResult run_stale_revalidation_campaign(int retries,
+                                               cdn::DegradationPolicy degradation) {
+  constexpr double kTtl = 60.0;
+  cdn::VendorProfile profile = deletion_profile(retries, degradation);
+  profile.traits.cache_ttl_seconds = kTtl;
+
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/payload.bin", kFileSize);
+
+  double now = 0.0;
+  bed.cdn().set_clock([&now] { return now; });
+
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::status_code(503),
+                     [](const http::Request& r) {
+                       return r.headers.get("If-None-Match").has_value();
+                     });
+  bed.origin().config().fault_injector = &faults;
+
+  // Prime the cache at t=0 (healthy fetch), then drop the priming exchange
+  // from the books so only the attack traffic is measured.
+  auto prime = http::make_get(std::string{core::kDefaultHost}, "/payload.bin");
+  bed.send(prime);
+  bed.client_traffic().reset();
+  bed.origin_traffic().reset();
+  faults.reset_counters();
+
+  CampaignResult out;
+  for (int i = 0; i < kRequests; ++i) {
+    now = (i + 1) * (kTtl + 1);  // every request sees the entry stale again
+    auto request = http::make_get(std::string{core::kDefaultHost}, "/payload.bin");
+    request.headers.add("Range", "bytes=0-0");
+    const auto response = bed.send(request);
+    if (response.status >= 500) {
+      ++out.degraded_responses;
+    } else {
+      ++out.ok_responses;
+    }
+  }
+  out.client_response_bytes = bed.client_traffic().response_bytes();
+  out.origin_response_bytes = bed.origin_traffic().response_bytes();
+  out.origin_transfers = faults.transfers_seen();
+  out.faults = faults.faults_injected();
+  return out;
+}
+
+std::string cell(const CampaignResult& r) { return core::fixed(r.af(), 1); }
+
+void add_result_row(core::Table& table, const std::string& scenario,
+                    const std::string& policy, double p, int retries,
+                    const CampaignResult& r) {
+  table.add_row({scenario, policy, core::fixed(p, 2), std::to_string(retries),
+                 std::to_string(kRequests), std::to_string(r.origin_transfers),
+                 std::to_string(r.faults),
+                 std::to_string(r.client_response_bytes),
+                 std::to_string(r.origin_response_bytes),
+                 core::fixed(r.af(), 1), std::to_string(r.ok_responses),
+                 std::to_string(r.degraded_responses)});
+}
+
+}  // namespace
+
+int main() {
+  core::Table table({"scenario", "degradation", "fault_rate", "retries",
+                     "requests", "origin_transfers", "faults_injected",
+                     "client_response_bytes", "origin_response_bytes", "af",
+                     "ok_responses", "degraded_responses"});
+
+  // ---- 1. rotation-miss grid: fault rate x retry budget -----------------
+  core::Table grid({"fault rate \\ retries", "R=0", "R=1", "R=2", "R=3"});
+  for (const double p : {0.0, 0.25, 0.5, 1.0}) {
+    std::vector<std::string> row{core::fixed(p, 2)};
+    for (const int retries : {0, 1, 2, 3}) {
+      const auto r = run_rotation_campaign(
+          deletion_profile(retries, cdn::DegradationPolicy::kSynthesizeError), p);
+      add_result_row(table, "rotation-miss", "error", p, retries, r);
+      row.push_back(cell(r));
+    }
+    grid.add_row(row);
+  }
+  std::printf("SBR amplification factor under origin faults "
+              "(Akamai profile, 1 MiB entity, truncate-late faults)\n\n%s\n",
+              grid.to_markdown().c_str());
+
+  // ---- 2. degradation policies under the hostile cell -------------------
+  for (const auto& [policy, name] :
+       {std::pair{cdn::DegradationPolicy::kSynthesizeError, "error"},
+        std::pair{cdn::DegradationPolicy::kServeStale, "serve-stale"},
+        std::pair{cdn::DegradationPolicy::kNegativeCache, "negative-cache"}}) {
+    const auto r = run_rotation_campaign(deletion_profile(2, policy), 1.0);
+    add_result_row(table, "rotation-miss", name, 1.0, 2, r);
+  }
+  for (const int retries : {0, 2}) {
+    for (const auto& [policy, name] :
+         {std::pair{cdn::DegradationPolicy::kSynthesizeError, "error"},
+          std::pair{cdn::DegradationPolicy::kServeStale, "serve-stale"}}) {
+      const auto r = run_stale_revalidation_campaign(retries, policy);
+      add_result_row(table, "stale-revalidation", name, 1.0, retries, r);
+    }
+  }
+
+  core::write_file("fault_retry_amplification.csv", table.to_csv());
+
+  // ---- 3. section VI-C mitigations under the same fault schedule ---------
+  core::Table ablation({"configuration", "af_fault_free", "af_faulted",
+                        "faults_injected", "degraded_responses"});
+  const auto ablation_row = [&](const std::string& name,
+                                std::optional<core::Mitigation> m) {
+    const auto make = [&] {
+      cdn::VendorProfile profile =
+          deletion_profile(2, cdn::DegradationPolicy::kSynthesizeError);
+      if (m) profile = core::apply_mitigation(std::move(profile), *m);
+      return profile;
+    };
+    const auto healthy = run_rotation_campaign(make(), 0.0);
+    const auto faulted = run_rotation_campaign(make(), 0.5);
+    ablation.add_row({name, cell(healthy), cell(faulted),
+                      std::to_string(faulted.faults),
+                      std::to_string(faulted.degraded_responses)});
+  };
+  ablation_row("Vulnerable baseline", std::nullopt);
+  for (const auto m : core::kAllMitigations) {
+    ablation_row(std::string{core::mitigation_name(m)}, m);
+  }
+  std::printf("Mitigations under faults (p=0.50, retries=2)\n\n%s\n",
+              ablation.to_markdown().c_str());
+  core::write_file("fault_mitigation_ablation.csv", ablation.to_csv());
+  return 0;
+}

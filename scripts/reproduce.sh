@@ -5,17 +5,39 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Fresh checkouts get Ninja; an existing build dir keeps whatever generator
+# configured it (cmake refuses to switch generators in place).
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 : > bench_output.txt
+status=0
+failed=()
 for b in build/bench/*; do
-  [ -x "$b" ] || continue
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "==================== $b ====================" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  # Run every bench even after a failure, but never report overall success:
+  # each step's exit code is checked and the script exits non-zero if any
+  # bench (or the tee recording its output) failed.
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    rc=${PIPESTATUS[0]}
+    status=1
+    failed+=("$b")
+    echo "FAILED: $b (exit $rc)" | tee -a bench_output.txt
+  fi
 done
+
+if [ "$status" -ne 0 ]; then
+  echo
+  echo "Reproduction FAILED for: ${failed[*]}" >&2
+  exit "$status"
+fi
 
 echo
 echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

@@ -56,4 +56,13 @@ std::string_view reply_policy_name(MultiRangeReplyPolicy p) noexcept {
   return "?";
 }
 
+std::string_view degradation_policy_name(DegradationPolicy p) noexcept {
+  switch (p) {
+    case DegradationPolicy::kSynthesizeError: return "synthesize-error";
+    case DegradationPolicy::kServeStale: return "serve-stale";
+    case DegradationPolicy::kNegativeCache: return "negative-cache";
+  }
+  return "?";
+}
+
 }  // namespace rangeamp::cdn

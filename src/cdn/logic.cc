@@ -13,18 +13,23 @@ using http::Response;
 
 Response deletion_miss(CdnNode& node, const Request& request,
                        const std::optional<RangeSet>& range) {
-  const Response upstream = node.fetch(request, std::nullopt);
-  if (auto entity = CdnNode::entity_from_response(upstream)) {
+  const FetchResult result = node.fetch_result(request, std::nullopt);
+  if (!result.ok()) return node.degrade(request, range, result);
+  // Partial fills (truncated entities) never reach the cache:
+  // entity_from_response refuses bodies shorter than their Content-Length.
+  if (auto entity = CdnNode::entity_from_response(result.response)) {
     node.store(request, *entity);
     return node.respond_entity(*entity, range);
   }
-  return node.relay(upstream);
+  return node.relay(result.response);
 }
 
 Response laziness_miss(CdnNode& node, const Request& request,
                        const std::optional<RangeSet>& range,
                        bool serve_range_on_200) {
-  const Response upstream = node.fetch(request, range);
+  const FetchResult result = node.fetch_result(request, range);
+  if (!result.ok()) return node.degrade(request, range, result);
+  const Response& upstream = result.response;
   if (upstream.status == http::kOk) {
     if (auto entity = CdnNode::entity_from_response(upstream)) {
       node.store(request, *entity);
@@ -104,13 +109,16 @@ Response BoundedExpansionLogic::on_miss(CdnNode& node, const Request& request,
     forward.specs.push_back(ByteRangeSpec::closed(min_first, max_last + slack_));
   }
 
-  const Response upstream = node.fetch(request, forward);
-  return serve_upstream_result(node, request, upstream, range);
+  const FetchResult result = node.fetch_result(request, forward);
+  if (!result.ok()) return node.degrade(request, range, result);
+  return serve_upstream_result(node, request, result.response, range);
 }
 
 std::optional<SliceLogic::SliceResult> SliceLogic::fetch_slice(
     CdnNode& node, const Request& request, std::uint64_t index,
-    std::optional<CachedEntity>* full_entity) {
+    const std::optional<RangeSet>& client_range,
+    std::optional<CachedEntity>* full_entity,
+    std::optional<Response>* degraded) {
   // Slices are cached under the path (query excluded): a legitimate slice
   // cache survives the attacker's query rotation, and repeated slices are
   // free.  (This is the nginx slice module's $uri-based key.)
@@ -130,7 +138,12 @@ std::optional<SliceLogic::SliceResult> SliceLogic::fetch_slice(
   RangeSet slice_range;
   slice_range.specs.push_back(http::ByteRangeSpec::closed(
       index * slice_, index * slice_ + slice_ - 1));
-  const Response upstream = node.fetch(request, slice_range);
+  const FetchResult result = node.fetch_result(request, slice_range);
+  if (!result.ok()) {
+    *degraded = node.degrade(request, client_range, result);
+    return std::nullopt;
+  }
+  const Response& upstream = result.response;
   if (upstream.status == http::kOk) {
     if (auto entity = CdnNode::entity_from_response(upstream)) {
       node.store(request, *entity);
@@ -168,6 +181,7 @@ std::optional<SliceLogic::SliceResult> SliceLogic::fetch_slice(
 Response SliceLogic::on_miss(CdnNode& node, const Request& request,
                              const std::optional<RangeSet>& range) {
   std::optional<CachedEntity> full_entity;
+  std::optional<Response> degraded;
 
   // Discover the representation size: from the cached marker, or by pulling
   // slice 0 (which a ranged request almost always needs anyway).
@@ -179,8 +193,9 @@ Response SliceLogic::on_miss(CdnNode& node, const Request& request,
     total = std::strtoull(marker->content_type.c_str(), nullptr, 10);
   }
   if (total == 0) {
-    auto probe = fetch_slice(node, request, 0, &full_entity);
+    auto probe = fetch_slice(node, request, 0, range, &full_entity, &degraded);
     if (full_entity) return node.respond_entity(*full_entity, range);
+    if (degraded) return *degraded;
     if (!probe) return node.error(http::kBadGateway, "slice fetch failed");
     total = probe->total_size;
     if (total == 0) return node.error(http::kBadGateway, "slice size unknown");
@@ -190,8 +205,9 @@ Response SliceLogic::on_miss(CdnNode& node, const Request& request,
   if (!range) {
     CachedEntity assembled;
     for (std::uint64_t index = 0; index * slice_ < total; ++index) {
-      auto slice = fetch_slice(node, request, index, &full_entity);
+      auto slice = fetch_slice(node, request, index, range, &full_entity, &degraded);
       if (full_entity) return node.respond_entity(*full_entity, std::nullopt);
+      if (degraded) return *degraded;
       if (!slice) return node.error(http::kBadGateway, "slice fetch failed");
       if (assembled.content_type.empty()) {
         assembled.content_type = slice->content_type;
@@ -225,8 +241,9 @@ Response SliceLogic::on_miss(CdnNode& node, const Request& request,
          ++index) {
       auto it = fetched.find(index);
       if (it == fetched.end()) {
-        auto slice = fetch_slice(node, request, index, &full_entity);
+        auto slice = fetch_slice(node, request, index, range, &full_entity, &degraded);
         if (full_entity) return node.respond_entity(*full_entity, range);
+        if (degraded) return *degraded;
         if (!slice) return node.error(http::kBadGateway, "slice fetch failed");
         if (content_type.empty()) {
           content_type = slice->content_type;

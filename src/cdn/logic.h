@@ -95,7 +95,9 @@ class SliceLogic final : public VendorLogic {
  private:
   /// Fetches (or recalls from cache) slice `index`; returns nullopt when the
   /// upstream answer is unusable.  On a 200 the full entity short-circuits
-  /// through `full_entity`.
+  /// through `full_entity`.  A transport failure short-circuits through
+  /// `degraded` (the vendor's degradation response, shaped by
+  /// `client_range`).
   struct SliceResult {
     http::Body body;
     std::uint64_t total_size = 0;
@@ -103,10 +105,11 @@ class SliceLogic final : public VendorLogic {
     std::string etag;
     std::string last_modified;
   };
-  std::optional<SliceResult> fetch_slice(CdnNode& node,
-                                         const http::Request& request,
-                                         std::uint64_t index,
-                                         std::optional<CachedEntity>* full_entity);
+  std::optional<SliceResult> fetch_slice(
+      CdnNode& node, const http::Request& request, std::uint64_t index,
+      const std::optional<http::RangeSet>& client_range,
+      std::optional<CachedEntity>* full_entity,
+      std::optional<http::Response>* degraded);
 
   std::uint64_t slice_;
 };

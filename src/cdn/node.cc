@@ -1,6 +1,7 @@
 #include "cdn/node.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "cdn/limits.h"
 #include "http/chunked.h"
@@ -101,25 +102,44 @@ Response CdnNode::handle(const Request& request) {
       // Stale: revalidate with a conditional GET instead of a refetch.
       http::Request conditional = request;
       conditional.headers.set("If-None-Match", hit->etag);
-      const Response check = fetch(conditional, std::nullopt);
-      if (check.status == 304) {
-        cache_.touch(key, now + traits_.cache_ttl_seconds);
-        return respond_entity(*hit, range);
+      FetchResult check = fetch_result(conditional, std::nullopt);
+      if (!check.ok() &&
+          traits_.resilience.degradation == DegradationPolicy::kServeStale) {
+        // Stale-if-error: the revalidation failed, the stale copy absorbs it.
+        Response resp = respond_entity(*hit, range);
+        resp.headers.add("Warning", "111 - \"Revalidation Failed\"");
+        return resp;
       }
-      if (auto entity = entity_from_response(check)) {
-        store(request, *entity);
-        return respond_entity(*entity, range);
+      if (check.ok()) {
+        if (check.response.status == 304) {
+          cache_.touch(key, now + traits_.cache_ttl_seconds);
+          return respond_entity(*hit, range);
+        }
+        if (auto entity = entity_from_response(check.response)) {
+          store(request, *entity);
+          return respond_entity(*entity, range);
+        }
       }
       // Revalidation failed outright: fall through to the vendor's miss path.
+    }
+    if (const CachedEntity* negative = cache_.find(key + "#neg")) {
+      const double now = clock_ ? clock_() : 0.0;
+      if (negative->fresh_at(now)) {
+        return error(http::kBadGateway, "negative-cached upstream failure");
+      }
     }
   }
   return logic_->on_miss(*this, request, range);
 }
 
-Response CdnNode::fetch(const Request& client_request,
-                        const std::optional<RangeSet>& range,
-                        const net::TransferOptions& options,
-                        http::Method method_override) {
+void CdnNode::set_upstream_fault_injector(net::FaultInjector* injector) {
+  std::visit([&](auto& wire) { wire.set_fault_injector(injector); },
+             upstream_wire_);
+}
+
+Request CdnNode::build_upstream_request(const Request& client_request,
+                                        const std::optional<RangeSet>& range,
+                                        http::Method method_override) const {
   Request upstream_request;
   upstream_request.method = method_override;
   upstream_request.target = client_request.target;
@@ -131,9 +151,116 @@ Response CdnNode::fetch(const Request& client_request,
     upstream_request.headers.add(f.name, f.value);
   }
   if (range) upstream_request.headers.add("Range", range->to_string());
+  return upstream_request;
+}
+
+net::TransferOutcome CdnNode::upstream_transfer(
+    const Request& upstream_request, const net::TransferOptions& options) {
   return std::visit(
-      [&](auto& wire) { return wire.transfer(upstream_request, options); },
+      [&](auto& wire) { return wire.transfer_outcome(upstream_request, options); },
       upstream_wire_);
+}
+
+Response CdnNode::fetch(const Request& client_request,
+                        const std::optional<RangeSet>& range,
+                        const net::TransferOptions& options,
+                        http::Method method_override) {
+  FetchResult result = fetch_result(client_request, range, options, method_override);
+  if (result.error) {
+    // Present the failure as an upstream gateway error so callers that only
+    // understand responses still behave: the status is never cacheable and
+    // relays as this vendor's 502/504.
+    const int status =
+        result.error->kind == net::TransferErrorKind::kTimeout
+            ? http::kGatewayTimeout
+            : http::kBadGateway;
+    Response failed;
+    failed.status = status;
+    failed.headers.add("Content-Length", "0");
+    failed.headers.add("X-Transfer-Error",
+                       std::string{net::transfer_error_name(result.error->kind)});
+    return failed;
+  }
+  return std::move(result.response);
+}
+
+FetchResult CdnNode::fetch_result(const Request& client_request,
+                                  const std::optional<RangeSet>& range,
+                                  const net::TransferOptions& options,
+                                  http::Method method_override) {
+  const ResiliencePolicy& rp = traits_.resilience;
+  const Request upstream_request =
+      build_upstream_request(client_request, range, method_override);
+
+  net::TransferOptions attempt_options = options;
+  if (!attempt_options.timeout_seconds && rp.attempt_timeout_seconds > 0) {
+    attempt_options.timeout_seconds = rp.attempt_timeout_seconds;
+  }
+
+  // Stale-if-error short-circuit: when a stale copy can absorb the failure,
+  // do not hammer the origin with the full retry budget.
+  int budget = rp.max_retries;
+  if (rp.degradation == DegradationPolicy::kServeStale &&
+      rp.serve_stale_skips_retries && stale_entity(client_request) != nullptr) {
+    budget = 0;
+  }
+
+  FetchResult result;
+  double backoff = rp.backoff_initial_seconds;
+  for (int attempt = 0;; ++attempt) {
+    net::TransferOutcome outcome =
+        upstream_transfer(upstream_request, attempt_options);
+    result.attempts = attempt + 1;
+    result.elapsed_seconds += outcome.latency_seconds;
+    result.error = outcome.error;
+    result.upstream_5xx = outcome.ok() && rp.retry_on_5xx &&
+                          outcome.response.status >= 500 &&
+                          outcome.response.status <= 599;
+    result.response = std::move(outcome.response);
+    const bool retryable = result.error.has_value() || result.upstream_5xx;
+    if (!retryable || attempt >= budget) break;
+    result.elapsed_seconds += backoff;
+    backoff *= rp.backoff_multiplier;
+  }
+  return result;
+}
+
+const CachedEntity* CdnNode::stale_entity(const Request& request) const {
+  if (!traits_.cache_enabled) return nullptr;
+  return cache_.find(resolve_cache_key(request));
+}
+
+Response CdnNode::degrade(const Request& request,
+                          const std::optional<RangeSet>& range,
+                          const FetchResult& result) {
+  const ResiliencePolicy& rp = traits_.resilience;
+  if (rp.degradation == DegradationPolicy::kServeStale) {
+    if (const CachedEntity* stale = stale_entity(request)) {
+      Response resp = respond_entity(*stale, range);
+      // RFC 5861 stale-if-error marker (obs-deprecated Warning code kept for
+      // observability; only fault paths ever carry it).
+      resp.headers.add("Warning", "111 - \"Revalidation Failed\"");
+      return resp;
+    }
+  }
+  if (rp.degradation == DegradationPolicy::kNegativeCache &&
+      traits_.cache_enabled) {
+    CachedEntity negative;
+    negative.content_type = "#negative";
+    negative.expires_at =
+        (clock_ ? clock_() : 0.0) + rp.negative_cache_ttl_seconds;
+    cache_.put(resolve_cache_key(request) + "#neg", std::move(negative));
+  }
+  if (result.error) {
+    const bool timeout =
+        result.error->kind == net::TransferErrorKind::kTimeout;
+    return error(timeout ? http::kGatewayTimeout : http::kBadGateway,
+                 std::string{"upstream failure: "} +
+                     std::string{net::transfer_error_name(result.error->kind)} +
+                     " after " + std::to_string(result.attempts) + " attempt(s)");
+  }
+  // A concrete upstream 5xx survived the retries: relay it faithfully.
+  return relay(result.response);
 }
 
 std::optional<CachedEntity> CdnNode::entity_from_response(const Response& upstream) {
@@ -141,10 +268,24 @@ std::optional<CachedEntity> CdnNode::entity_from_response(const Response& upstre
   CachedEntity entity;
   if (http::is_chunked(upstream)) {
     // A chunked 200 must be de-framed before ranges can be served from it.
+    // A stream cut mid-chunk fails to decode, so truncated chunked entities
+    // can never poison the cache.
     auto decoded = http::decode_chunked(upstream.body.materialize());
     if (!decoded) return std::nullopt;
     entity.entity = std::move(*decoded);
   } else {
+    // Refuse partial fills: a body shorter than the declared Content-Length
+    // is a truncated transfer (upstream died mid-entity), and caching it
+    // would serve a poisoned representation forever.
+    if (const auto declared = upstream.headers.get("Content-Length")) {
+      std::uint64_t length = 0;
+      const auto [ptr, ec] = std::from_chars(
+          declared->data(), declared->data() + declared->size(), length);
+      if (ec != std::errc{} || ptr != declared->data() + declared->size() ||
+          length != upstream.body.size()) {
+        return std::nullopt;
+      }
+    }
     entity.entity = upstream.body;
   }
   entity.content_type =

@@ -69,6 +69,26 @@ enum class SegmentFraming {
   kHttp2,   ///< h2 frames + HPACK (http2::Http2Wire)
 };
 
+/// Outcome of a resilient upstream fetch (retries applied).
+struct FetchResult {
+  /// The final attempt's response.  Valid whenever `error` is absent; on a
+  /// transport failure it holds the partial message (truncated entity) or a
+  /// default-constructed response.
+  http::Response response;
+  /// The final attempt's transport error, when it had one.
+  std::optional<net::TransferError> error;
+  /// True when the final response is a retryable upstream 5xx and the
+  /// budget is spent (the degradation path treats it as a failure too).
+  bool upstream_5xx = false;
+  /// Attempts performed (1 = no retry was needed).
+  int attempts = 1;
+  /// Latency observed across attempts, including backoff gaps.
+  double elapsed_seconds = 0;
+
+  /// A usable response arrived (not a transport error, not a retryable 5xx).
+  bool ok() const noexcept { return !error.has_value() && !upstream_5xx; }
+};
+
 class CdnNode final : public net::HttpHandler {
  public:
   /// `upstream` must outlive the node.  Upstream traffic is recorded in the
@@ -92,17 +112,45 @@ class CdnNode final : public net::HttpHandler {
   /// Traffic on this node's upstream segment.
   net::TrafficRecorder& upstream_traffic() noexcept { return upstream_traffic_; }
 
+  /// Attaches a fault schedule to the upstream segment (non-owning; nullptr
+  /// detaches).  The injector must outlive the node.
+  void set_upstream_fault_injector(net::FaultInjector* injector);
+
   // ------------------------------------------------------------------
   // Helpers for VendorLogic implementations.
   // ------------------------------------------------------------------
 
-  /// Issues one upstream exchange.  The upstream request is the client
-  /// request with hop-by-hop headers stripped, this vendor's forward headers
-  /// added, and the Range header replaced by `range` (absent when nullopt).
+  /// Issues an upstream exchange under this vendor's resilience policy
+  /// (retries, backoff, per-attempt timeout).  The upstream request is the
+  /// client request with hop-by-hop headers stripped, this vendor's forward
+  /// headers added, and the Range header replaced by `range` (absent when
+  /// nullopt).  On failure, the returned response is a synthesized gateway
+  /// error (502/504), so legacy callers stay well-formed; logics that want
+  /// degradation semantics use fetch_result() + degrade() instead.
   http::Response fetch(const http::Request& client_request,
                        const std::optional<http::RangeSet>& range,
                        const net::TransferOptions& options = {},
                        http::Method method_override = http::Method::GET);
+
+  /// Failure-aware upstream exchange: runs up to 1 + resilience.max_retries
+  /// attempts (each a counted Wire transfer), honoring the per-attempt
+  /// timeout budget and -- when serve-stale short-circuiting applies and a
+  /// stale copy exists -- collapsing the budget to a single attempt.
+  FetchResult fetch_result(const http::Request& client_request,
+                           const std::optional<http::RangeSet>& range,
+                           const net::TransferOptions& options = {},
+                           http::Method method_override = http::Method::GET);
+
+  /// Applies this vendor's degradation policy to a failed fetch: serve the
+  /// stale cached copy, negative-cache the miss, or synthesize 502/504 (a
+  /// real upstream 5xx is relayed).  `range` shapes the stale reply.
+  http::Response degrade(const http::Request& request,
+                         const std::optional<http::RangeSet>& range,
+                         const FetchResult& result);
+
+  /// The stale cached entity this request would be served under
+  /// serve-stale degradation, or nullptr.
+  const CachedEntity* stale_entity(const http::Request& request) const;
 
   /// Extracts a cacheable full entity from a 200 upstream response.
   static std::optional<CachedEntity> entity_from_response(
@@ -143,6 +191,11 @@ class CdnNode final : public net::HttpHandler {
  private:
   std::string cache_key(const http::Request& request) const;
   std::string resolve_cache_key(const http::Request& request) const;
+  http::Request build_upstream_request(const http::Request& client_request,
+                                       const std::optional<http::RangeSet>& range,
+                                       http::Method method_override) const;
+  net::TransferOutcome upstream_transfer(const http::Request& upstream_request,
+                                         const net::TransferOptions& options);
   http::Response style(int status, const http::Headers& content_headers,
                        http::Body body) const;
   http::Response respond_416(std::uint64_t total_size);

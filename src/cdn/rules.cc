@@ -1,6 +1,7 @@
 #include "cdn/rules.h"
 
 #include <charconv>
+#include <cstdlib>
 
 #include "cdn/logic.h"
 
@@ -42,6 +43,15 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+std::optional<double> parse_seconds(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  const std::string copy{s};
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || v < 0) return std::nullopt;
+  return v;
+}
+
 }  // namespace
 
 Response RuleBasedLogic::on_miss(CdnNode& node, const Request& request,
@@ -62,9 +72,12 @@ Response RuleBasedLogic::on_miss(CdnNode& node, const Request& request,
     if (rule.first_below && (!first || *first >= *rule.first_below)) continue;
     if (rule.first_at_least && (!first || *first < *rule.first_at_least)) continue;
     if (rule.needs_size() && !size_probed) {
-      const Response head =
-          node.fetch(request, std::nullopt, {}, http::Method::HEAD);
-      size = parse_u64(head.headers.get_or("Content-Length", ""));
+      FetchResult head =
+          node.fetch_result(request, std::nullopt, {}, http::Method::HEAD);
+      // Without the probe no size-conditioned rule can be decided safely;
+      // the vendor's degradation policy answers instead.
+      if (!head.ok()) return node.degrade(request, range, head);
+      size = parse_u64(head.response.headers.get_or("Content-Length", ""));
       size_probed = true;
     }
     if (rule.size_below && (!size || *size >= *rule.size_below)) continue;
@@ -163,6 +176,28 @@ std::optional<VendorProfile> parse_profile_spec(std::string_view text,
         profile.traits.cache_enabled = false;
       } else {
         return fail(line_no, "cache must be on|off");
+      }
+    } else if (key == "resilience.retries") {
+      const auto v = parse_u64(value);
+      if (!v) return fail(line_no, "bad number");
+      profile.traits.resilience.max_retries = static_cast<int>(*v);
+    } else if (key == "resilience.timeout_seconds") {
+      const auto v = parse_seconds(value);
+      if (!v) return fail(line_no, "bad number");
+      profile.traits.resilience.attempt_timeout_seconds = *v;
+    } else if (key == "resilience.backoff_initial_seconds") {
+      const auto v = parse_seconds(value);
+      if (!v) return fail(line_no, "bad number");
+      profile.traits.resilience.backoff_initial_seconds = *v;
+    } else if (key == "resilience.degrade") {
+      if (value == "error") {
+        profile.traits.resilience.degradation = DegradationPolicy::kSynthesizeError;
+      } else if (value == "serve-stale") {
+        profile.traits.resilience.degradation = DegradationPolicy::kServeStale;
+      } else if (value == "negative-cache") {
+        profile.traits.resilience.degradation = DegradationPolicy::kNegativeCache;
+      } else {
+        return fail(line_no, "degrade must be error|serve-stale|negative-cache");
       }
     } else if (key == "response_target_bytes") {
       const auto v = parse_u64(value);

@@ -47,6 +47,59 @@ enum class MultiRangeReplyPolicy {
 
 std::string_view reply_policy_name(MultiRangeReplyPolicy p) noexcept;
 
+/// What a CDN serves once its upstream retry budget is exhausted.
+enum class DegradationPolicy {
+  /// Synthesize a gateway error: 504 for timeouts, 502 for resets and
+  /// truncated entities; a real upstream 5xx is relayed as-is.
+  kSynthesizeError,
+  /// Serve the stale cached copy when one exists (nginx
+  /// proxy_cache_use_stale / RFC 5861 stale-if-error); fall back to the
+  /// synthesized error otherwise.
+  kServeStale,
+  /// Negative-cache the failure: subsequent misses for the same key are
+  /// answered 502 from the edge, without touching the origin, until the
+  /// negative entry expires.
+  kNegativeCache,
+};
+
+std::string_view degradation_policy_name(DegradationPolicy p) noexcept;
+
+/// Back-to-origin resilience: what a CDN node does when an upstream fetch
+/// fails (connection reset, truncated entity, timeout, retryable 5xx).
+/// The defaults -- no retries, no timeout, synthesized errors -- reproduce
+/// the paper-testbed behaviour exactly: with no faults injected, every
+/// exchange is byte-identical to a resilience-unaware node.
+struct ResiliencePolicy {
+  /// Upstream re-attempts after the first failed try.  Every attempt is a
+  /// full Wire transfer, so each one is counted by the segment's
+  /// TrafficRecorder -- the retry-amplification effect under measurement.
+  int max_retries = 0;
+
+  /// Backoff schedule between attempts: the gap before retry k is
+  /// backoff_initial_seconds * backoff_multiplier^(k-1).  Only accounted in
+  /// FetchResult::elapsed_seconds (wires carry no clock).
+  double backoff_initial_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+
+  /// Per-attempt timeout budget: an attempt whose (injected) latency
+  /// exceeds this fails with a timeout.  0 = wait forever.
+  double attempt_timeout_seconds = 0;
+
+  /// Treat upstream 5xx responses as retryable failures.
+  bool retry_on_5xx = true;
+
+  /// Policy once the budget is exhausted.
+  DegradationPolicy degradation = DegradationPolicy::kSynthesizeError;
+
+  /// Freshness lifetime of negative-cache entries (kNegativeCache only).
+  double negative_cache_ttl_seconds = 30;
+
+  /// With kServeStale: when a stale copy is already in cache, give up after
+  /// the first failed attempt instead of burning the retry budget -- the
+  /// origin-protective half of stale-if-error.
+  bool serve_stale_skips_retries = true;
+};
+
 /// Ingress request-header limits (section V-C: these bound the OBR n).
 struct RequestHeaderLimits {
   /// Max total size of all header fields, counted as the serialized header
@@ -114,6 +167,10 @@ struct VendorTraits {
   /// expire.  Expired entries are revalidated with a conditional GET
   /// (If-None-Match) instead of refetched.  Requires a clock on the node.
   double cache_ttl_seconds = 0;
+
+  /// Upstream failure handling (retry/backoff/timeout/degradation).  The
+  /// defaults change nothing while no faults are injected.
+  ResiliencePolicy resilience;
 
   /// Exclude the query string from the cache key -- the customer-side
   /// mitigation Cloudflare and Azure recommended in the paper's disclosure

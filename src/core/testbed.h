@@ -44,6 +44,13 @@ class SingleCdnTestbed {
   net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
   net::TrafficRecorder& origin_traffic() noexcept { return cdn_.upstream_traffic(); }
 
+  /// Attaches a fault schedule to the cdn-origin segment (non-owning;
+  /// nullptr detaches).  Faults hit the CDN's upstream transfers -- the
+  /// segment the retry-amplification experiments stress.
+  void set_origin_fault_injector(net::FaultInjector* injector) {
+    cdn_.set_upstream_fault_injector(injector);
+  }
+
  private:
   origin::OriginServer origin_;
   cdn::CdnNode cdn_;
@@ -74,6 +81,10 @@ class SingleCdnTestbedH2 {
 
   net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
   net::TrafficRecorder& origin_traffic() noexcept { return cdn_.upstream_traffic(); }
+
+  void set_origin_fault_injector(net::FaultInjector* injector) {
+    cdn_.set_upstream_fault_injector(injector);
+  }
 
  private:
   origin::OriginServer origin_;
@@ -107,6 +118,14 @@ class CascadeTestbed {
   }
   net::TrafficRecorder& bcdn_origin_traffic() noexcept {
     return bcdn_.upstream_traffic();
+  }
+
+  /// Fault schedules per cascade segment (non-owning; nullptr detaches).
+  void set_bcdn_origin_fault_injector(net::FaultInjector* injector) {
+    bcdn_.set_upstream_fault_injector(injector);
+  }
+  void set_fcdn_bcdn_fault_injector(net::FaultInjector* injector) {
+    fcdn_.set_upstream_fault_injector(injector);
   }
 
  private:

@@ -31,6 +31,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 500: return "Internal Server Error";
     case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }

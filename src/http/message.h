@@ -26,6 +26,8 @@ enum Status : int {
   kRangeNotSatisfiable = 416,
   kRequestHeaderFieldsTooLarge = 431,
   kBadGateway = 502,
+  kServiceUnavailable = 503,
+  kGatewayTimeout = 504,
 };
 
 /// Canonical reason phrase for a status code ("Partial Content", ...).

@@ -62,7 +62,11 @@ std::string RangeSet::to_string() const {
   return out;
 }
 
-std::optional<RangeSet> parse_range_header(std::string_view value) {
+std::optional<RangeSet> parse_range_header(std::string_view value,
+                                           std::size_t max_value_bytes) {
+  if (max_value_bytes != 0 && value.size() > max_value_bytes) {
+    return std::nullopt;
+  }
   value = trim_ows(value);
   constexpr std::string_view kUnit = "bytes=";
   if (value.size() <= kUnit.size()) return std::nullopt;

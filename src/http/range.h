@@ -81,11 +81,22 @@ struct RangeSet {
   bool operator==(const RangeSet&) const = default;
 };
 
+/// Default cap on the Range header value length parse_range_header accepts.
+/// A guard in the spirit of Envoy's range-header length limit: the parser
+/// allocates one ByteRangeSpec per list element, so an attacker-controlled
+/// header must not drive unbounded work/memory.  The default is deliberately
+/// generous -- the longest header any RangeAmp experiment emits (StackPath's
+/// ~81 KB OBR case) stays well inside it.
+inline constexpr std::size_t kMaxRangeHeaderBytes = 256 * 1024;
+
 /// Parses a Range header value.  Returns nullopt when the value does not
 /// match the RFC 7233 grammar (unknown unit, empty set, first > last,
 /// non-numeric positions, ...).  Per the RFC, a recipient MUST ignore a
 /// malformed Range header, so callers treat nullopt as "no Range".
-std::optional<RangeSet> parse_range_header(std::string_view value);
+/// Values longer than `max_value_bytes` are rejected without being parsed
+/// (0 disables the guard).
+std::optional<RangeSet> parse_range_header(
+    std::string_view value, std::size_t max_value_bytes = kMaxRangeHeaderBytes);
 
 /// Resolves one spec against a representation of `resource_size` bytes.
 /// Returns nullopt when the spec is unsatisfiable for that size

@@ -21,6 +21,17 @@ std::uint64_t Http2Wire::connection_setup_response_bytes() noexcept {
 
 http::Response Http2Wire::transfer(const http::Request& request,
                                    const net::TransferOptions& options) {
+  net::TransferOutcome outcome = transfer_outcome(request, options);
+  if (outcome.ok()) return std::move(outcome.response);
+  return net::response_for_failed_outcome(outcome);
+}
+
+net::TransferOutcome Http2Wire::transfer_outcome(
+    const http::Request& request, const net::TransferOptions& options) {
+  const std::optional<net::FaultSpec> fault =
+      injector_ ? injector_->decide(request) : std::nullopt;
+
+  net::TransferOutcome outcome;
   net::ExchangeRecord record;
   record.target = request.target;
   record.range_header = std::string{request.headers.get_or("Range", "")};
@@ -38,7 +49,33 @@ http::Response Http2Wire::transfer(const http::Request& request,
 
   request_bytes += frames_size(session_.encode_request(request, stream_id));
 
-  http::Response response = callee_->handle(request);
+  const auto fail_without_response = [&](net::TransferErrorKind kind) {
+    record.faulted = true;
+    record.request_bytes = request_bytes;
+    record.response_bytes = response_bytes;
+    recorder_->record(std::move(record));
+    outcome.error = net::TransferError{kind, 0};
+    return std::move(outcome);
+  };
+
+  // Connection reset after the request frames left, before any response
+  // frame: RFC 7540 offers no partial-response recovery, the stream is dead.
+  if (fault && fault->action == net::FaultAction::kConnectionReset) {
+    return fail_without_response(net::TransferErrorKind::kConnectionReset);
+  }
+  if (fault && fault->action == net::FaultAction::kLatency) {
+    outcome.latency_seconds = fault->latency_seconds;
+    if (options.timeout_seconds &&
+        fault->latency_seconds > *options.timeout_seconds) {
+      outcome.latency_seconds = *options.timeout_seconds;
+      return fail_without_response(net::TransferErrorKind::kTimeout);
+    }
+  }
+
+  http::Response response =
+      fault && fault->action == net::FaultAction::kStatus
+          ? net::synthesized_fault_response(fault->status)
+          : callee_->handle(request);
   record.status = response.status;
 
   std::optional<std::uint64_t> body_cap;
@@ -47,12 +84,19 @@ http::Response Http2Wire::transfer(const http::Request& request,
   } else if (options.abort_after_body_bytes) {
     body_cap = *options.abort_after_body_bytes;
   }
+  bool fault_cut = false;
+  if (fault && fault->action == net::FaultAction::kTruncateBody &&
+      fault->truncate_body_at < response.body.size() &&
+      (!body_cap || fault->truncate_body_at < *body_cap)) {
+    body_cap = fault->truncate_body_at;
+    fault_cut = true;
+  }
 
   const auto frames = session_.encode_response(response, stream_id);
   std::uint64_t body_received = 0;
   if (body_cap && *body_cap < response.body.size()) {
-    // The receiver reads header frames and DATA until the cap, then resets
-    // the stream.  A partially-read DATA frame counts what actually arrived.
+    // Header frames and DATA until the cap cross the wire.  A partially-read
+    // DATA frame counts what actually arrived.
     std::uint64_t body_seen = 0;
     for (const Frame& frame : frames) {
       if (frame.type != FrameType::kData) {
@@ -66,7 +110,16 @@ http::Response Http2Wire::transfer(const http::Request& request,
       body_seen += take;
     }
     body_received = body_seen;
-    request_bytes += kRstStreamFrame;  // the abort itself
+    if (fault_cut) {
+      // The sender died mid-stream: its RST_STREAM travels in the response
+      // direction, and the receiver is left with an incomplete message.
+      response_bytes += kRstStreamFrame;
+      record.faulted = true;
+      outcome.error = net::TransferError{net::TransferErrorKind::kTruncatedBody,
+                                         body_seen};
+    } else {
+      request_bytes += kRstStreamFrame;  // the receiver's deliberate abort
+    }
     record.response_truncated = true;
     response.body.truncate(*body_cap);
   } else {
@@ -81,7 +134,8 @@ http::Response Http2Wire::transfer(const http::Request& request,
   record.request_bytes = request_bytes;
   record.response_bytes = response_bytes;
   recorder_->record(std::move(record));
-  return response;
+  outcome.response = std::move(response);
+  return outcome;
 }
 
 }  // namespace rangeamp::http2

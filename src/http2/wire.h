@@ -22,9 +22,21 @@ class Http2Wire {
 
   /// Performs one exchange, HTTP/2-framed.  Stream ids follow the client
   /// convention (odd, increasing).  The returned response body is truncated
-  /// to what the receiver accepted.
+  /// to what the receiver accepted.  Injected transfer failures are folded
+  /// into a response via net::response_for_failed_outcome().
   http::Response transfer(const http::Request& request,
                           const net::TransferOptions& options = {});
+
+  /// Failure-aware exchange (see net::Wire::transfer_outcome): injected
+  /// faults surface as typed TransferErrors; a reset mid-stream is framed as
+  /// an RST_STREAM from the peer, partial DATA still counted.
+  net::TransferOutcome transfer_outcome(const http::Request& request,
+                                        const net::TransferOptions& options = {});
+
+  /// Attaches a fault schedule to this segment (non-owning; nullptr
+  /// detaches).  The injector must outlive the wire.
+  void set_fault_injector(net::FaultInjector* injector) { injector_ = injector; }
+  net::FaultInjector* fault_injector() const noexcept { return injector_; }
 
   net::TrafficRecorder& recorder() noexcept { return *recorder_; }
 
@@ -44,6 +56,7 @@ class Http2Wire {
   net::TrafficRecorder* recorder_;
   net::HttpHandler* callee_;
   Http2Session session_;
+  net::FaultInjector* injector_ = nullptr;
   std::uint32_t next_stream_id_ = 1;
   bool connected_ = false;
 };

@@ -1,0 +1,131 @@
+#include "net/fault.h"
+
+namespace rangeamp::net {
+
+namespace {
+
+// SplitMix64: the standard 64-bit mixing stream.  Indexed evaluation --
+// mix(seed, index) -- keeps rate faults independent of rule-evaluation
+// order and reproducible across runs.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t index) noexcept {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(splitmix64(seed ^ splitmix64(index)) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view fault_action_name(FaultAction a) noexcept {
+  switch (a) {
+    case FaultAction::kConnectionReset: return "connection-reset";
+    case FaultAction::kTruncateBody: return "truncate-body";
+    case FaultAction::kLatency: return "latency";
+    case FaultAction::kStatus: return "status";
+  }
+  return "?";
+}
+
+std::string_view transfer_error_name(TransferErrorKind k) noexcept {
+  switch (k) {
+    case TransferErrorKind::kConnectionReset: return "connection-reset";
+    case TransferErrorKind::kTruncatedBody: return "truncated-body";
+    case TransferErrorKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::fail_nth(std::uint64_t nth, FaultSpec spec,
+                                       RequestPredicate match) {
+  rules_.push_back({Rule::When::kNth, nth, 0, 0, 0, spec, std::move(match)});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_first(std::uint64_t count, FaultSpec spec,
+                                         RequestPredicate match) {
+  rules_.push_back({Rule::When::kFirst, count, 0, 0, 0, spec, std::move(match)});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_every(std::uint64_t period, FaultSpec spec,
+                                         RequestPredicate match) {
+  rules_.push_back(
+      {Rule::When::kEvery, period == 0 ? 1 : period, 0, 0, 0, spec,
+       std::move(match)});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_rate(double probability, std::uint64_t seed,
+                                        FaultSpec spec,
+                                        RequestPredicate match) {
+  rules_.push_back(
+      {Rule::When::kRate, 0, probability, seed, 0, spec, std::move(match)});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_always(FaultSpec spec,
+                                          RequestPredicate match) {
+  rules_.push_back({Rule::When::kAlways, 0, 0, 0, 0, spec, std::move(match)});
+  return *this;
+}
+
+std::optional<FaultSpec> FaultInjector::decide(const http::Request& request) {
+  ++transfers_;
+  if (!enabled_) return std::nullopt;
+  for (Rule& rule : rules_) {
+    if (rule.match && !rule.match(request)) continue;
+    const std::uint64_t index = ++rule.matched;  // 1-based, per rule
+    bool fire = false;
+    switch (rule.when) {
+      case Rule::When::kNth: fire = index == rule.n; break;
+      case Rule::When::kFirst: fire = index <= rule.n; break;
+      case Rule::When::kEvery: fire = index % rule.n == 0; break;
+      case Rule::When::kRate:
+        fire = uniform01(rule.seed, index) < rule.probability;
+        break;
+      case Rule::When::kAlways: fire = true; break;
+    }
+    if (fire) {
+      ++faults_;
+      return rule.spec;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::reset_counters() {
+  transfers_ = 0;
+  faults_ = 0;
+  for (Rule& rule : rules_) rule.matched = 0;
+}
+
+http::Response synthesized_fault_response(int status) {
+  http::Response resp;
+  resp.status = status;
+  resp.headers.add("Content-Length", "0");
+  resp.headers.add("X-Fault-Injected", "1");
+  return resp;
+}
+
+http::Response response_for_failed_outcome(const TransferOutcome& outcome) {
+  if (outcome.error &&
+      outcome.error->kind == TransferErrorKind::kTruncatedBody) {
+    return outcome.response;  // partial message, Content-Length > body size
+  }
+  http::Response resp;
+  resp.status = http::kBadGateway;
+  resp.headers.add("Content-Length", "0");
+  if (outcome.error) {
+    resp.headers.add("X-Transfer-Error",
+                     std::string{transfer_error_name(outcome.error->kind)});
+  }
+  return resp;
+}
+
+}  // namespace rangeamp::net

@@ -1,0 +1,162 @@
+// Deterministic fault injection for connection segments.
+//
+// The paper's amplification measurements assume every hop succeeds, but the
+// interesting production failure mode is the opposite: a CDN that *retries*
+// a Deletion/Expansion fetch against a flaky origin multiplies the
+// cdn-origin traffic beyond the paper's AF.  A FaultInjector scripts
+// failures onto a Wire so that behaviour can be modelled -- and measured --
+// reproducibly.
+//
+// Faults are scheduled, never sampled from ambient randomness: a schedule is
+// a list of rules evaluated per transfer, first match wins, and probabilistic
+// rules draw from a counter-indexed SplitMix64 stream, so the same seed
+// always yields the same fault sequence.  Schedules can target the Nth
+// transfer, every Kth transfer, a rate, or all transfers, optionally gated
+// by a request predicate (e.g. only conditional revalidations).
+//
+// The injected faults model the cdn<->origin failures middleboxes actually
+// see:
+//   * connection reset before the first response byte,
+//   * response body truncated at K bytes (sender dies mid-entity),
+//   * latency (which trips per-attempt timeout budgets),
+//   * upstream 5xx (load balancer / origin app failure).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+
+namespace rangeamp::net {
+
+/// What a scheduled fault does to the transfer it hits.
+enum class FaultAction {
+  kConnectionReset,  ///< connection dies before any response byte arrives
+  kTruncateBody,     ///< response head arrives; body is cut at `truncate_body_at`
+  kLatency,          ///< response delayed by `latency_seconds` (may trip timeouts)
+  kStatus,           ///< the upstream answers `status` instead of the real response
+};
+
+std::string_view fault_action_name(FaultAction a) noexcept;
+
+/// One fault, parameterized.
+struct FaultSpec {
+  FaultAction action = FaultAction::kConnectionReset;
+  std::uint64_t truncate_body_at = 0;  ///< kTruncateBody: body bytes delivered
+  double latency_seconds = 0;          ///< kLatency: delay before first byte
+  int status = 503;                    ///< kStatus: synthesized status code
+
+  static FaultSpec reset() { return {FaultAction::kConnectionReset, 0, 0, 0}; }
+  static FaultSpec truncate(std::uint64_t at) {
+    return {FaultAction::kTruncateBody, at, 0, 0};
+  }
+  static FaultSpec latency(double seconds) {
+    return {FaultAction::kLatency, 0, seconds, 0};
+  }
+  static FaultSpec status_code(int status) {
+    return {FaultAction::kStatus, 0, 0, status};
+  }
+};
+
+/// How a transfer failed (the typed error of a TransferOutcome).
+enum class TransferErrorKind {
+  kConnectionReset,  ///< no response bytes arrived
+  kTruncatedBody,    ///< response cut mid-body; partial bytes were received
+  kTimeout,          ///< the receiver's per-attempt timeout expired first
+};
+
+std::string_view transfer_error_name(TransferErrorKind k) noexcept;
+
+struct TransferError {
+  TransferErrorKind kind = TransferErrorKind::kConnectionReset;
+  /// Response body bytes that did arrive (and were counted) before failure.
+  std::uint64_t body_bytes_received = 0;
+};
+
+/// Result of one exchange attempt across a wire.  On success `response`
+/// holds the (possibly receiver-truncated) response; on failure `error` is
+/// set and `response` holds whatever partial message arrived (a truncated
+/// body for kTruncatedBody, a default-constructed message otherwise).
+struct TransferOutcome {
+  http::Response response;
+  std::optional<TransferError> error;
+  double latency_seconds = 0;  ///< injected latency observed by the receiver
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Deterministic per-wire fault scheduler.  Attach with
+/// Wire::set_fault_injector / Http2Wire::set_fault_injector; the wire calls
+/// decide() exactly once per transfer attempt.
+class FaultInjector {
+ public:
+  using RequestPredicate = std::function<bool(const http::Request&)>;
+
+  /// Fault exactly the nth transfer (1-based) seen by this injector.
+  FaultInjector& fail_nth(std::uint64_t nth, FaultSpec spec,
+                          RequestPredicate match = nullptr);
+
+  /// Fault the first `count` transfers.
+  FaultInjector& fail_first(std::uint64_t count, FaultSpec spec,
+                            RequestPredicate match = nullptr);
+
+  /// Fault every `period`-th transfer (period >= 1).
+  FaultInjector& fail_every(std::uint64_t period, FaultSpec spec,
+                            RequestPredicate match = nullptr);
+
+  /// Fault each transfer independently with `probability`, drawn from a
+  /// SplitMix64 stream indexed by (seed, matching-transfer counter) -- the
+  /// same seed always produces the same fault pattern.
+  FaultInjector& fail_rate(double probability, std::uint64_t seed,
+                           FaultSpec spec, RequestPredicate match = nullptr);
+
+  /// Fault every transfer.
+  FaultInjector& fail_always(FaultSpec spec, RequestPredicate match = nullptr);
+
+  /// Removes all rules (counters keep running).
+  void clear_rules() { rules_.clear(); }
+
+  /// Master switch; a disabled injector never faults (rules persist).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Consulted by wires, once per transfer attempt.  Advances the transfer
+  /// counter and returns the fault to apply, if any.
+  std::optional<FaultSpec> decide(const http::Request& request);
+
+  std::uint64_t transfers_seen() const noexcept { return transfers_; }
+  std::uint64_t faults_injected() const noexcept { return faults_; }
+  void reset_counters();
+
+ private:
+  struct Rule {
+    enum class When { kNth, kFirst, kEvery, kRate, kAlways };
+    When when = When::kAlways;
+    std::uint64_t n = 0;        ///< kNth: index; kFirst: count; kEvery: period
+    double probability = 0;     ///< kRate
+    std::uint64_t seed = 0;     ///< kRate
+    std::uint64_t matched = 0;  ///< transfers this rule's predicate matched
+    FaultSpec spec;
+    RequestPredicate match;
+  };
+
+  bool enabled_ = true;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t faults_ = 0;
+  std::vector<Rule> rules_;
+};
+
+/// The wire-level stand-in for an upstream that answered with a failure
+/// status before producing a real response (load-balancer 5xx).  Minimal and
+/// deterministic: status line, Content-Length: 0, a marker header.
+http::Response synthesized_fault_response(int status);
+
+/// The response a legacy (Response-returning) transfer yields for a failed
+/// outcome: the partial response for truncated bodies, otherwise a
+/// synthesized 502 carrying an X-Transfer-Error header.  Never cacheable.
+http::Response response_for_failed_outcome(const TransferOutcome& outcome);
+
+}  // namespace rangeamp::net

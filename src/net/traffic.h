@@ -21,6 +21,7 @@ struct ExchangeRecord {
   std::uint64_t request_bytes = 0;
   std::uint64_t response_bytes = 0;
   bool response_truncated = false;  ///< receiver aborted mid-body
+  bool faulted = false;             ///< an injected fault hit this exchange
 };
 
 /// Byte and exchange counters for one connection segment.
@@ -33,6 +34,7 @@ class TrafficRecorder {
     request_bytes_ += record.request_bytes;
     response_bytes_ += record.response_bytes;
     ++exchanges_count_;
+    if (record.faulted) ++faulted_count_;
     if (keep_log_) log_.push_back(std::move(record));
   }
 
@@ -44,6 +46,7 @@ class TrafficRecorder {
     request_bytes_ = 0;
     response_bytes_ = 0;
     exchanges_count_ = 0;
+    faulted_count_ = 0;
     log_.clear();
   }
 
@@ -52,6 +55,7 @@ class TrafficRecorder {
   std::uint64_t response_bytes() const noexcept { return response_bytes_; }
   std::uint64_t total_bytes() const noexcept { return request_bytes_ + response_bytes_; }
   std::uint64_t exchange_count() const noexcept { return exchanges_count_; }
+  std::uint64_t faulted_count() const noexcept { return faulted_count_; }
   const std::vector<ExchangeRecord>& log() const noexcept { return log_; }
 
  private:
@@ -59,6 +63,7 @@ class TrafficRecorder {
   std::uint64_t request_bytes_ = 0;
   std::uint64_t response_bytes_ = 0;
   std::uint64_t exchanges_count_ = 0;
+  std::uint64_t faulted_count_ = 0;
   bool keep_log_ = true;
   std::vector<ExchangeRecord> log_;
 };

@@ -4,19 +4,64 @@ namespace rangeamp::net {
 
 http::Response Wire::transfer(const http::Request& request,
                               const TransferOptions& options) {
-  http::Response response = callee_->handle(request);
+  TransferOutcome outcome = transfer_outcome(request, options);
+  if (outcome.ok()) return std::move(outcome.response);
+  return response_for_failed_outcome(outcome);
+}
 
+TransferOutcome Wire::transfer_outcome(const http::Request& request,
+                                       const TransferOptions& options) {
+  const std::optional<FaultSpec> fault =
+      injector_ ? injector_->decide(request) : std::nullopt;
+
+  TransferOutcome outcome;
   ExchangeRecord record;
   record.target = request.target;
   record.range_header = std::string{request.headers.get_or("Range", "")};
-  record.status = response.status;
   record.request_bytes = http::serialized_size(request);
 
+  // Connection reset before the first response byte: the request crossed the
+  // segment, nothing came back.
+  if (fault && fault->action == FaultAction::kConnectionReset) {
+    record.faulted = true;
+    recorder_->record(std::move(record));
+    outcome.error = TransferError{TransferErrorKind::kConnectionReset, 0};
+    return outcome;
+  }
+
+  if (fault && fault->action == FaultAction::kLatency) {
+    outcome.latency_seconds = fault->latency_seconds;
+    if (options.timeout_seconds &&
+        fault->latency_seconds > *options.timeout_seconds) {
+      // The receiver hung up before the first byte; the upstream's response
+      // never crossed the segment.
+      record.faulted = true;
+      recorder_->record(std::move(record));
+      outcome.error = TransferError{TransferErrorKind::kTimeout, 0};
+      outcome.latency_seconds = *options.timeout_seconds;
+      return outcome;
+    }
+  }
+
+  http::Response response = fault && fault->action == FaultAction::kStatus
+                                ? synthesized_fault_response(fault->status)
+                                : callee_->handle(request);
+  record.status = response.status;
+
+  // Receiver-side caps (deliberate aborts) compose with sender-side fault
+  // truncation: whichever cut happens first bounds the received body.
   std::optional<std::uint64_t> body_cap;
   if (options.head_only) {
     body_cap = 0;
   } else if (options.abort_after_body_bytes) {
     body_cap = *options.abort_after_body_bytes;
+  }
+  bool fault_cut = false;
+  if (fault && fault->action == FaultAction::kTruncateBody &&
+      fault->truncate_body_at < response.body.size() &&
+      (!body_cap || fault->truncate_body_at < *body_cap)) {
+    body_cap = fault->truncate_body_at;
+    fault_cut = true;
   }
 
   if (body_cap && *body_cap < response.body.size()) {
@@ -26,8 +71,16 @@ http::Response Wire::transfer(const http::Request& request,
   } else {
     record.response_bytes = http::serialized_size(response);
   }
+  if (fault_cut) {
+    // The sender died mid-entity: the prefix arrived (and was counted), but
+    // the message is incomplete -- a typed error, not a deliberate abort.
+    record.faulted = true;
+    outcome.error =
+        TransferError{TransferErrorKind::kTruncatedBody, response.body.size()};
+  }
   recorder_->record(std::move(record));
-  return response;
+  outcome.response = std::move(response);
+  return outcome;
 }
 
 }  // namespace rangeamp::net

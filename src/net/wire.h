@@ -13,12 +13,20 @@
 //     prefix is counted and delivered.
 //   * head_only -- the receiver reads status line + headers, then aborts
 //     (models the attacker's tiny TCP receive window degenerate case).
+//   * timeout_seconds -- the receiver's per-attempt patience; an injected
+//     latency beyond it fails the attempt before any response byte arrives.
+//
+// A segment can carry a FaultInjector (see net/fault.h); transfer_outcome()
+// is the failure-aware variant of transfer(): it returns a TransferOutcome
+// whose typed error distinguishes resets, mid-body truncation and timeouts,
+// with partial bytes still counted by the TrafficRecorder.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "http/serialize.h"
+#include "net/fault.h"
 #include "net/handler.h"
 #include "net/traffic.h"
 
@@ -29,6 +37,9 @@ struct TransferOptions {
   std::optional<std::uint64_t> abort_after_body_bytes;
   /// Receive only the response head (headers), no body bytes.
   bool head_only = false;
+  /// Give up when the response's first byte takes longer than this (injected
+  /// latency only; absent = wait forever).
+  std::optional<double> timeout_seconds;
 };
 
 class Wire {
@@ -38,15 +49,29 @@ class Wire {
       : recorder_(&recorder), callee_(&callee) {}
 
   /// Performs one exchange across this segment.  The returned response body
-  /// is truncated to what the receiver actually accepted.
+  /// is truncated to what the receiver actually accepted.  On a transfer
+  /// failure (injected fault) the failed outcome is folded into a response
+  /// via response_for_failed_outcome().
   http::Response transfer(const http::Request& request,
                           const TransferOptions& options = {});
+
+  /// Failure-aware exchange: like transfer(), but the caller sees the typed
+  /// TransferError instead of a folded response.  Fault-free wires always
+  /// return ok() outcomes, byte-identical to transfer().
+  TransferOutcome transfer_outcome(const http::Request& request,
+                                   const TransferOptions& options = {});
+
+  /// Attaches a fault schedule to this segment (non-owning; nullptr
+  /// detaches).  The injector must outlive the wire.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
 
   TrafficRecorder& recorder() noexcept { return *recorder_; }
 
  private:
   TrafficRecorder* recorder_;
   HttpHandler* callee_;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// Adapter: presents a Wire (a counted segment toward `callee`) as an

@@ -91,6 +91,14 @@ Response OriginServer::respond_416(const Resource& res) const {
 Response OriginServer::handle(const Request& request) {
   log_.push_back(request);
 
+  std::optional<net::FaultSpec> fault;
+  if (config_.fault_injector) fault = config_.fault_injector->decide(request);
+  if (fault && fault->action == net::FaultAction::kStatus) {
+    return error_response(fault->status,
+                          "<html>" + std::to_string(fault->status) +
+                              " Origin Fault</html>");
+  }
+
   if (request.method != http::Method::GET && request.method != http::Method::HEAD) {
     return error_response(http::kBadRequest, "<html>400 Bad Request</html>");
   }
@@ -156,6 +164,12 @@ Response OriginServer::handle(const Request& request) {
     }
   }
   if (request.method == http::Method::HEAD) resp.body = Body{};
+  // Truncation happens after framing (Content-Length / chunked coding are
+  // already in place), so the message arrives short of its own promise.
+  if (fault && fault->action == net::FaultAction::kTruncateBody &&
+      fault->truncate_body_at < resp.body.size()) {
+    resp.body = resp.body.slice(0, fault->truncate_body_at);
+  }
   return resp;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "http/range.h"
+#include "net/fault.h"
 #include "net/handler.h"
 #include "origin/resource_store.h"
 
@@ -59,6 +60,19 @@ struct OriginConfig {
   /// real deployment would add: Cache-Control, Vary, ...).  Benchmarks use
   /// this to match the paper testbed's response header footprint.
   std::vector<http::HeaderField> extra_headers;
+
+  /// Deterministic failure modeling (non-owning; must outlive the server).
+  /// When set, the injector is consulted once per handled request:
+  ///   * kStatus faults answer an Apache-style error page with that status
+  ///     (load balancer / app failure behind the origin's front);
+  ///   * kTruncateBody faults serve the normal response with the body cut at
+  ///     the scheduled byte while the framing headers keep promising the full
+  ///     entity -- for chunked responses the cut lands mid-chunk, so
+  ///     downstream de-framing fails exactly as it would on a died socket.
+  /// kConnectionReset and kLatency are transport-level concerns; schedule
+  /// them on the Wire (Wire::set_fault_injector) instead -- this layer
+  /// ignores them.
+  net::FaultInjector* fault_injector = nullptr;
 };
 
 class OriginServer final : public net::HttpHandler {

@@ -100,6 +100,36 @@ TEST(ParseRange, HugeValuesParse) {
   EXPECT_EQ(*set->specs[0].first, 18446744073709551614ULL);
 }
 
+TEST(ParseRange, LengthGuardBoundaries) {
+  // A value of exactly the limit parses; one byte more is rejected before
+  // any parsing work happens.  Trailing OWS keeps the value well-formed.
+  const std::string at_limit =
+      "bytes=0-0" + std::string(kMaxRangeHeaderBytes - 9, ' ');
+  ASSERT_EQ(at_limit.size(), kMaxRangeHeaderBytes);
+  EXPECT_TRUE(parse_range_header(at_limit));
+  EXPECT_FALSE(parse_range_header(at_limit + " "));
+}
+
+TEST(ParseRange, LengthGuardIsConfigurable) {
+  EXPECT_TRUE(parse_range_header("bytes=0-0", 9));
+  EXPECT_FALSE(parse_range_header("bytes=0-0", 8));
+  // 0 disables the guard entirely.
+  const std::string huge =
+      "bytes=0-0" + std::string(kMaxRangeHeaderBytes, ' ');
+  EXPECT_FALSE(parse_range_header(huge));
+  EXPECT_TRUE(parse_range_header(huge, 0));
+}
+
+TEST(ParseRange, GuardAdmitsTheLargestExperimentHeader) {
+  // The biggest header any RangeAmp experiment emits (StackPath's OBR case,
+  // thousands of "0-" specs, ~81 KB) must stay inside the default guard.
+  std::string value = "bytes=0-0";
+  while (value.size() < 100 * 1024) value += ",0-0";
+  const auto set = parse_range_header(value);
+  ASSERT_TRUE(set);
+  EXPECT_GT(set->count(), 20000u);
+}
+
 // ---------------------------------------------------------------------------
 // Resolution: RFC 7233 section 2.1 satisfiability
 // ---------------------------------------------------------------------------

@@ -1,0 +1,283 @@
+// FaultInjector scheduling and Wire fault semantics: deterministic
+// schedules, typed transfer errors, and exact byte accounting for every
+// failure mode.
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "http/serialize.h"
+#include "net/wire.h"
+
+namespace rangeamp::net {
+namespace {
+
+using http::Body;
+using http::Request;
+using http::Response;
+
+class StubHandler final : public HttpHandler {
+ public:
+  explicit StubHandler(Response response) : response_(std::move(response)) {}
+
+  Response handle(const Request& request) override {
+    requests.push_back(request);
+    return response_;
+  }
+
+  std::vector<Request> requests;
+
+ private:
+  Response response_;
+};
+
+Response canned(std::uint64_t body_size) {
+  return http::make_response(http::kOk, Body::synthetic(3, 0, body_size));
+}
+
+Request simple_get() { return http::make_get("h.example", "/x"); }
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, FailNthHitsExactlyThatTransfer) {
+  FaultInjector inj;
+  inj.fail_nth(3, FaultSpec::reset());
+  const Request req = simple_get();
+  EXPECT_FALSE(inj.decide(req));
+  EXPECT_FALSE(inj.decide(req));
+  EXPECT_TRUE(inj.decide(req));
+  EXPECT_FALSE(inj.decide(req));
+  EXPECT_EQ(inj.transfers_seen(), 4u);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
+TEST(FaultInjector, FailFirstAndEvery) {
+  FaultInjector first;
+  first.fail_first(2, FaultSpec::reset());
+  const Request req = simple_get();
+  EXPECT_TRUE(first.decide(req));
+  EXPECT_TRUE(first.decide(req));
+  EXPECT_FALSE(first.decide(req));
+
+  FaultInjector every;
+  every.fail_every(3, FaultSpec::reset());
+  int faults = 0;
+  for (int i = 0; i < 9; ++i) faults += every.decide(req).has_value();
+  EXPECT_EQ(faults, 3);
+}
+
+TEST(FaultInjector, RateIsSeedDeterministic) {
+  const Request req = simple_get();
+  const auto pattern = [&](std::uint64_t seed) {
+    FaultInjector inj;
+    inj.fail_rate(0.5, seed, FaultSpec::reset());
+    std::string out;
+    for (int i = 0; i < 64; ++i) out += inj.decide(req) ? '1' : '0';
+    return out;
+  };
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));
+
+  FaultInjector inj;
+  inj.fail_rate(0.25, 7, FaultSpec::reset());
+  for (int i = 0; i < 4000; ++i) inj.decide(req);
+  // The SplitMix64 stream should land near the requested rate.
+  EXPECT_NEAR(static_cast<double>(inj.faults_injected()) / 4000.0, 0.25, 0.03);
+}
+
+TEST(FaultInjector, RateBoundsAreExact) {
+  const Request req = simple_get();
+  FaultInjector never;
+  never.fail_rate(0.0, 1, FaultSpec::reset());
+  FaultInjector always;
+  always.fail_rate(1.0, 1, FaultSpec::reset());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.decide(req));
+    EXPECT_TRUE(always.decide(req));
+  }
+}
+
+TEST(FaultInjector, PredicateGatesTheRule) {
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::status_code(503), [](const Request& r) {
+    return r.headers.get("If-None-Match").has_value();
+  });
+  Request plain = simple_get();
+  Request conditional = simple_get();
+  conditional.headers.add("If-None-Match", "\"v1\"");
+  EXPECT_FALSE(inj.decide(plain));
+  EXPECT_TRUE(inj.decide(conditional));
+  EXPECT_FALSE(inj.decide(plain));
+}
+
+TEST(FaultInjector, FirstMatchingRuleWins) {
+  FaultInjector inj;
+  inj.fail_nth(1, FaultSpec::status_code(500));
+  inj.fail_always(FaultSpec::reset());
+  const Request req = simple_get();
+  const auto first = inj.decide(req);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->action, FaultAction::kStatus);
+  const auto second = inj.decide(req);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->action, FaultAction::kConnectionReset);
+}
+
+TEST(FaultInjector, DisabledInjectorNeverFaults) {
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::reset());
+  inj.set_enabled(false);
+  const Request req = simple_get();
+  EXPECT_FALSE(inj.decide(req));
+  inj.set_enabled(true);
+  EXPECT_TRUE(inj.decide(req));
+}
+
+// ---------------------------------------------------------------------------
+// Wire integration: every failure mode keeps the books exact
+// ---------------------------------------------------------------------------
+
+TEST(WireFaults, ConnectionResetCountsRequestOnly) {
+  StubHandler stub(canned(100));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::reset());
+  wire.set_fault_injector(&inj);
+
+  const Request req = simple_get();
+  const TransferOutcome outcome = wire.transfer_outcome(req);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kConnectionReset);
+  EXPECT_EQ(outcome.error->body_bytes_received, 0u);
+  // The request crossed the segment; nothing came back, and the origin
+  // handler never ran.
+  EXPECT_EQ(rec.request_bytes(), http::serialized_size(req));
+  EXPECT_EQ(rec.response_bytes(), 0u);
+  EXPECT_EQ(rec.faulted_count(), 1u);
+  EXPECT_TRUE(stub.requests.empty());
+}
+
+TEST(WireFaults, TruncationCountsPartialBytesExactly) {
+  StubHandler stub(canned(1000));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::truncate(300));
+  wire.set_fault_injector(&inj);
+
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kTruncatedBody);
+  EXPECT_EQ(outcome.error->body_bytes_received, 300u);
+  EXPECT_EQ(outcome.response.body.size(), 300u);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size_truncated(canned(1000), 300));
+  EXPECT_EQ(rec.faulted_count(), 1u);
+}
+
+TEST(WireFaults, TruncationBeyondBodyIsNotAFault) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::truncate(10));
+  wire.set_fault_injector(&inj);
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get());
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(rec.faulted_count(), 0u);
+}
+
+TEST(WireFaults, TruncationComposesWithReceiverAbort) {
+  StubHandler stub(canned(1000));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::truncate(300));
+  wire.set_fault_injector(&inj);
+
+  // Receiver aborts at 100 < fault cut 300: a deliberate abort, not a fault.
+  TransferOptions options;
+  options.abort_after_body_bytes = 100;
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get(), options);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.body.size(), 100u);
+  EXPECT_EQ(rec.faulted_count(), 0u);
+}
+
+TEST(WireFaults, LatencyBelowTimeoutIsObservedNotFatal) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::latency(0.2));
+  wire.set_fault_injector(&inj);
+
+  TransferOptions options;
+  options.timeout_seconds = 1.0;
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get(), options);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 0.2);
+}
+
+TEST(WireFaults, LatencyPastTimeoutFailsWithoutResponseBytes) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::latency(5.0));
+  wire.set_fault_injector(&inj);
+
+  TransferOptions options;
+  options.timeout_seconds = 1.0;
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get(), options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kTimeout);
+  // The receiver hung up at its budget, not at the full injected delay.
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 1.0);
+  EXPECT_EQ(rec.response_bytes(), 0u);
+}
+
+TEST(WireFaults, StatusFaultSynthesizesWithoutCallingUpstream) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::status_code(503));
+  wire.set_fault_injector(&inj);
+
+  const TransferOutcome outcome = wire.transfer_outcome(simple_get());
+  EXPECT_TRUE(outcome.ok());  // a response arrived; it is just a 5xx
+  EXPECT_EQ(outcome.response.status, 503);
+  EXPECT_TRUE(stub.requests.empty());
+  EXPECT_EQ(rec.response_bytes(), http::serialized_size(outcome.response));
+}
+
+TEST(WireFaults, LegacyTransferFoldsFailuresIntoA502) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::reset());
+  wire.set_fault_injector(&inj);
+
+  const Response resp = wire.transfer(simple_get());
+  EXPECT_EQ(resp.status, http::kBadGateway);
+  EXPECT_EQ(resp.headers.get_or("X-Transfer-Error", ""), "connection-reset");
+}
+
+TEST(WireFaults, DetachedInjectorRestoresCleanTransfers) {
+  StubHandler stub(canned(10));
+  TrafficRecorder rec;
+  Wire wire(rec, stub);
+  FaultInjector inj;
+  inj.fail_always(FaultSpec::reset());
+  wire.set_fault_injector(&inj);
+  EXPECT_FALSE(wire.transfer_outcome(simple_get()).ok());
+  wire.set_fault_injector(nullptr);
+  EXPECT_TRUE(wire.transfer_outcome(simple_get()).ok());
+}
+
+}  // namespace
+}  // namespace rangeamp::net

@@ -1,0 +1,174 @@
+// Receiver-side aborts (TransferOptions::abort_after_body_bytes) against
+// framed bodies: cutting a chunked or multipart/byteranges response
+// mid-chunk / mid-part must keep the byte accounting exact and must leave a
+// body downstream de-framing rejects.
+#include <gtest/gtest.h>
+
+#include "http/chunked.h"
+#include "http/multipart.h"
+#include "http/serialize.h"
+#include "net/wire.h"
+
+namespace rangeamp::net {
+namespace {
+
+using http::Body;
+using http::Request;
+using http::Response;
+
+class StubHandler final : public HttpHandler {
+ public:
+  explicit StubHandler(Response response) : response_(std::move(response)) {}
+  Response handle(const Request&) override { return response_; }
+
+ private:
+  Response response_;
+};
+
+Response chunked_200(std::uint64_t entity_size, std::uint64_t chunk_size) {
+  Response resp =
+      http::make_response(http::kOk, Body::synthetic(5, 0, entity_size));
+  resp.headers.set("Content-Length", std::to_string(entity_size));
+  http::apply_chunked_coding(resp, chunk_size);
+  return resp;
+}
+
+Response multipart_206(std::uint64_t entity_size,
+                       const std::vector<http::ResolvedRange>& ranges) {
+  const Body entity = Body::synthetic(6, 0, entity_size);
+  Response resp;
+  resp.status = http::kPartialContent;
+  resp.body = http::build_multipart_byteranges(entity, ranges, entity_size,
+                                               "application/octet-stream",
+                                               "BOUNDARY");
+  resp.headers.add("Content-Type", http::multipart_content_type("BOUNDARY"));
+  resp.headers.add("Content-Length", std::to_string(resp.body.size()));
+  return resp;
+}
+
+// Runs one transfer aborted after `cap` body bytes and checks the exact
+// accounting invariants shared by every framing.
+Response transfer_capped(const Response& full, std::uint64_t cap,
+                         TrafficRecorder& rec) {
+  StubHandler stub(full);
+  Wire wire(rec, stub);
+  TransferOptions options;
+  options.abort_after_body_bytes = cap;
+  const Response got = wire.transfer(http::make_get("h", "/x"), options);
+  EXPECT_EQ(got.body.size(), std::min<std::uint64_t>(cap, full.body.size()));
+  EXPECT_EQ(rec.response_bytes(),
+            cap < full.body.size()
+                ? http::serialized_size_truncated(full, cap)
+                : http::serialized_size(full));
+  // serialized_size_truncated = full size minus the body bytes that never
+  // crossed the wire; cross-check against the independent computation.
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size(full) -
+                (full.body.size() - got.body.size()));
+  return got;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked bodies
+// ---------------------------------------------------------------------------
+
+TEST(ChunkedTruncation, MidChunkCutKeepsAccountingExact) {
+  constexpr std::uint64_t kEntity = 100 * 1024;
+  constexpr std::uint64_t kChunk = 8 * 1024;
+  const Response full = chunked_200(kEntity, kChunk);
+  ASSERT_EQ(full.body.size(), http::chunked_size(kEntity, kChunk));
+
+  TrafficRecorder rec;
+  const std::uint64_t cap = 5000;  // inside the first chunk's payload
+  const Response got = transfer_capped(full, cap, rec);
+
+  // The cut prefix is bytewise the start of the framed stream ...
+  EXPECT_EQ(got.body.materialize(),
+            full.body.materialize().substr(0, cap));
+  // ... and no longer decodes as chunked (the chunk promises more bytes).
+  EXPECT_FALSE(http::decode_chunked(got.body.materialize()));
+  EXPECT_TRUE(rec.log()[0].response_truncated);
+}
+
+TEST(ChunkedTruncation, CutAtChunkBoundaryStillFailsDecode) {
+  constexpr std::uint64_t kEntity = 64 * 1024;
+  constexpr std::uint64_t kChunk = 8 * 1024;
+  const Response full = chunked_200(kEntity, kChunk);
+
+  // One whole chunk frame: "2000\r\n" + payload + "\r\n".
+  const std::uint64_t frame = 6 + kChunk + 2;
+  TrafficRecorder rec;
+  const Response got = transfer_capped(full, frame, rec);
+  // A clean frame boundary is still a truncated stream: the last-chunk
+  // terminator never arrived.
+  EXPECT_FALSE(http::decode_chunked(got.body.materialize()));
+}
+
+TEST(ChunkedTruncation, CutInsideChunkSizeLineKeepsAccountingExact) {
+  const Response full = chunked_200(64 * 1024, 8 * 1024);
+  TrafficRecorder rec;
+  // 3 bytes: inside the very first "2000\r\n" size line.
+  const Response got = transfer_capped(full, 3, rec);
+  EXPECT_EQ(got.body.materialize(), full.body.materialize().substr(0, 3));
+  EXPECT_FALSE(http::decode_chunked(got.body.materialize()));
+}
+
+TEST(ChunkedTruncation, CapBeyondFramedBodyIsANoop) {
+  const Response full = chunked_200(16 * 1024, 8 * 1024);
+  TrafficRecorder rec;
+  const Response got = transfer_capped(full, full.body.size() + 100, rec);
+  EXPECT_FALSE(rec.log()[0].response_truncated);
+  EXPECT_TRUE(http::decode_chunked(got.body.materialize()));
+}
+
+// ---------------------------------------------------------------------------
+// multipart/byteranges bodies
+// ---------------------------------------------------------------------------
+
+TEST(MultipartTruncation, MidPartCutKeepsAccountingExact) {
+  constexpr std::uint64_t kEntity = 1u << 20;
+  // The OBR shape: many parts selecting the same large window.
+  std::vector<http::ResolvedRange> ranges(16,
+                                          http::ResolvedRange{0, 64 * 1024 - 1});
+  const Response full = multipart_206(kEntity, ranges);
+  ASSERT_EQ(full.body.size(),
+            http::multipart_byteranges_size(ranges, kEntity,
+                                            "application/octet-stream",
+                                            "BOUNDARY"));
+
+  // Land the cut inside the third part's payload.
+  TrafficRecorder rec;
+  const std::uint64_t cap = 2 * (full.body.size() / 16) + 1000;
+  const Response got = transfer_capped(full, cap, rec);
+  EXPECT_EQ(got.body.materialize(), full.body.materialize().substr(0, cap));
+  EXPECT_TRUE(rec.log()[0].response_truncated);
+}
+
+TEST(MultipartTruncation, MidPartHeaderCutKeepsAccountingExact) {
+  std::vector<http::ResolvedRange> ranges = {{0, 999}, {2000, 2999}};
+  const Response full = multipart_206(1u << 16, ranges);
+  // A handful of bytes into the first part's "--BOUNDARY\r\n" framing.
+  TrafficRecorder rec;
+  const Response got = transfer_capped(full, 4, rec);
+  EXPECT_EQ(got.body.materialize(), "--BO");
+}
+
+TEST(MultipartTruncation, AbortCapsEveryPartOfAnOverlappingSet) {
+  // An amplified multipart response aborted early: the receiver pays only
+  // the cap, however many (overlapping) parts the sender would have framed.
+  constexpr std::uint64_t kEntity = 1u << 20;
+  std::vector<http::ResolvedRange> ranges(128,
+                                          http::ResolvedRange{0, kEntity - 1});
+  const Response full = multipart_206(kEntity, ranges);
+  ASSERT_GT(full.body.size(), 128 * kEntity);  // ~128x amplified
+
+  TrafficRecorder rec;
+  const std::uint64_t cap = 4096;
+  transfer_capped(full, cap, rec);
+  const std::uint64_t header_overhead =
+      http::serialized_size(full) - full.body.size();
+  EXPECT_EQ(rec.response_bytes(), header_overhead + cap);
+}
+
+}  // namespace
+}  // namespace rangeamp::net
