@@ -39,5 +39,43 @@ if [ "$status" -ne 0 ]; then
   exit "$status"
 fi
 
+# Every CSV the harnesses must (re)generate.  A missing entry means a bench
+# was dropped from the build (the bench/* glob above would skip it silently);
+# a diff against the committed copy means the model drifted.  Both are
+# failures, loudly.
+expected_csvs=(
+  ablation_mitigations.csv
+  collateral_damage.csv
+  fault_mitigation_ablation.csv
+  fault_retry_amplification.csv
+  feasibility_corpus.csv
+  fig6a_amplification.csv
+  fig6b_client_traffic.csv
+  fig6c_origin_traffic.csv
+  fig7a_client_in_kbps.csv
+  fig7b_origin_out_mbps.csv
+  http2_rangeamp.csv
+  obr_node_exhaustion.csv
+  origin_shield_ablation.csv
+  practicability_cost.csv
+  table1_sbr_forwarding.csv
+  table2_obr_forwarding.csv
+  table3_obr_replying.csv
+  table5_obr.csv
+)
+for csv in "${expected_csvs[@]}"; do
+  if [ ! -f "$csv" ]; then
+    echo "Reproduction FAILED: expected output $csv was not generated" >&2
+    exit 1
+  fi
+done
+
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: regenerated CSVs drifted from the committed copies (diff above)" >&2
+    exit 1
+  fi
+fi
+
 echo
 echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

@@ -6,10 +6,20 @@ EdgeCluster::EdgeCluster(std::function<VendorProfile()> profile_factory,
                          std::size_t node_count, net::HttpHandler& upstream,
                          NodeSelection selection)
     : selection_(selection) {
+  // A cluster with zero ingress nodes cannot route anything; the selection
+  // arithmetic (and any pin) would divide by zero.  Clamp to one node.
+  if (node_count == 0) node_count = 1;
   nodes_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
+    VendorProfile profile = profile_factory();
+    // Distinct per-node hop identity, so Via chains and CDN-Loop parameters
+    // emitted by different surrogates of one deployment are tellable apart.
+    if (profile.traits.node_id.empty()) {
+      profile.traits.node_id = default_cdn_loop_token(profile.traits.name);
+    }
+    profile.traits.node_id += "-n" + std::to_string(i);
     nodes_.push_back(std::make_unique<CdnNode>(
-        profile_factory(), upstream, "cdn-origin[" + std::to_string(i) + "]"));
+        std::move(profile), upstream, "cdn-origin[" + std::to_string(i) + "]"));
     ingress_recorders_.push_back(std::make_unique<net::TrafficRecorder>(
         "client-cdn[" + std::to_string(i) + "]"));
     ingress_recorders_.back()->set_keep_log(false);
@@ -60,6 +70,27 @@ std::size_t EdgeCluster::nodes_touched() const noexcept {
     if (r->exchange_count() > 0) ++count;
   }
   return count;
+}
+
+ShieldStats EdgeCluster::total_shield_stats() const noexcept {
+  ShieldStats total;
+  for (const auto& n : nodes_) {
+    const ShieldStats& s = n->shield_stats();
+    total.loop_rejected += s.loop_rejected;
+    total.hop_cap_rejected += s.hop_cap_rejected;
+    total.coalesced_hits += s.coalesced_hits;
+    total.fill_fetches += s.fill_fetches;
+    total.shed_breaker_open += s.shed_breaker_open;
+    total.shed_admission += s.shed_admission;
+    total.breaker_trips += s.breaker_trips;
+    total.half_open_probes += s.half_open_probes;
+    total.shed_responses += s.shed_responses;
+  }
+  return total;
+}
+
+void EdgeCluster::set_clock(std::function<double()> clock) {
+  for (const auto& n : nodes_) n->set_clock(clock);
 }
 
 }  // namespace rangeamp::cdn

@@ -37,9 +37,14 @@ class EdgeCluster final : public net::HttpHandler {
   http::Response handle(const http::Request& request) override;
 
   void set_selection(NodeSelection selection) noexcept { selection_ = selection; }
+
+  /// Pins all traffic to one node.  The index is clamped (modulo the node
+  /// count), so a pin taken against a larger cluster stays in range after
+  /// the cluster is rebuilt smaller -- a stale pin must never index out of
+  /// the node vector.
   void pin(std::size_t node_index) noexcept {
     selection_ = NodeSelection::kPinned;
-    pinned_ = node_index;
+    pinned_ = nodes_.empty() ? 0 : node_index % nodes_.size();
   }
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -56,6 +61,14 @@ class EdgeCluster final : public net::HttpHandler {
 
   /// Number of distinct nodes that served at least one request.
   std::size_t nodes_touched() const noexcept;
+
+  /// Shielding counters summed across nodes (all zero when the profile's
+  /// shield knobs are off).
+  ShieldStats total_shield_stats() const noexcept;
+
+  /// Installs one simulation clock on every node (campaign drivers use this
+  /// so breaker open/half-open windows and fill locks see time advance).
+  void set_clock(std::function<double()> clock);
 
  private:
   std::size_t select(const http::Request& request) noexcept;

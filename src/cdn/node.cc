@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 
 #include "cdn/limits.h"
 #include "http/chunked.h"
@@ -41,6 +42,12 @@ Response styled_response(const VendorTraits& traits, int status,
   for (const auto& f : traits.response_identity_headers) {
     resp.headers.add(f.name, f.value);
   }
+  if (traits.emit_via && !traits.node_id.empty()) {
+    // RFC 7230 section 5.7.1: intermediaries append themselves on responses
+    // too.  The line is serialized like any other header, so it participates
+    // in every segment's byte accounting.
+    resp.headers.add("Via", "1.1 " + traits.node_id);
+  }
   for (const auto& f : content_headers) {
     resp.headers.add(f.name, f.value);
   }
@@ -76,12 +83,50 @@ CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
       logic_(std::move(profile.logic)),
       upstream_traffic_(std::move(upstream_segment)),
       upstream_wire_(
-          make_upstream_wire(upstream_framing, upstream_traffic_, upstream)) {}
+          make_upstream_wire(upstream_framing, upstream_traffic_, upstream)),
+      loop_token_(traits_.shield.loop.token.empty()
+                      ? default_cdn_loop_token(traits_.name)
+                      : traits_.shield.loop.token),
+      breaker_(traits_.shield.breaker),
+      fills_(traits_.shield.coalescing) {
+  if (traits_.node_id.empty()) traits_.node_id = loop_token_;
+}
+
+std::optional<Response> CdnNode::check_cdn_loop(const Request& request) {
+  const LoopDefensePolicy& loop = traits_.shield.loop;
+  if (!loop.enabled) return std::nullopt;
+
+  std::vector<CdnLoopEntry> entries;
+  for (const std::string_view value : request.headers.get_all("CDN-Loop")) {
+    auto parsed = parse_cdn_loop(value);
+    if (!parsed) {
+      // A value we cannot lex cannot be checked for recurrence; failing
+      // closed is the only safe option for a loop defense.
+      ++shield_stats_.loop_rejected;
+      return error(http::kBadRequest, "malformed CDN-Loop header");
+    }
+    entries.insert(entries.end(), parsed->begin(), parsed->end());
+  }
+  if (cdn_loop_contains(entries, loop_token_)) {
+    ++shield_stats_.loop_rejected;
+    return error(http::kLoopDetected,
+                 "loop detected: " + loop_token_ + " already forwarded this");
+  }
+  if (loop.max_hops != 0 && entries.size() >= loop.max_hops) {
+    ++shield_stats_.hop_cap_rejected;
+    return error(http::kLoopDetected,
+                 "CDN-Loop hop cap exceeded (" +
+                     std::to_string(entries.size()) + " >= " +
+                     std::to_string(loop.max_hops) + ")");
+  }
+  return std::nullopt;
+}
 
 Response CdnNode::handle(const Request& request) {
   if (const auto violation = check_request_limits(traits_.limits, request)) {
     return error(http::kRequestHeaderFieldsTooLarge, *violation);
   }
+  if (auto rejected = check_cdn_loop(request)) return std::move(*rejected);
 
   std::optional<RangeSet> range;
   if (const auto value = request.headers.get("Range")) {
@@ -129,6 +174,25 @@ Response CdnNode::handle(const Request& request) {
       }
     }
   }
+
+  // Request coalescing: a miss whose (key, Range) pair matches a fill still
+  // inside its lock window replays the leader's response instead of running
+  // the vendor miss path -- N concurrent cache-busting misses collapse into
+  // one origin fetch (proxy_cache_lock / Varnish request collapsing).
+  if (traits_.shield.coalescing.enabled) {
+    const double now = sim_now();
+    std::string fill_key = resolve_cache_key(request);
+    fill_key.push_back('\x1f');
+    fill_key.append(request.headers.get_or("Range", ""));
+    if (const Response* held = fills_.find(fill_key, now)) {
+      ++shield_stats_.coalesced_hits;
+      return *held;
+    }
+    ++shield_stats_.fill_fetches;
+    Response filled = logic_->on_miss(*this, request, range);
+    fills_.record(std::move(fill_key), filled, now);
+    return filled;
+  }
   return logic_->on_miss(*this, request, range);
 }
 
@@ -150,6 +214,26 @@ Request CdnNode::build_upstream_request(const Request& client_request,
   for (const auto& f : traits_.forward_headers) {
     upstream_request.headers.add(f.name, f.value);
   }
+  if (traits_.shield.loop.enabled) {
+    // RFC 8586: every forwarding CDN appends its cdn-id.  Incoming CDN-Loop
+    // fields were copied through above, so the chain accumulates hop by hop.
+    // Some vendors (Cloudflare, StackPath) already emit their cdn-id among
+    // the canonical forward_headers; skip the append rather than name this
+    // hop twice.
+    bool already_listed = false;
+    for (const std::string_view value :
+         upstream_request.headers.get_all("CDN-Loop")) {
+      const auto parsed = parse_cdn_loop(value);
+      if (parsed && cdn_loop_contains(*parsed, loop_token_)) {
+        already_listed = true;
+        break;
+      }
+    }
+    if (!already_listed) upstream_request.headers.add("CDN-Loop", loop_token_);
+  }
+  if (traits_.emit_via) {
+    upstream_request.headers.add("Via", "1.1 " + traits_.node_id);
+  }
   if (range) upstream_request.headers.add("Range", range->to_string());
   return upstream_request;
 }
@@ -161,11 +245,24 @@ net::TransferOutcome CdnNode::upstream_transfer(
       upstream_wire_);
 }
 
+Response CdnNode::shed_response(ShedCause cause) {
+  Response resp = error(http::kServiceUnavailable,
+                        std::string{"request shed by origin shield: "} +
+                            std::string{shed_cause_name(cause)});
+  char value[32];
+  std::snprintf(value, sizeof(value), "%.0f",
+                traits_.shield.breaker.retry_after_seconds);
+  resp.headers.add("Retry-After", value);
+  ++shield_stats_.shed_responses;
+  return resp;
+}
+
 Response CdnNode::fetch(const Request& client_request,
                         const std::optional<RangeSet>& range,
                         const net::TransferOptions& options,
                         http::Method method_override) {
   FetchResult result = fetch_result(client_request, range, options, method_override);
+  if (result.shed != ShedCause::kNone) return shed_response(result.shed);
   if (result.error) {
     // Present the failure as an upstream gateway error so callers that only
     // understand responses still behave: the status is never cacheable and
@@ -205,6 +302,27 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
     budget = 0;
   }
 
+  // Circuit breaker + admission control gate the whole fetch: an open
+  // circuit or exhausted connection budget sheds the request before any
+  // counted wire transfer -- the origin never sees it.
+  const double now = sim_now();
+  if (const ShedCause cause = breaker_.admit(now); cause != ShedCause::kNone) {
+    FetchResult shed;
+    shed.shed = cause;
+    shed.attempts = 0;
+    if (cause == ShedCause::kBreakerOpen) {
+      ++shield_stats_.shed_breaker_open;
+    } else {
+      ++shield_stats_.shed_admission;
+    }
+    return shed;
+  }
+  if (traits_.shield.breaker.enabled &&
+      breaker_.state() == UpstreamBreaker::State::kHalfOpen) {
+    ++shield_stats_.half_open_probes;
+  }
+  const std::uint64_t trips_before = breaker_.trips();
+
   FetchResult result;
   double backoff = rp.backoff_initial_seconds;
   for (int attempt = 0;; ++attempt) {
@@ -216,12 +334,25 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
     result.upstream_5xx = outcome.ok() && rp.retry_on_5xx &&
                           outcome.response.status >= 500 &&
                           outcome.response.status <= 599;
+    // Feed the breaker the typed outcome of every attempt: transport errors
+    // and upstream 5xx count toward the consecutive-failure trip threshold,
+    // and the transfer occupies a connection slot for its injected latency.
+    breaker_.occupy_connection(now + outcome.latency_seconds);
+    const bool upstream_5xx_any = outcome.ok() &&
+                                  outcome.response.status >= 500 &&
+                                  outcome.response.status <= 599;
+    if (outcome.error.has_value() || upstream_5xx_any) {
+      breaker_.on_failure(now);
+    } else {
+      breaker_.on_success();
+    }
     result.response = std::move(outcome.response);
     const bool retryable = result.error.has_value() || result.upstream_5xx;
     if (!retryable || attempt >= budget) break;
     result.elapsed_seconds += backoff;
     backoff *= rp.backoff_multiplier;
   }
+  shield_stats_.breaker_trips += breaker_.trips() - trips_before;
   return result;
 }
 
@@ -234,6 +365,19 @@ Response CdnNode::degrade(const Request& request,
                           const std::optional<RangeSet>& range,
                           const FetchResult& result) {
   const ResiliencePolicy& rp = traits_.resilience;
+  if (result.shed != ShedCause::kNone) {
+    // Serve-stale outranks the open circuit: the stale copy costs the origin
+    // nothing, so shedding it would only hurt availability.  Everything else
+    // is answered 503 + Retry-After (see docs/defense-model.md).
+    if (rp.degradation == DegradationPolicy::kServeStale) {
+      if (const CachedEntity* stale = stale_entity(request)) {
+        Response resp = respond_entity(*stale, range);
+        resp.headers.add("Warning", "111 - \"Revalidation Failed\"");
+        return resp;
+      }
+    }
+    return shed_response(result.shed);
+  }
   if (rp.degradation == DegradationPolicy::kServeStale) {
     if (const CachedEntity* stale = stale_entity(request)) {
       Response resp = respond_entity(*stale, range);

@@ -23,6 +23,7 @@
 #include <variant>
 
 #include "cdn/cache.h"
+#include "cdn/shield.h"
 #include "cdn/types.h"
 #include "http/range.h"
 #include "http2/wire.h"
@@ -84,9 +85,15 @@ struct FetchResult {
   int attempts = 1;
   /// Latency observed across attempts, including backoff gaps.
   double elapsed_seconds = 0;
+  /// When the shielding layer refused the fetch before any wire transfer
+  /// (circuit open / admission limits), why.  `response` is then empty.
+  ShedCause shed = ShedCause::kNone;
 
-  /// A usable response arrived (not a transport error, not a retryable 5xx).
-  bool ok() const noexcept { return !error.has_value() && !upstream_5xx; }
+  /// A usable response arrived (not shed, not a transport error, not a
+  /// retryable 5xx).
+  bool ok() const noexcept {
+    return shed == ShedCause::kNone && !error.has_value() && !upstream_5xx;
+  }
 };
 
 class CdnNode final : public net::HttpHandler {
@@ -111,6 +118,18 @@ class CdnNode final : public net::HttpHandler {
 
   /// Traffic on this node's upstream segment.
   net::TrafficRecorder& upstream_traffic() noexcept { return upstream_traffic_; }
+
+  /// Counters of the origin-shielding layer (all zero while the shield
+  /// knobs are off).
+  const ShieldStats& shield_stats() const noexcept { return shield_stats_; }
+
+  /// The upstream circuit breaker (state machine is inert unless
+  /// traits().shield.breaker.enabled).
+  const UpstreamBreaker& breaker() const noexcept { return breaker_; }
+
+  /// This node's CDN-Loop cdn-id (the configured token, or the default
+  /// derived from the vendor name).
+  const std::string& loop_token() const noexcept { return loop_token_; }
 
   /// Attaches a fault schedule to the upstream segment (non-owning; nullptr
   /// detaches).  The injector must outlive the node.
@@ -200,6 +219,12 @@ class CdnNode final : public net::HttpHandler {
                        http::Body body) const;
   http::Response respond_416(std::uint64_t total_size);
   http::Headers entity_content_headers(const CachedEntity& entity) const;
+  double sim_now() const { return clock_ ? clock_() : 0.0; }
+  /// RFC 8586 ingress check: 508 on self-recurrence or hop-cap excess,
+  /// 400 on a malformed CDN-Loop; nullopt admits the request.
+  std::optional<http::Response> check_cdn_loop(const http::Request& request);
+  /// The vendor-styled 503 + Retry-After a shed request is answered with.
+  http::Response shed_response(ShedCause cause);
 
   VendorTraits traits_;
   std::unique_ptr<VendorLogic> logic_;
@@ -207,6 +232,10 @@ class CdnNode final : public net::HttpHandler {
   std::variant<net::Wire, http2::Http2Wire> upstream_wire_;
   Cache cache_;
   std::function<double()> clock_;
+  std::string loop_token_;
+  UpstreamBreaker breaker_;
+  FillLockTable fills_;
+  ShieldStats shield_stats_;
   mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
 };
 

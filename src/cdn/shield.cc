@@ -1,0 +1,237 @@
+#include "cdn/shield.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "http/headers.h"
+
+namespace rangeamp::cdn {
+
+namespace {
+
+bool is_ows(char c) noexcept { return c == ' ' || c == '\t'; }
+
+std::string_view trim_ows(std::string_view s) noexcept {
+  while (!s.empty() && is_ows(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_ows(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+// cdn-id = ( uri-host [ ":" port ] ) / pseudonym.  Both alternatives are
+// token-ish; accept RFC 7230 tcharset plus the '.', ':' and '[' ']' needed
+// for host literals, reject everything else (control bytes, separators,
+// 8-bit garbage) so mutated values fail cleanly.
+bool is_cdn_id_char(char c) noexcept {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '-': case '.': case '_': case '~': case ':':
+    case '[': case ']': case '!': case '$': case '&':
+    case '\'': case '*': case '+':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Splits on top-level `sep`, honoring double-quoted strings with backslash
+// escapes (parameters may carry quoted-string values).  Returns false on an
+// unbalanced quote or a trailing backslash.
+bool split_quoted(std::string_view value, char sep,
+                  std::vector<std::string_view>& out) {
+  std::size_t start = 0;
+  bool quoted = false;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (quoted) {
+      if (c == '\\') {
+        if (i + 1 >= value.size()) return false;
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == sep) {
+      out.push_back(value.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (quoted) return false;
+  out.push_back(value.substr(start));
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<CdnLoopEntry>> parse_cdn_loop(std::string_view value) {
+  std::vector<std::string_view> elements;
+  if (!split_quoted(value, ',', elements)) return std::nullopt;
+
+  std::vector<CdnLoopEntry> entries;
+  entries.reserve(elements.size());
+  for (std::string_view element : elements) {
+    element = trim_ows(element);
+    if (element.empty()) return std::nullopt;
+
+    std::vector<std::string_view> pieces;
+    if (!split_quoted(element, ';', pieces)) return std::nullopt;
+
+    const std::string_view id = trim_ows(pieces.front());
+    if (id.empty() ||
+        !std::all_of(id.begin(), id.end(), is_cdn_id_char)) {
+      return std::nullopt;
+    }
+
+    CdnLoopEntry entry;
+    entry.id = std::string{id};
+    for (std::size_t i = 1; i < pieces.size(); ++i) {
+      const std::string_view param = trim_ows(pieces[i]);
+      if (param.empty()) return std::nullopt;
+      if (!entry.params.empty()) entry.params += ";";
+      entry.params += std::string{param};
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string cdn_loop_to_string(const std::vector<CdnLoopEntry>& entries) {
+  std::string out;
+  for (const CdnLoopEntry& entry : entries) {
+    if (!out.empty()) out += ", ";
+    out += entry.id;
+    if (!entry.params.empty()) {
+      out += ";";
+      out += entry.params;
+    }
+  }
+  return out;
+}
+
+bool cdn_loop_contains(const std::vector<CdnLoopEntry>& entries,
+                       std::string_view token) {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const CdnLoopEntry& entry) {
+                       return http::iequals(entry.id, token);
+                     });
+}
+
+std::string default_cdn_loop_token(std::string_view vendor_name) {
+  std::string token;
+  token.reserve(vendor_name.size());
+  for (const char c : vendor_name) {
+    if (c == ' ') {
+      if (!token.empty() && token.back() != '-') token.push_back('-');
+    } else {
+      token.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return token;
+}
+
+std::string_view shed_cause_name(ShedCause cause) noexcept {
+  switch (cause) {
+    case ShedCause::kNone: return "none";
+    case ShedCause::kBreakerOpen: return "breaker-open";
+    case ShedCause::kAdmission: return "admission";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// UpstreamBreaker.
+// ---------------------------------------------------------------------------
+
+ShedCause UpstreamBreaker::admit(double now) {
+  if (!policy_.enabled) return ShedCause::kNone;
+
+  if (state_ == State::kOpen) {
+    if (now < open_until_) return ShedCause::kBreakerOpen;
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ >= policy_.half_open_probes) {
+      return ShedCause::kBreakerOpen;
+    }
+    ++probes_in_flight_;
+    // Probe admitted; connection limits still apply below.
+  }
+  if (policy_.max_connections > 0) {
+    const std::size_t limit = static_cast<std::size_t>(policy_.max_connections) +
+                              static_cast<std::size_t>(policy_.max_pending);
+    if (busy_connections(now) >= limit) {
+      if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+        --probes_in_flight_;  // the probe never started
+      }
+      return ShedCause::kAdmission;
+    }
+  }
+  return ShedCause::kNone;
+}
+
+void UpstreamBreaker::on_success() {
+  if (!policy_.enabled) return;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probes_in_flight_ = 0;
+  }
+}
+
+void UpstreamBreaker::on_failure(double now) {
+  if (!policy_.enabled) return;
+  if (state_ == State::kHalfOpen) {
+    trip(now);  // the probe failed: straight back to open
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= policy_.consecutive_failures_trip) {
+    trip(now);
+  }
+}
+
+void UpstreamBreaker::trip(double now) {
+  state_ = State::kOpen;
+  open_until_ = now + policy_.open_seconds;
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  ++trips_;
+}
+
+void UpstreamBreaker::occupy_connection(double until) {
+  if (!policy_.enabled || policy_.max_connections <= 0) return;
+  busy_until_.push_back(until);
+}
+
+std::size_t UpstreamBreaker::busy_connections(double now) {
+  busy_until_.erase(
+      std::remove_if(busy_until_.begin(), busy_until_.end(),
+                     [now](double until) { return until <= now; }),
+      busy_until_.end());
+  return busy_until_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FillLockTable.
+// ---------------------------------------------------------------------------
+
+const http::Response* FillLockTable::find(const std::string& key,
+                                          double now) const {
+  const auto it = fills_.find(key);
+  if (it == fills_.end()) return nullptr;
+  if (now >= it->second.until) return nullptr;
+  return &it->second.response;
+}
+
+void FillLockTable::record(std::string key, const http::Response& response,
+                           double now) {
+  Fill fill;
+  fill.response = response;
+  fill.until = now + policy_.window_seconds;
+  fills_[std::move(key)] = std::move(fill);
+}
+
+}  // namespace rangeamp::cdn

@@ -100,6 +100,77 @@ struct ResiliencePolicy {
   bool serve_stale_skips_retries = true;
 };
 
+// ---------------------------------------------------------------------------
+// Origin shielding (the second line of defense real CDNs run behind the
+// section VI-C header rewrites).  Every knob defaults to OFF so that a
+// profile without explicit shield configuration produces byte-identical
+// traffic to a shield-unaware node.
+// ---------------------------------------------------------------------------
+
+/// RFC 8586 CDN-Loop defense: emit our cdn-id on every forwarded request and
+/// reject requests whose CDN-Loop already names us (self-recurrence) or
+/// carries more entries than the hop cap.  Terminates forwarding cycles
+/// (FCDN -> BCDN -> FCDN) with 508 instead of amplifying until the stack
+/// overflows.
+struct LoopDefensePolicy {
+  bool enabled = false;
+
+  /// Our cdn-id as it appears in CDN-Loop (RFC 8586 section 2).  Empty =
+  /// derived from the vendor name at profile construction.
+  std::string token;
+
+  /// Reject when the incoming CDN-Loop already lists this many hops
+  /// (0 = no cap; self-recurrence is still rejected).
+  std::size_t max_hops = 8;
+};
+
+/// Per-cache-key fill collapsing (Varnish request coalescing / nginx
+/// proxy_cache_lock): concurrent misses for the same key share one origin
+/// fetch, the followers replay the leader's response.
+struct CoalescingPolicy {
+  bool enabled = false;
+
+  /// How long a completed fill keeps absorbing same-key misses (simulation
+  /// seconds -- the fill-lock hold time).  Without a clock on the node the
+  /// simulation instant never advances, so every same-key miss coalesces.
+  double window_seconds = 1.0;
+};
+
+/// Envoy-style upstream circuit breaking + admission control, fed by the
+/// typed TransferOutcomes of the resilience layer.
+struct CircuitBreakerPolicy {
+  bool enabled = false;
+
+  /// Consecutive upstream failures (transport error or 5xx) that trip the
+  /// breaker open.
+  int consecutive_failures_trip = 5;
+
+  /// How long the breaker stays open before probing (simulation seconds).
+  double open_seconds = 30.0;
+
+  /// Upstream probes admitted in half-open state; one success closes the
+  /// breaker, one failure re-opens it.
+  int half_open_probes = 1;
+
+  /// Admission control: shed when this many upstream transfers are already
+  /// in flight (busy = injected latency not yet elapsed).  0 = unlimited.
+  int max_connections = 0;
+
+  /// Extra queue allowance on top of max_connections (Envoy max_pending).
+  int max_pending = 0;
+
+  /// Retry-After value attached to shed 503s.
+  double retry_after_seconds = 30.0;
+};
+
+/// The full shielding layer of one node.  Defaults are all off: traffic is
+/// byte-identical to a node without the subsystem.
+struct OriginShieldPolicy {
+  LoopDefensePolicy loop;
+  CoalescingPolicy coalescing;
+  CircuitBreakerPolicy breaker;
+};
+
 /// Ingress request-header limits (section V-C: these bound the OBR n).
 struct RequestHeaderLimits {
   /// Max total size of all header fields, counted as the serialized header
@@ -171,6 +242,25 @@ struct VendorTraits {
   /// Upstream failure handling (retry/backoff/timeout/degradation).  The
   /// defaults change nothing while no faults are injected.
   ResiliencePolicy resilience;
+
+  /// Origin shielding: loop defense, request coalescing, circuit breaking.
+  /// All off by default (no byte or behaviour change).
+  OriginShieldPolicy shield;
+
+  /// Emit "Via: 1.1 <node_id>" on forwarded upstream requests AND on every
+  /// client-facing response (RFC 7230 section 5.7.1).  Off by default: the
+  /// vendors' *canonical* Via lines already live in forward_headers /
+  /// response_identity_headers where the paper documents them, and the
+  /// calibrated byte counts must not move underneath the Table IV fit.
+  /// When on, the Via line participates in byte accounting like any other
+  /// serialized header (see DESIGN.md section 5).
+  bool emit_via = false;
+
+  /// Hop identity used by emit_via and as the Via pseudonym.  Empty =
+  /// derived from the vendor name at profile construction; EdgeCluster
+  /// suffixes it with the node index so multi-node Via chains are
+  /// distinguishable.
+  std::string node_id;
 
   /// Exclude the query string from the cache key -- the customer-side
   /// mitigation Cloudflare and Azure recommended in the paper's disclosure

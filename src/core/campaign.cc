@@ -6,6 +6,7 @@
 #include "core/sbr.h"
 #include "core/testbed.h"
 #include "http/generator.h"
+#include "sim/des.h"
 
 namespace rangeamp::core {
 namespace {
@@ -27,9 +28,15 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
         if (config.mitigation) {
           profile = apply_mitigation(std::move(profile), *config.mitigation);
         }
+        profile.traits.shield = config.shield;
         return profile;
       },
       config.edge_nodes, origin, config.selection);
+
+  // Campaign time: request i is sent at i/m seconds.  The nodes' shielding
+  // layers (fill-lock windows, breaker open timers) key off this clock.
+  double sim_now = 0;
+  cluster.set_clock([&sim_now] { return sim_now; });
 
   net::TrafficRecorder client_traffic("attacker");
   client_traffic.set_keep_log(false);
@@ -41,16 +48,23 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   const std::uint64_t total_requests =
       static_cast<std::uint64_t>(config.requests_per_second) *
       static_cast<std::uint64_t>(config.duration_s);
+  const std::uint64_t burst =
+      config.same_key_burst > 1 ? static_cast<std::uint64_t>(config.same_key_burst) : 1;
   std::uint64_t origin_before = 0;
   for (std::uint64_t i = 0; i < total_requests; ++i) {
+    if (config.requests_per_second > 0) {
+      sim_now = static_cast<double>(i) /
+                static_cast<double>(config.requests_per_second);
+    }
     // One amplification unit may need several sends (KeyCDN's pair); the
     // attacker reuses its connection, so every send of a unit reaches the
-    // same ingress node.  Round-robin therefore rotates per *unit*.
+    // same ingress node.  Round-robin therefore rotates per *unit* -- or per
+    // key group, since a URL-hashing balancer maps same-key units together.
     if (config.selection == cdn::NodeSelection::kRoundRobin) {
-      cluster.pin(i % config.edge_nodes);
+      cluster.pin((i / burst) % config.edge_nodes);
     }
     http::Request request = http::make_get(
-        std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i));
+        std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i / burst));
     request.headers.add("Range", plan.range.to_string());
     const std::uint64_t client_before = client_traffic.response_bytes();
     for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
@@ -82,6 +96,7 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   }
   result.detector_alarmed = detector.alarmed();
   result.detector_stats = detector.stats();
+  result.shield_stats = cluster.total_shield_stats();
 
   // Project onto the fluid link for the time series: per-request byte costs
   // are the campaign averages.
@@ -91,7 +106,30 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   load.duration_s = config.duration_s;
   load.origin_response_bytes = result.origin_response_bytes / total_requests;
   load.client_response_bytes = result.attacker_response_bytes / total_requests;
-  result.series = sim::simulate_attack_load(load);
+  if (config.shield.coalescing.enabled || config.shield.breaker.enabled) {
+    // Shielded projection: the DES run redoes the grouping/shedding itself,
+    // so origin bytes must be per *fetch that reached the wire*, not the
+    // campaign average (which already folds the absorbed requests in).
+    const std::uint64_t origin_fetches =
+        result.shield_stats.fill_fetches > 0 ? result.shield_stats.fill_fetches
+                                             : total_requests;
+    sim::ShieldedLoadConfig sload;
+    sload.base = load;
+    sload.base.origin_response_bytes = result.origin_response_bytes / origin_fetches;
+    sload.same_key_burst = config.same_key_burst;
+    sload.coalesce = config.shield.coalescing.enabled;
+    const cdn::CircuitBreakerPolicy& cb = config.shield.breaker;
+    if (cb.enabled && cb.max_connections > 0) {
+      // Per-node admission caps aggregate across the deployment's nodes.
+      sload.max_pending =
+          static_cast<std::size_t>(cb.max_connections + cb.max_pending) *
+          config.edge_nodes;
+    }
+    sload.shed_response_bytes = load.client_response_bytes;
+    result.series = sim::simulate_attack_load_shielded(sload).series;
+  } else {
+    result.series = sim::simulate_attack_load(load);
+  }
   result.bandwidth = sim::summarize(load, result.series);
   return result;
 }

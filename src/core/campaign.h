@@ -38,6 +38,16 @@ struct SbrCampaignConfig {
   /// Applied to every edge node: run the same campaign against a hardened
   /// deployment to measure a mitigation's effect end-to-end.
   std::optional<Mitigation> mitigation;
+
+  /// Origin-shielding knobs applied to every edge node (all off by default,
+  /// so an unshielded campaign replays byte-identically).
+  cdn::OriginShieldPolicy shield;
+
+  /// How many consecutive campaign requests reuse one cache-busting URL.
+  /// Same-key neighbours land on the same ingress node (as a URL-hashing
+  /// load balancer would place them), which is the burst a fill lock can
+  /// collapse.  1 = every request busts the cache with a fresh key.
+  int same_key_burst = 1;
 };
 
 struct SbrCampaignResult {
@@ -58,6 +68,10 @@ struct SbrCampaignResult {
   // Detection.
   bool detector_alarmed = false;
   RangeAmpDetector::Stats detector_stats;
+
+  // Shielding counters summed across edge nodes (all zero when the
+  // campaign's shield knobs are off).
+  cdn::ShieldStats shield_stats;
 };
 
 /// Runs a full SBR campaign against a fresh cluster testbed.

@@ -32,6 +32,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
+    case 508: return "Loop Detected";
     default: return "Unknown";
   }
 }

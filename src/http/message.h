@@ -28,6 +28,7 @@ enum Status : int {
   kBadGateway = 502,
   kServiceUnavailable = 503,
   kGatewayTimeout = 504,
+  kLoopDetected = 508,
 };
 
 /// Canonical reason phrase for a status code ("Partial Content", ...).

@@ -18,4 +18,31 @@ class HttpHandler {
   virtual http::Response handle(const http::Request& request) = 0;
 };
 
+/// A handler whose target is bound after construction.  Handler chains are
+/// wired bottom-up through references, which makes a cyclic topology (the
+/// FCDN -> BCDN -> FCDN misconfiguration RFC 8586's CDN-Loop exists for)
+/// impossible to express directly; a LateBoundHandler closes the cycle by
+/// standing in for the upstream and being pointed back at the front node
+/// once it exists.  Unbound, it answers 502.
+class LateBoundHandler final : public HttpHandler {
+ public:
+  LateBoundHandler() = default;
+  explicit LateBoundHandler(HttpHandler& target) : target_(&target) {}
+
+  /// `target` must outlive this handler; nullptr unbinds.
+  void bind(HttpHandler* target) noexcept { target_ = target; }
+  bool bound() const noexcept { return target_ != nullptr; }
+
+  http::Response handle(const http::Request& request) override {
+    if (target_ != nullptr) return target_->handle(request);
+    http::Response resp;
+    resp.status = 502;
+    resp.headers.add("Content-Length", "0");
+    return resp;
+  }
+
+ private:
+  HttpHandler* target_ = nullptr;
+};
+
 }  // namespace rangeamp::net

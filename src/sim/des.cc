@@ -180,4 +180,80 @@ std::vector<BandwidthSample> simulate_attack_load_des(
   return series;
 }
 
+ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& config) {
+  const AttackLoadConfig& base = config.base;
+  const double capacity = base.origin_uplink_mbps * 1e6 / 8.0;
+  const double horizon = base.duration_s + base.drain_s;
+  const std::size_t seconds = static_cast<std::size_t>(std::ceil(horizon));
+
+  ShieldedLoadResult result;
+  result.series.resize(seconds);
+  for (std::size_t s = 0; s < seconds; ++s) {
+    result.series[s].second = static_cast<double>(s);
+  }
+
+  EventQueue queue;
+  std::vector<double> client_bytes(seconds, 0);
+  const auto bucket_of = [&](double t) {
+    return std::min(seconds - 1, static_cast<std::size_t>(t));
+  };
+
+  PsLink* link_ptr = nullptr;
+  PsLink link(queue, capacity, [&](std::uint64_t, std::uint64_t, double) {
+    // An origin flow completing also completes the client-facing 206.
+    client_bytes[bucket_of(queue.now())] +=
+        static_cast<double>(base.client_response_bytes);
+  });
+  link_ptr = &link;
+
+  const int burst = std::max(1, config.same_key_burst);
+  for (int second = 0; second < static_cast<int>(base.duration_s); ++second) {
+    queue.schedule(static_cast<double>(second), [&] {
+      for (int i = 0; i < base.requests_per_second; ++i) {
+        if (config.coalesce && i % burst != 0) {
+          // Follower of this second's key group: answered from the leader's
+          // fill, no origin flow.  The client still gets its tiny 206 now.
+          ++result.coalesced;
+          client_bytes[bucket_of(queue.now())] +=
+              static_cast<double>(base.client_response_bytes);
+          continue;
+        }
+        if (config.max_pending != 0 &&
+            link_ptr->active_flows() >= config.max_pending) {
+          ++result.shed;
+          client_bytes[bucket_of(queue.now())] +=
+              static_cast<double>(config.shed_response_bytes);
+          continue;
+        }
+        ++result.origin_fetches;
+        link_ptr->start_flow(base.origin_response_bytes);
+      }
+    });
+  }
+
+  // Same observation grid as the unshielded DES run: active flows at second
+  // boundaries, busy-time probing for utilization.
+  std::vector<std::size_t> active_at_end(seconds, 0);
+  std::vector<double> busy_fraction(seconds, 0);
+  constexpr int kProbes = 100;
+  for (std::size_t s = 0; s < seconds; ++s) {
+    queue.schedule(static_cast<double>(s) + 0.999999,
+                   [&, s] { active_at_end[s] = link_ptr->active_flows(); });
+    for (int p = 0; p < kProbes; ++p) {
+      queue.schedule(static_cast<double>(s) + (p + 0.5) / kProbes, [&, s] {
+        if (link_ptr->active_flows() > 0) busy_fraction[s] += 1.0 / kProbes;
+      });
+    }
+  }
+
+  queue.run_until(horizon + 1.0);
+
+  for (std::size_t s = 0; s < seconds; ++s) {
+    result.series[s].origin_out_mbps = busy_fraction[s] * base.origin_uplink_mbps;
+    result.series[s].client_in_kbps = client_bytes[s] * 8.0 / 1e3;
+    result.series[s].in_flight = active_at_end[s];
+  }
+  return result;
+}
+
 }  // namespace rangeamp::sim

@@ -104,4 +104,39 @@ class PsLink {
 /// match simulate_attack_load() exactly; outputs are directly comparable.
 std::vector<BandwidthSample> simulate_attack_load_des(const AttackLoadConfig& config);
 
+/// The Fig 7 experiment with an origin shield in front of the uplink:
+/// request coalescing collapses same-key bursts into one back-to-origin
+/// flow, and admission control sheds arrivals beyond a pending cap.  The
+/// knobs mirror cdn::OriginShieldPolicy so a campaign's shield settings
+/// project directly onto the time series.
+struct ShieldedLoadConfig {
+  AttackLoadConfig base;
+
+  /// How many of each second's arrivals share one cache key (the attacker's
+  /// reuse of a cache-busting URL within a burst).  1 = every arrival has a
+  /// distinct key, so coalescing has nothing to collapse.
+  int same_key_burst = 1;
+
+  /// Fill-lock coalescing on: each key group costs one origin flow; the
+  /// followers are answered from the held fill at no origin cost.
+  bool coalesce = false;
+
+  /// Shed arrivals once this many back-to-origin flows are in flight
+  /// (0 = unlimited).  A shed answer is a local 503, not an origin flow.
+  std::size_t max_pending = 0;
+
+  /// Client-side bytes of a shed 503 (counted into client_in_kbps so the
+  /// attacker's view of a shedding origin stays visible in the series).
+  std::uint64_t shed_response_bytes = 0;
+};
+
+struct ShieldedLoadResult {
+  std::vector<BandwidthSample> series;
+  std::uint64_t origin_fetches = 0;  ///< flows that actually hit the uplink
+  std::uint64_t coalesced = 0;       ///< arrivals absorbed by a fill lock
+  std::uint64_t shed = 0;            ///< arrivals refused by admission control
+};
+
+ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& config);
+
 }  // namespace rangeamp::sim

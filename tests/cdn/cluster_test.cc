@@ -91,5 +91,33 @@ TEST_F(ClusterTest, SingleNodeClusterBehavesLikeNode) {
   EXPECT_EQ(cluster.nodes_touched(), 1u);
 }
 
+TEST_F(ClusterTest, PinBeyondNodeCountClampsInsteadOfIndexingOut) {
+  // Regression: a pin taken against a larger deployment (or straight from
+  // attacker-controlled input) used to be stored unclamped and only reduced
+  // at select() time; pin() now clamps immediately so a stale index can
+  // never escape the node vector.
+  auto cluster = make_cluster(4, NodeSelection::kRoundRobin);
+  cluster.pin(7);  // 7 % 4 == 3
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(
+        cluster.handle(http::make_get("h.example", "/a.bin?i=" + std::to_string(i)))
+            .status,
+        200);
+  }
+  EXPECT_EQ(cluster.nodes_touched(), 1u);
+  EXPECT_EQ(cluster.ingress_traffic(3).exchange_count(), 3u);
+}
+
+TEST_F(ClusterTest, ZeroNodeClusterIsClampedToOne) {
+  // A zero-node cluster cannot route anything and the selection arithmetic
+  // would divide by zero; construction clamps to one node and pin() on the
+  // (momentarily) empty vector stays in range.
+  auto cluster = make_cluster(0, NodeSelection::kRoundRobin);
+  EXPECT_EQ(cluster.node_count(), 1u);
+  cluster.pin(5);
+  EXPECT_EQ(cluster.handle(http::make_get("h.example", "/a.bin")).status, 200);
+  EXPECT_EQ(cluster.nodes_touched(), 1u);
+}
+
 }  // namespace
 }  // namespace rangeamp::cdn

@@ -1,0 +1,446 @@
+// Origin-shielding layer: CDN-Loop parsing and rejection, Via emission,
+// request coalescing, and the upstream circuit breaker.
+#include "cdn/shield.h"
+
+#include <gtest/gtest.h>
+
+#include "cdn/node.h"
+#include "cdn/profiles.h"
+#include "core/testbed.h"
+#include "http/generator.h"
+#include "http/serialize.h"
+#include "net/fault.h"
+
+namespace rangeamp::cdn {
+namespace {
+
+// A minimal origin that records every request it is asked to serve, so tests
+// can assert exactly what a node forwarded upstream.
+class CaptureOrigin final : public net::HttpHandler {
+ public:
+  http::Response handle(const http::Request& request) override {
+    requests_.push_back(request);
+    http::Response resp;
+    resp.status = 200;
+    resp.body = http::Body::literal("0123456789abcdef");
+    resp.headers.add("Content-Length", std::to_string(resp.body.size()));
+    resp.headers.add("Content-Type", "application/octet-stream");
+    resp.headers.add("ETag", "\"cap-1\"");
+    return resp;
+  }
+
+  const std::vector<http::Request>& requests() const noexcept {
+    return requests_;
+  }
+
+ private:
+  std::vector<http::Request> requests_;
+};
+
+// ---------------------------------------------------------------------------
+// CDN-Loop parsing.
+// ---------------------------------------------------------------------------
+
+TEST(CdnLoopParse, BareIds) {
+  const auto parsed = parse_cdn_loop("fastly, akamai , cloudflare:443");
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].id, "fastly");
+  EXPECT_EQ((*parsed)[1].id, "akamai");
+  EXPECT_EQ((*parsed)[2].id, "cloudflare:443");
+  EXPECT_TRUE((*parsed)[0].params.empty());
+}
+
+TEST(CdnLoopParse, ParametersAreCarriedOpaquely) {
+  const auto parsed = parse_cdn_loop("akamai; asn=20940; region=eu");
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().id, "akamai");
+  EXPECT_EQ(parsed->front().params, "asn=20940;region=eu");
+}
+
+TEST(CdnLoopParse, QuotedStringsHideSeparators) {
+  const auto parsed = parse_cdn_loop("edge; note=\"a,b;\\\"c\", fastly");
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->front().id, "edge");
+  EXPECT_EQ(parsed->front().params, "note=\"a,b;\\\"c\"");
+  EXPECT_EQ(parsed->back().id, "fastly");
+}
+
+TEST(CdnLoopParse, RejectsGarbage) {
+  EXPECT_FALSE(parse_cdn_loop(""));
+  EXPECT_FALSE(parse_cdn_loop("a,,b"));            // empty element
+  EXPECT_FALSE(parse_cdn_loop(", a"));             // leading empty element
+  EXPECT_FALSE(parse_cdn_loop("a; "));             // empty parameter
+  EXPECT_FALSE(parse_cdn_loop("bad id"));          // space inside cdn-id
+  EXPECT_FALSE(parse_cdn_loop("a=\"unbalanced")); // unterminated quote
+  EXPECT_FALSE(parse_cdn_loop("id\x01"));          // control byte
+}
+
+TEST(CdnLoopParse, RoundTripsThroughCanonicalSpelling) {
+  const auto parsed =
+      parse_cdn_loop("Fastly ,akamai;a=1 ;b=\"x;y\" , edge-7");
+  ASSERT_TRUE(parsed);
+  const auto again = parse_cdn_loop(cdn_loop_to_string(*parsed));
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, *parsed);
+}
+
+TEST(CdnLoopParse, ContainsIsCaseInsensitive) {
+  const auto parsed = parse_cdn_loop("Fastly, AKAMAI");
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(cdn_loop_contains(*parsed, "fastly"));
+  EXPECT_TRUE(cdn_loop_contains(*parsed, "akamai"));
+  EXPECT_FALSE(cdn_loop_contains(*parsed, "cloudflare"));
+}
+
+TEST(CdnLoopParse, DefaultTokenFromVendorName) {
+  EXPECT_EQ(default_cdn_loop_token("Akamai"), "akamai");
+  EXPECT_EQ(default_cdn_loop_token("Alibaba Cloud"), "alibaba-cloud");
+  EXPECT_EQ(default_cdn_loop_token("StackPath / Highwinds"),
+            "stackpath-/-highwinds");
+}
+
+// ---------------------------------------------------------------------------
+// Loop defense at the node.
+// ---------------------------------------------------------------------------
+
+VendorProfile shielded_profile(OriginShieldPolicy shield,
+                               bool cache_enabled = true) {
+  VendorProfile profile = make_profile(Vendor::kAkamai);
+  profile.traits.shield = std::move(shield);
+  profile.traits.cache_enabled = cache_enabled;
+  return profile;
+}
+
+OriginShieldPolicy loop_shield(std::size_t max_hops = 8) {
+  OriginShieldPolicy shield;
+  shield.loop.enabled = true;
+  shield.loop.max_hops = max_hops;
+  return shield;
+}
+
+http::Request ranged_get(const std::string& path) {
+  auto request = http::make_get(std::string{core::kDefaultHost}, path);
+  request.headers.add("Range", "bytes=0-0");
+  return request;
+}
+
+TEST(ShieldLoop, RejectsSelfRecurrenceWith508) {
+  core::SingleCdnTestbed bed(shielded_profile(loop_shield()));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+
+  auto request = ranged_get("/a.bin");
+  request.headers.add("CDN-Loop", "akamai");
+  const auto response = bed.send(request);
+  EXPECT_EQ(response.status, 508);
+  EXPECT_EQ(bed.cdn().shield_stats().loop_rejected, 1u);
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 0u);
+}
+
+TEST(ShieldLoop, SelfDetectionIsCaseInsensitive) {
+  core::SingleCdnTestbed bed(shielded_profile(loop_shield()));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+  auto request = ranged_get("/a.bin");
+  request.headers.add("CDN-Loop", "AkaMai; asn=1");
+  EXPECT_EQ(bed.send(request).status, 508);
+}
+
+TEST(ShieldLoop, ForeignChainPassesAndIsExtendedUpstream) {
+  CaptureOrigin origin;
+  CdnNode node(shielded_profile(loop_shield()), origin, "cdn-origin");
+
+  auto request = ranged_get("/a.bin");
+  request.headers.add("CDN-Loop", "fastly");
+  const auto response = node.handle(request);
+  EXPECT_LT(response.status, 500);
+  ASSERT_EQ(origin.requests().size(), 1u);
+  const auto chain = origin.requests().front().headers.get_all("CDN-Loop");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], "fastly");
+  EXPECT_EQ(chain[1], "akamai");
+}
+
+TEST(ShieldLoop, HopCapRejectsLongChains) {
+  core::SingleCdnTestbed bed(shielded_profile(loop_shield(/*max_hops=*/3)));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+
+  auto ok = ranged_get("/a.bin?1");
+  ok.headers.add("CDN-Loop", "a, b");
+  EXPECT_LT(bed.send(ok).status, 500);
+
+  auto rejected = ranged_get("/a.bin?2");
+  rejected.headers.add("CDN-Loop", "a, b, c");
+  EXPECT_EQ(bed.send(rejected).status, 508);
+  EXPECT_EQ(bed.cdn().shield_stats().hop_cap_rejected, 1u);
+}
+
+TEST(ShieldLoop, MalformedChainFailsClosed) {
+  core::SingleCdnTestbed bed(shielded_profile(loop_shield()));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+  auto request = ranged_get("/a.bin");
+  request.headers.add("CDN-Loop", "broken id, ,");
+  EXPECT_EQ(bed.send(request).status, 400);
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 0u);
+}
+
+TEST(ShieldLoop, DisabledShieldIgnoresAndDoesNotEmit) {
+  CaptureOrigin origin;
+  CdnNode node(make_profile(Vendor::kAkamai), origin, "cdn-origin");
+  auto request = ranged_get("/a.bin");
+  request.headers.add("CDN-Loop", "akamai");  // would be a self-loop if on
+  const auto response = node.handle(request);
+  EXPECT_LT(response.status, 500);
+  ASSERT_EQ(origin.requests().size(), 1u);
+  // The incoming chain is still forwarded (it is an end-to-end header),
+  // but the node appends nothing.
+  const auto chain = origin.requests().front().headers.get_all("CDN-Loop");
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], "akamai");
+}
+
+// ---------------------------------------------------------------------------
+// Via emission.
+// ---------------------------------------------------------------------------
+
+TEST(ShieldVia, EmittedOnForwardedRequestAndResponse) {
+  // Cloudflare has no canonical Via among its identity headers, so the
+  // node's own hop line is the only one.
+  VendorProfile profile = make_profile(Vendor::kCloudflare);
+  profile.traits.emit_via = true;
+  profile.traits.node_id = "cf-n3";
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin, "cdn-origin");
+
+  const auto response = node.handle(ranged_get("/a.bin"));
+  EXPECT_EQ(response.headers.get_or("Via", ""), "1.1 cf-n3");
+  ASSERT_EQ(origin.requests().size(), 1u);
+  EXPECT_EQ(origin.requests().front().headers.get_or("Via", ""), "1.1 cf-n3");
+}
+
+TEST(ShieldVia, ViaLineIsByteAccounted) {
+  const auto serialized_size_with = [](bool emit_via) {
+    VendorProfile profile = make_profile(Vendor::kAkamai);
+    profile.traits.emit_via = emit_via;
+    profile.traits.node_id = "akamai-n3";
+    CaptureOrigin origin;
+    CdnNode node(std::move(profile), origin, "cdn-origin");
+    return http::serialized_size(node.handle(ranged_get("/a.bin")));
+  };
+  const std::uint64_t off = serialized_size_with(false);
+  const std::uint64_t on = serialized_size_with(true);
+  // "Via: 1.1 akamai-n3\r\n" = 20 bytes on the wire.
+  EXPECT_EQ(on, off + 20);
+}
+
+TEST(ShieldVia, OffByDefault) {
+  CaptureOrigin origin;
+  CdnNode node(make_profile(Vendor::kCloudflare), origin, "cdn-origin");
+  const auto response = node.handle(ranged_get("/a.bin"));
+  EXPECT_FALSE(response.headers.get("Via"));
+  ASSERT_EQ(origin.requests().size(), 1u);
+  EXPECT_FALSE(origin.requests().front().headers.get("Via"));
+}
+
+// ---------------------------------------------------------------------------
+// Request coalescing.
+// ---------------------------------------------------------------------------
+
+OriginShieldPolicy coalescing_shield(double window_seconds = 1.0) {
+  OriginShieldPolicy shield;
+  shield.coalescing.enabled = true;
+  shield.coalescing.window_seconds = window_seconds;
+  return shield;
+}
+
+TEST(ShieldCoalescing, SameKeyBurstCostsOneOriginFetch) {
+  // A pass-through (no-store) edge: without the fill lock every one of the
+  // five identical misses would hit the origin.
+  core::SingleCdnTestbed bed(
+      shielded_profile(coalescing_shield(), /*cache_enabled=*/false));
+  bed.origin().resources().add_synthetic("/a.bin", 1u << 20);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(bed.send(ranged_get("/a.bin?burst")).status, 206);
+  }
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 1u);
+  EXPECT_EQ(bed.cdn().shield_stats().fill_fetches, 1u);
+  EXPECT_EQ(bed.cdn().shield_stats().coalesced_hits, 4u);
+}
+
+TEST(ShieldCoalescing, ReplaysTheLeadersExactResponse) {
+  core::SingleCdnTestbed bed(
+      shielded_profile(coalescing_shield(), /*cache_enabled=*/false));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+  const auto leader = bed.send(ranged_get("/a.bin?k"));
+  const auto follower = bed.send(ranged_get("/a.bin?k"));
+  EXPECT_EQ(http::to_bytes(follower), http::to_bytes(leader));
+}
+
+TEST(ShieldCoalescing, DistinctRangesFillSeparately) {
+  core::SingleCdnTestbed bed(
+      shielded_profile(coalescing_shield(), /*cache_enabled=*/false));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+
+  auto first = http::make_get(std::string{core::kDefaultHost}, "/a.bin?k");
+  first.headers.add("Range", "bytes=0-0");
+  auto second = http::make_get(std::string{core::kDefaultHost}, "/a.bin?k");
+  second.headers.add("Range", "bytes=1-1");
+  bed.send(first);
+  bed.send(second);
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 2u);
+  EXPECT_EQ(bed.cdn().shield_stats().coalesced_hits, 0u);
+}
+
+TEST(ShieldCoalescing, FillLockExpiresWithTheWindow) {
+  core::SingleCdnTestbed bed(
+      shielded_profile(coalescing_shield(/*window_seconds=*/1.0),
+                       /*cache_enabled=*/false));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+  double now = 0.0;
+  bed.cdn().set_clock([&now] { return now; });
+
+  bed.send(ranged_get("/a.bin?k"));
+  now = 0.5;  // inside the window: coalesced
+  bed.send(ranged_get("/a.bin?k"));
+  now = 2.0;  // window expired: a fresh fill
+  bed.send(ranged_get("/a.bin?k"));
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 2u);
+  EXPECT_EQ(bed.cdn().shield_stats().fill_fetches, 2u);
+  EXPECT_EQ(bed.cdn().shield_stats().coalesced_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine.
+// ---------------------------------------------------------------------------
+
+CircuitBreakerPolicy breaker_policy(int trip = 3, double open_seconds = 30) {
+  CircuitBreakerPolicy policy;
+  policy.enabled = true;
+  policy.consecutive_failures_trip = trip;
+  policy.open_seconds = open_seconds;
+  return policy;
+}
+
+TEST(UpstreamBreakerTest, TripsAfterConsecutiveFailures) {
+  UpstreamBreaker breaker(breaker_policy(3));
+  breaker.on_failure(0);
+  breaker.on_failure(0);
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kClosed);
+  breaker.on_success();  // success resets the streak
+  breaker.on_failure(0);
+  breaker.on_failure(0);
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kClosed);
+  breaker.on_failure(0);
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.admit(10), ShedCause::kBreakerOpen);
+}
+
+TEST(UpstreamBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  UpstreamBreaker breaker(breaker_policy(1, 30));
+  breaker.on_failure(0);
+  EXPECT_EQ(breaker.admit(29), ShedCause::kBreakerOpen);
+  EXPECT_EQ(breaker.admit(31), ShedCause::kNone);  // the probe
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.admit(31), ShedCause::kBreakerOpen);  // one probe only
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kClosed);
+  EXPECT_EQ(breaker.admit(31), ShedCause::kNone);
+}
+
+TEST(UpstreamBreakerTest, HalfOpenProbeFailureReopens) {
+  UpstreamBreaker breaker(breaker_policy(1, 30));
+  breaker.on_failure(0);
+  EXPECT_EQ(breaker.admit(31), ShedCause::kNone);
+  breaker.on_failure(31);
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_EQ(breaker.admit(60), ShedCause::kBreakerOpen);  // 31 + 30 > 60
+  EXPECT_EQ(breaker.admit(62), ShedCause::kNone);
+}
+
+TEST(UpstreamBreakerTest, AdmissionCapsBusyConnections) {
+  CircuitBreakerPolicy policy = breaker_policy(/*trip=*/1000);
+  policy.max_connections = 2;
+  UpstreamBreaker breaker(policy);
+  EXPECT_EQ(breaker.admit(0), ShedCause::kNone);
+  breaker.occupy_connection(10);
+  EXPECT_EQ(breaker.admit(0), ShedCause::kNone);
+  breaker.occupy_connection(10);
+  EXPECT_EQ(breaker.admit(5), ShedCause::kAdmission);
+  EXPECT_EQ(breaker.admit(11), ShedCause::kNone);  // slots expired
+}
+
+TEST(UpstreamBreakerTest, DisabledPolicyIsInert) {
+  UpstreamBreaker breaker(CircuitBreakerPolicy{});
+  for (int i = 0; i < 100; ++i) breaker.on_failure(0);
+  EXPECT_EQ(breaker.state(), UpstreamBreaker::State::kClosed);
+  EXPECT_EQ(breaker.admit(0), ShedCause::kNone);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker at the node: shedding and serve-stale precedence.
+// ---------------------------------------------------------------------------
+
+TEST(ShieldBreaker, OpenCircuitSheds503WithRetryAfter) {
+  OriginShieldPolicy shield;
+  shield.breaker = breaker_policy(/*trip=*/2);
+  shield.breaker.retry_after_seconds = 30;
+  core::SingleCdnTestbed bed(shielded_profile(shield));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  bed.set_origin_fault_injector(&faults);
+
+  bed.send(ranged_get("/a.bin?1"));  // failure 1
+  bed.send(ranged_get("/a.bin?2"));  // failure 2: trips
+  const auto shed = bed.send(ranged_get("/a.bin?3"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.headers.get_or("Retry-After", ""), "30");
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 2u);
+  EXPECT_EQ(bed.cdn().shield_stats().breaker_trips, 1u);
+  EXPECT_EQ(bed.cdn().shield_stats().shed_breaker_open, 1u);
+  EXPECT_EQ(bed.cdn().shield_stats().shed_responses, 1u);
+}
+
+TEST(ShieldBreaker, ServeStaleOutranksTheOpenCircuit) {
+  OriginShieldPolicy shield;
+  shield.breaker = breaker_policy(/*trip=*/1, /*open_seconds=*/1000);
+  VendorProfile profile = shielded_profile(shield);
+  profile.traits.cache_ttl_seconds = 60;
+  profile.traits.resilience.degradation = DegradationPolicy::kServeStale;
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/a.bin", 4096);
+
+  double now = 0.0;
+  bed.cdn().set_clock([&now] { return now; });
+
+  // Prime the cache healthy, then kill the origin and trip the breaker.
+  EXPECT_EQ(bed.send(http::make_get(std::string{core::kDefaultHost}, "/a.bin"))
+                .status,
+            200);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  bed.set_origin_fault_injector(&faults);
+  bed.send(ranged_get("/other.bin"));  // failure: trips the breaker
+
+  // Past the TTL the cached copy is stale; the open circuit sheds the
+  // revalidation, but the stale copy absorbs the shed.
+  now = 120;
+  const auto stale = bed.send(ranged_get("/a.bin"));
+  EXPECT_EQ(stale.status, 206);
+  EXPECT_EQ(stale.headers.get_or("Warning", ""),
+            "111 - \"Revalidation Failed\"");
+
+  // Without a stale copy the same shed surfaces as 503 + Retry-After.
+  const auto shed = bed.send(ranged_get("/missing.bin"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_TRUE(shed.headers.get("Retry-After"));
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

@@ -6,6 +6,7 @@
 // consistently.
 #include <gtest/gtest.h>
 
+#include "cdn/shield.h"
 #include "http/generator.h"
 #include "http/multipart.h"
 #include "http/range.h"
@@ -131,6 +132,31 @@ TEST_P(FuzzSweep, MultipartParserIsTotal) {
       for (const auto& part : *parts) {
         ASSERT_LE(part.range.first, part.range.last);
         ASSERT_EQ(part.payload.size(), part.range.length());
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSweep, CdnLoopParserIsTotal) {
+  Rng rng{GetParam() ^ 0x8586};
+  // A representative chain: bare ids, a parameterized hop, a quoted-string
+  // parameter value with escapes and embedded separators.
+  const std::string base =
+      "fastly, akamai; asn=20940; lb=\"a,b;\\\"c\", cloudflare:443, edge-7";
+  for (int i = 0; i < 2000; ++i) {
+    std::string value = base;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) value = mutate(rng, value);
+    const auto parsed = cdn::parse_cdn_loop(value);
+    if (parsed) {
+      // Anything accepted must survive its canonical spelling unchanged:
+      // the loop check at the next hop sees exactly the same ids.
+      const auto again = cdn::parse_cdn_loop(cdn::cdn_loop_to_string(*parsed));
+      ASSERT_TRUE(again) << value;
+      EXPECT_EQ(*again, *parsed) << value;
+      for (const auto& entry : *parsed) {
+        ASSERT_FALSE(entry.id.empty()) << value;
+        EXPECT_TRUE(cdn::cdn_loop_contains(*parsed, entry.id));
       }
     }
   }

@@ -1,0 +1,140 @@
+// Multi-hop origin-shielding: CDN-Loop accumulation across a cascade,
+// per-segment attribution, and loop/hop-cap termination in topologies the
+// single-node tests cannot express.
+#include <gtest/gtest.h>
+
+#include "cdn/node.h"
+#include "cdn/profiles.h"
+#include "core/obr.h"
+#include "http/generator.h"
+#include "net/handler.h"
+#include "net/wire.h"
+
+namespace rangeamp {
+namespace {
+
+class CaptureOrigin final : public net::HttpHandler {
+ public:
+  http::Response handle(const http::Request& request) override {
+    requests_.push_back(request);
+    http::Response resp;
+    resp.status = 200;
+    resp.body = http::Body::literal("0123456789abcdef");
+    resp.headers.add("Content-Length", std::to_string(resp.body.size()));
+    resp.headers.add("Content-Type", "application/octet-stream");
+    resp.headers.add("ETag", "\"cap-1\"");
+    return resp;
+  }
+
+  const std::vector<http::Request>& requests() const noexcept {
+    return requests_;
+  }
+
+ private:
+  std::vector<http::Request> requests_;
+};
+
+cdn::VendorProfile hop_profile(cdn::Vendor vendor, const std::string& token,
+                               std::size_t max_hops = 8) {
+  cdn::ProfileOptions options;
+  if (vendor == cdn::Vendor::kCloudflare) {
+    options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  }
+  cdn::VendorProfile profile = cdn::make_profile(vendor, options);
+  profile.traits.shield.loop.enabled = true;
+  profile.traits.shield.loop.max_hops = max_hops;
+  if (!token.empty()) profile.traits.shield.loop.token = token;
+  return profile;
+}
+
+http::Request cascade_get(const std::string& path) {
+  auto request = http::make_get(std::string{core::kObrHost}, path);
+  request.headers.add("Range", "bytes=0-0");
+  return request;
+}
+
+TEST(ShieldCascade, ThreeHopChainAccumulatesCdnLoopPerSegment) {
+  // client -> FCDN (Cloudflare bypass) -> BCDN (Akamai) -> origin: the
+  // origin must see the full forwarding history, one CDN-Loop entry per hop
+  // in forwarding order, and each inter-CDN segment carries exactly one
+  // exchange per attack request.
+  CaptureOrigin origin;
+  cdn::CdnNode bcdn(hop_profile(cdn::Vendor::kAkamai, ""), origin,
+                    "bcdn-origin");
+  cdn::CdnNode fcdn(hop_profile(cdn::Vendor::kCloudflare, ""), bcdn,
+                    "fcdn-bcdn");
+  net::TrafficRecorder client_traffic("client-fcdn");
+  net::Wire client_wire(client_traffic, fcdn);
+
+  const auto response = client_wire.transfer(cascade_get("/leak.bin?1"));
+  EXPECT_LT(response.status, 500);
+  ASSERT_EQ(origin.requests().size(), 1u);
+  const auto chain = origin.requests().front().headers.get_all("CDN-Loop");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], "cloudflare");
+  EXPECT_EQ(chain[1], "akamai");
+
+  // Per-segment attribution: one exchange each, no amplification of the
+  // forwarding count by the defense.
+  EXPECT_EQ(fcdn.upstream_traffic().exchange_count(), 1u);
+  EXPECT_EQ(bcdn.upstream_traffic().exchange_count(), 1u);
+  EXPECT_EQ(client_traffic.exchange_count(), 1u);
+  EXPECT_EQ(fcdn.shield_stats().loop_rejects_total(), 0u);
+  EXPECT_EQ(bcdn.shield_stats().loop_rejects_total(), 0u);
+}
+
+TEST(ShieldCascade, FcdnBcdnCycleTerminatesWith508) {
+  // The OBR cascade bent into a loop: the BCDN's "origin" is the FCDN
+  // itself.  Undefended this recurses without bound; with CDN-Loop enabled
+  // the FCDN recognises its own token on re-entry and answers 508, so each
+  // attack request costs exactly one forward per inter-CDN segment.
+  net::LateBoundHandler loopback;
+  cdn::CdnNode bcdn(hop_profile(cdn::Vendor::kAkamai, ""), loopback,
+                    "bcdn-fcdn");
+  cdn::CdnNode fcdn(hop_profile(cdn::Vendor::kCloudflare, ""), bcdn,
+                    "fcdn-bcdn");
+  loopback.bind(&fcdn);
+  net::TrafficRecorder client_traffic("client-fcdn");
+  net::Wire client_wire(client_traffic, fcdn);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto response =
+        client_wire.transfer(cascade_get("/leak.bin?cb=" + std::to_string(i)));
+    EXPECT_GE(response.status, 500) << i;
+  }
+  EXPECT_EQ(fcdn.upstream_traffic().exchange_count(), 3u);
+  EXPECT_EQ(bcdn.upstream_traffic().exchange_count(), 3u);
+  EXPECT_EQ(fcdn.shield_stats().loop_rejected, 3u);
+  EXPECT_EQ(bcdn.shield_stats().loop_rejected, 0u);
+}
+
+TEST(ShieldCascade, HopCapBoundsChainsOfDistinctNodes) {
+  // Four distinct surrogates chained in front of the origin, hop cap 3 on
+  // every node: the chain dies at the node that already sees three entries,
+  // before any origin byte moves.  Distinct tokens keep self-recurrence out
+  // of the picture -- only the cap terminates this topology.
+  CaptureOrigin origin;
+  cdn::CdnNode hop4(hop_profile(cdn::Vendor::kAkamai, "hop-4", 3), origin,
+                    "hop4-origin");
+  cdn::CdnNode hop3(hop_profile(cdn::Vendor::kAkamai, "hop-3", 3), hop4,
+                    "hop3-hop4");
+  cdn::CdnNode hop2(hop_profile(cdn::Vendor::kAkamai, "hop-2", 3), hop3,
+                    "hop2-hop3");
+  cdn::CdnNode hop1(hop_profile(cdn::Vendor::kAkamai, "hop-1", 3), hop2,
+                    "hop1-hop2");
+  net::TrafficRecorder client_traffic("client-hop1");
+  net::Wire client_wire(client_traffic, hop1);
+
+  const auto response = client_wire.transfer(cascade_get("/leak.bin?1"));
+  EXPECT_GE(response.status, 500);
+  EXPECT_TRUE(origin.requests().empty());
+  EXPECT_EQ(hop1.upstream_traffic().exchange_count(), 1u);
+  EXPECT_EQ(hop2.upstream_traffic().exchange_count(), 1u);
+  EXPECT_EQ(hop3.upstream_traffic().exchange_count(), 1u);
+  // hop4 saw three entries (hop-1, hop-2, hop-3) at ingress and refused.
+  EXPECT_EQ(hop4.upstream_traffic().exchange_count(), 0u);
+  EXPECT_EQ(hop4.shield_stats().hop_cap_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace rangeamp
