@@ -5,10 +5,18 @@
 // The per-request byte costs are measured on the same Cloudflare-profile
 // testbed the paper used (10 MB target resource); the time domain comes from
 // the fluid-flow bandwidth simulator.
+// Observability (both OFF by default; neither changes a single CSV byte):
+//   RANGEAMP_TRACE=1    trace the per-request cost measurement, write
+//                       fig7_trace.jsonl,
+//   RANGEAMP_METRICS=1  project the origin-out time series onto sim-clock
+//                       sampled gauges, write fig7_metrics_series.csv.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/rangeamp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/des.h"
 
 using namespace rangeamp;
@@ -16,9 +24,20 @@ using namespace rangeamp;
 int main() {
   constexpr std::uint64_t kTarget = 10 * (1u << 20);
 
+  obs::Tracer tracer;
+  obs::Tracer* trace = std::getenv("RANGEAMP_TRACE") ? &tracer : nullptr;
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      std::getenv("RANGEAMP_METRICS") ? &registry : nullptr;
+
   // Per-request costs, measured once on the byte-exact testbed.
   const core::SbrMeasurement unit =
-      core::measure_sbr(cdn::Vendor::kCloudflare, kTarget);
+      core::measure_sbr(cdn::Vendor::kCloudflare, kTarget, {}, trace);
+  if (trace) {
+    core::write_file("fig7_trace.jsonl", trace->to_jsonl());
+    std::printf("RANGEAMP_TRACE: %zu spans written to fig7_trace.jsonl\n",
+                trace->spans().size());
+  }
   std::printf("Per-request costs (Cloudflare, 10 MB target): origin sends "
               "%llu B, client receives %llu B (AF %.0f)\n\n",
               static_cast<unsigned long long>(unit.origin_response_bytes),
@@ -64,6 +83,27 @@ int main() {
   core::write_file("fig7b_origin_out_mbps.csv", fig7b.to_csv());
   std::printf("Time series written to fig7a_client_in_kbps.csv / "
               "fig7b_origin_out_mbps.csv\n\n");
+
+  if (metrics) {
+    // The same series through the metrics pipeline: one gauge per attack
+    // rate, sampled at each simulated second.
+    std::vector<obs::Gauge*> gauges;
+    for (int m = 1; m <= 15; ++m) {
+      gauges.push_back(&registry.gauge(
+          "fig7_origin_out_mbps{m=\"" + std::to_string(m) + "\"}",
+          "origin uplink egress during a sustained SBR campaign"));
+    }
+    for (std::size_t t = 0; t < all[0].size(); ++t) {
+      for (std::size_t i = 0; i < gauges.size(); ++i) {
+        gauges[i]->set(all[i][t].origin_out_mbps);
+      }
+      registry.sample(static_cast<double>(t));
+    }
+    core::write_file("fig7_metrics_series.csv", registry.series_csv());
+    std::printf("RANGEAMP_METRICS: %zu samples written to "
+                "fig7_metrics_series.csv\n\n",
+                registry.sample_count());
+  }
 
   // Cross-validation: the exact event-driven engine must agree with the
   // fluid integration (tests/sim/des_test.cc pins this; shown here for the

@@ -25,8 +25,11 @@
 //
 // Everything is seeded and clock-driven: two runs emit byte-identical CSVs.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/rangeamp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/des.h"
 
 using namespace rangeamp;
@@ -386,20 +389,51 @@ int main() {
   // ---- 6. end-to-end campaign integration -------------------------------
   // The cluster campaign driver with shield knobs: a pass-through edge
   // (Cloudflare bypass) under partial key reuse, unshielded vs coalescing.
+  // RANGEAMP_TRACE / RANGEAMP_METRICS (both off by default, no CSV byte
+  // changes) attach the observability hooks to the shielded run and write
+  // shield_campaign_trace.jsonl / shield_campaign_metrics.prom.
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
   for (const bool on : {false, true}) {
-    core::SbrCampaignConfig config;
-    config.vendor = cdn::Vendor::kCloudflare;
-    config.options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
-    config.file_size = kFileSize;
-    config.requests_per_second = 16;
-    config.duration_s = 10;
-    config.same_key_burst = 8;
-    if (on) config.shield.coalescing.enabled = true;
+    cdn::ProfileOptions options;
+    options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+    cdn::OriginShieldPolicy shield;
+    shield.coalescing.enabled = on;
+    // Observe only the shielded run: the interesting spans are the
+    // fill_lock=coalesced-hit annotations.
+    obs::Tracer* trace =
+        on && std::getenv("RANGEAMP_TRACE") ? &tracer : nullptr;
+    obs::MetricsRegistry* metrics =
+        on && std::getenv("RANGEAMP_METRICS") ? &registry : nullptr;
+    const auto config = core::SbrCampaignConfig::Builder()
+                            .vendor(cdn::Vendor::kCloudflare)
+                            .options(options)
+                            .file_size(kFileSize)
+                            .requests_per_second(16)
+                            .duration_s(10)
+                            .same_key_burst(8)
+                            .shield(shield)
+                            .tracer(trace)
+                            .metrics(metrics)
+                            .build();
     const auto r = core::run_sbr_campaign(config);
+    if (trace) {
+      core::write_file("shield_campaign_trace.jsonl", trace->to_jsonl());
+      std::printf("RANGEAMP_TRACE: %zu spans written to "
+                  "shield_campaign_trace.jsonl\n",
+                  trace->spans().size());
+    }
+    if (metrics) {
+      core::write_file("shield_campaign_metrics.prom",
+                       metrics->to_prometheus());
+      std::printf("RANGEAMP_METRICS: %zu metric families written to "
+                  "shield_campaign_metrics.prom\n",
+                  metrics->metric_count());
+    }
     Cell c;
     c.requests = config.requests_per_second * config.duration_s;
-    c.client_response_bytes = r.attacker_response_bytes;
-    c.origin_response_bytes = r.origin_response_bytes;
+    c.client_response_bytes = r.attacker.response_bytes;
+    c.origin_response_bytes = r.origin.response_bytes;
     c.origin_transfers = r.shield_stats.fill_fetches;
     c.stats = r.shield_stats;
     add_row(table, "cluster-campaign", on ? "coalescing" : "none",

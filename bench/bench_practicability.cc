@@ -22,16 +22,17 @@ int main() {
         std::tuple{cdn::Vendor::kCloudflare, 14, 8},
         std::tuple{cdn::Vendor::kAkamai, 14, 8},
         std::tuple{cdn::Vendor::kKeyCdn, 10, 8}}) {
-    core::SbrCampaignConfig config;
-    config.vendor = vendor;
-    config.requests_per_second = m;
-    config.duration_s = 10;
-    config.edge_nodes = static_cast<std::size_t>(nodes);
+    const auto config = core::SbrCampaignConfig::Builder()
+                            .vendor(vendor)
+                            .requests_per_second(m)
+                            .duration_s(10)
+                            .edge_nodes(static_cast<std::size_t>(nodes))
+                            .build();
     const auto result = core::run_sbr_campaign(config);
     campaigns.add_row(
         {std::string{cdn::vendor_name(vendor)}, std::to_string(m),
          std::to_string(result.nodes_touched),
-         core::fixed(result.origin_response_bytes / 1048576.0, 1),
+         core::fixed(result.origin.response_bytes / 1048576.0, 1),
          core::fixed(result.amplification, 0),
          result.bandwidth.saturated ? "YES" : "no",
          result.detector_alarmed ? "ALARM" : "silent"});

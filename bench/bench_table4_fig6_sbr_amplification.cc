@@ -5,10 +5,19 @@
 //   * Table IV (amplification at 1 MB / 10 MB / 25 MB) on stdout,
 //   * fig6a_amplification.csv, fig6b_client_traffic.csv,
 //     fig6c_origin_traffic.csv -- the full 1..25 MB series.
+//
+// Observability (both OFF by default; neither changes a single CSV byte):
+//   RANGEAMP_TRACE=1    trace every measurement, write fig6_trace.jsonl
+//                       (validated by scripts/check_trace.py in CI),
+//   RANGEAMP_METRICS=1  per-vendor amplification histograms, write
+//                       fig6_metrics.prom (Prometheus text format).
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/rangeamp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace rangeamp;
 
@@ -16,6 +25,12 @@ int main() {
   constexpr std::uint64_t kMiB = 1u << 20;
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t mb = 1; mb <= 25; ++mb) sizes.push_back(mb * kMiB);
+
+  obs::Tracer tracer;
+  obs::Tracer* trace = std::getenv("RANGEAMP_TRACE") ? &tracer : nullptr;
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      std::getenv("RANGEAMP_METRICS") ? &registry : nullptr;
 
   core::Table table4({"CDN", "Exploited Range Case", "AF @1MB", "AF @10MB",
                       "AF @25MB", "client B @25MB", "origin B @25MB"});
@@ -27,9 +42,16 @@ int main() {
   std::vector<std::vector<core::SbrMeasurement>> all;
   std::vector<std::string> names;
   for (const cdn::Vendor vendor : cdn::kAllVendors) {
-    all.push_back(core::sweep_sbr(vendor, sizes));
+    all.push_back(core::sweep_sbr(vendor, sizes, {}, trace));
     names.emplace_back(cdn::vendor_name(vendor));
     const auto& sweep = all.back();
+    if (metrics) {
+      auto& histogram = metrics->histogram(
+          "sbr_amplification_factor{vendor=\"" +
+              std::string{cdn::vendor_name(vendor)} + "\"}",
+          obs::amplification_buckets(), "SBR amplification factor per size");
+      for (const auto& m : sweep) histogram.observe(m.amplification);
+    }
     const auto& at1 = sweep[0];
     const auto& at10 = sweep[9];
     const auto& at25 = sweep[24];
@@ -73,5 +95,18 @@ int main() {
               table4.to_markdown().c_str());
   std::printf("Full 1..25 MB series written to fig6a_amplification.csv, "
               "fig6b_client_traffic.csv, fig6c_origin_traffic.csv\n");
+  if (trace) {
+    core::write_file("fig6_trace.jsonl", trace->to_jsonl());
+    std::printf("RANGEAMP_TRACE: %zu spans across %llu traces written to "
+                "fig6_trace.jsonl\n",
+                trace->spans().size(),
+                static_cast<unsigned long long>(trace->trace_count()));
+  }
+  if (metrics) {
+    core::write_file("fig6_metrics.prom", metrics->to_prometheus());
+    std::printf("RANGEAMP_METRICS: %zu metric families written to "
+                "fig6_metrics.prom\n",
+                metrics->metric_count());
+  }
   return 0;
 }

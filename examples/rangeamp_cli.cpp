@@ -98,19 +98,20 @@ int cmd_obr(cdn::Vendor fcdn, cdn::Vendor bcdn) {
 }
 
 int cmd_campaign(cdn::Vendor vendor, int rps, int seconds) {
-  core::SbrCampaignConfig config;
-  config.vendor = vendor;
-  config.requests_per_second = rps;
-  config.duration_s = seconds;
+  const auto config = core::SbrCampaignConfig::Builder()
+                          .vendor(vendor)
+                          .requests_per_second(rps)
+                          .duration_s(seconds)
+                          .build();
   const auto result = core::run_sbr_campaign(config);
   std::printf("SBR campaign: %s, %d req/s x %d s across %zu edge nodes\n",
               std::string{cdn::vendor_name(vendor)}.c_str(), rps, seconds,
               result.per_node_upstream_bytes.size());
   std::printf("  origin sent      : %.1f MB (%s)\n",
-              result.origin_response_bytes / 1048576.0,
+              result.origin.response_bytes / 1048576.0,
               result.bandwidth.saturated ? "uplink SATURATED" : "below capacity");
   std::printf("  attacker received: %.1f KB  (amplification %.0fx)\n",
-              result.attacker_response_bytes / 1024.0, result.amplification);
+              result.attacker.response_bytes / 1024.0, result.amplification);
   std::printf("  detector         : %s (asymmetry %.0f, tiny %.0f%%, miss %.0f%%)\n",
               result.detector_alarmed ? "ALARM" : "silent",
               result.detector_stats.asymmetry,

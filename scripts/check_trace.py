@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validates a rangeamp JSONL trace export.
+
+Three layers of checks, all stdlib-only so CI needs no extra packages:
+
+  1. schema: every line must parse as JSON and satisfy
+     scripts/trace_schema.json (a draft-07 subset evaluated by the mini
+     validator below -- type / required / properties / additionalProperties /
+     enum / minimum / maximum / minLength);
+  2. structure: span ids are unique and dense per file, parents precede their
+     children and live in the same trace, end >= start;
+  3. accounting: inside every `sbr.measure` span, the per-segment sums of the
+     descendant wire spans must exactly equal the expect_* totals the
+     measurement stamped from its TrafficRecorders -- the invariant that
+     makes traces trustworthy as a traffic-accounting source.
+
+Usage: check_trace.py TRACE.jsonl [--schema scripts/trace_schema.json]
+Exit 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def validate(instance, schema, path="$"):
+    """Evaluates the subset of JSON Schema the trace schema uses.
+
+    Returns a list of error strings (empty = valid).
+    """
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = {
+            "object": dict,
+            "string": str,
+            "number": (int, float),
+            "integer": int,
+            "array": list,
+            "boolean": bool,
+        }
+        kind = kinds[expected]
+        ok = isinstance(instance, kind) and not (
+            expected in ("number", "integer") and isinstance(instance, bool)
+        )
+        if not ok:
+            return ["%s: expected %s, got %s" % (path, expected, type(instance).__name__)]
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append("%s: %r not in enum %r" % (path, instance, schema["enum"]))
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append("%s: %r < minimum %r" % (path, instance, schema["minimum"]))
+    if "maximum" in schema and isinstance(instance, (int, float)):
+        if instance > schema["maximum"]:
+            errors.append("%s: %r > maximum %r" % (path, instance, schema["maximum"]))
+    if "minLength" in schema and isinstance(instance, str):
+        if len(instance) < schema["minLength"]:
+            errors.append("%s: length %d < minLength %d"
+                          % (path, len(instance), schema["minLength"]))
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append("%s: missing required key %r" % (path, key))
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child = "%s.%s" % (path, key)
+            if key in properties:
+                errors.extend(validate(value, properties[key], child))
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child))
+            elif additional is False:
+                errors.append("%s: unexpected key %r" % (path, key))
+    return errors
+
+
+def check_structure(spans):
+    errors = []
+    by_id = {}
+    for span in spans:
+        sid = span["span"]
+        if sid in by_id:
+            errors.append("span %d: duplicate id" % sid)
+        by_id[sid] = span
+        if span["end"] < span["start"]:
+            errors.append("span %d: end %.6f < start %.6f"
+                          % (sid, span["end"], span["start"]))
+        parent = span["parent"]
+        if parent == 0:
+            continue
+        if parent not in by_id:
+            errors.append("span %d: parent %d not yet seen (dangling or "
+                          "out of order)" % (sid, parent))
+        elif by_id[parent]["trace"] != span["trace"]:
+            errors.append("span %d (trace %d): parent %d belongs to trace %d"
+                          % (sid, span["trace"], parent, by_id[parent]["trace"]))
+    return errors
+
+
+def check_accounting(spans):
+    """expect_* totals on sbr.measure spans vs descendant wire-span sums."""
+    errors = []
+    by_id = {span["span"]: span for span in spans}
+
+    def is_descendant_of(span, root_id):
+        parent = span["parent"]
+        while parent:
+            if parent == root_id:
+                return True
+            parent = by_id[parent]["parent"]
+        return False
+
+    checked = 0
+    for root in spans:
+        notes = root.get("notes", {})
+        if root["name"] != "sbr.measure" or "expect_client_request_bytes" not in notes:
+            continue
+        checked += 1
+        sums = {}
+        for span in spans:
+            segment = span.get("segment")
+            if segment is None or not is_descendant_of(span, root["span"]):
+                continue
+            totals = sums.setdefault(segment, [0, 0])
+            totals[0] += span["request_bytes"]
+            totals[1] += span["response_bytes"]
+        client = sums.get("client-cdn", [0, 0])
+        origin = sums.get("cdn-origin", [0, 0])
+        expected = [
+            ("expect_client_request_bytes", client[0]),
+            ("expect_client_response_bytes", client[1]),
+            ("expect_origin_request_bytes", origin[0]),
+            ("expect_origin_response_bytes", origin[1]),
+        ]
+        for key, actual in expected:
+            want = int(notes[key])
+            if actual != want:
+                errors.append(
+                    "span %d (%s %s): %s=%d but descendant wire spans sum to %d"
+                    % (root["span"], notes.get("vendor", "?"),
+                       notes.get("file_size", "?"), key, want, actual))
+    return errors, checked
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "trace_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    spans = []
+    errors = []
+    with open(args.trace) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append("line %d: not JSON: %s" % (lineno, e))
+                continue
+            for error in validate(span, schema):
+                errors.append("line %d: %s" % (lineno, error))
+            spans.append(span)
+
+    if not spans:
+        errors.append("no spans found in %s" % args.trace)
+    if not errors:
+        errors.extend(check_structure(spans))
+    accounting_checked = 0
+    if not errors:
+        accounting_errors, accounting_checked = check_accounting(spans)
+        errors.extend(accounting_errors)
+
+    if errors:
+        for error in errors[:50]:
+            print("check_trace: %s" % error, file=sys.stderr)
+        if len(errors) > 50:
+            print("check_trace: ... and %d more" % (len(errors) - 50),
+                  file=sys.stderr)
+        return 1
+
+    traces = len({span["trace"] for span in spans})
+    print("check_trace: OK -- %d spans, %d traces, schema + parentage valid, "
+          "%d measurement span(s) byte-checked against recorder totals"
+          % (len(spans), traces, accounting_checked))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

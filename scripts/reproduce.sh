@@ -77,5 +77,20 @@ if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   fi
 fi
 
+# Observability gate: re-run the Fig 6 harness with tracing + metrics on.
+# The knobs must not change a single CSV byte, and the exported trace must
+# validate against scripts/trace_schema.json -- including the cross-check
+# that every measurement's wire-span byte sums equal its recorder totals.
+echo "==================== traced Fig 6 re-run ====================" | tee -a bench_output.txt
+RANGEAMP_TRACE=1 RANGEAMP_METRICS=1 \
+  ./build/bench/bench_table4_fig6_sbr_amplification 2>&1 | tee -a bench_output.txt
+python3 scripts/check_trace.py fig6_trace.jsonl
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: the traced run perturbed committed CSVs (diff above)" >&2
+    exit 1
+  fi
+fi
+
 echo
 echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

@@ -93,4 +93,13 @@ void EdgeCluster::set_clock(std::function<double()> clock) {
   for (const auto& n : nodes_) n->set_clock(clock);
 }
 
+void EdgeCluster::set_tracer(obs::Tracer* tracer) {
+  for (const auto& n : nodes_) n->set_tracer(tracer);
+  for (const auto& w : ingress_wires_) w->set_tracer(tracer);
+}
+
+void EdgeCluster::set_metrics(obs::MetricsRegistry* metrics) {
+  for (const auto& n : nodes_) n->set_metrics(metrics);
+}
+
 }  // namespace rangeamp::cdn

@@ -70,6 +70,15 @@ class EdgeCluster final : public net::HttpHandler {
   /// so breaker open/half-open windows and fill locks see time advance).
   void set_clock(std::function<double()> clock);
 
+  /// Installs one tracer on every node and every ingress wire, so a request
+  /// routed through the cluster yields a full client-cdn -> cdn-origin span
+  /// chain (non-owning; nullptr detaches).
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Installs one metrics registry on every node (non-owning; nullptr
+  /// detaches).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   std::size_t select(const http::Request& request) noexcept;
 

@@ -123,10 +123,27 @@ std::optional<Response> CdnNode::check_cdn_loop(const Request& request) {
 }
 
 Response CdnNode::handle(const Request& request) {
+  obs::SpanScope span(tracer_, "cdn.handle");
+  if (span) {
+    span.note("vendor", traits_.name);
+    span.note("node", traits_.node_id);
+  }
+  if (m_requests_) m_requests_->inc();
+  Response response = handle_request(request, span);
+  span.set_status(response.status);
+  return response;
+}
+
+Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
   if (const auto violation = check_request_limits(traits_.limits, request)) {
+    span.note("verdict", "header-limits");
     return error(http::kRequestHeaderFieldsTooLarge, *violation);
   }
-  if (auto rejected = check_cdn_loop(request)) return std::move(*rejected);
+  if (auto rejected = check_cdn_loop(request)) {
+    span.note("verdict", "loop-rejected");
+    if (m_loop_rejected_) m_loop_rejected_->inc();
+    return std::move(*rejected);
+  }
 
   std::optional<RangeSet> range;
   if (const auto value = request.headers.get("Range")) {
@@ -143,14 +160,22 @@ Response CdnNode::handle(const Request& request) {
     const auto key = resolve_cache_key(request);
     if (const CachedEntity* hit = cache_.find(key)) {
       const double now = clock_ ? clock_() : 0.0;
-      if (hit->fresh_at(now)) return respond_entity(*hit, range);
+      if (hit->fresh_at(now)) {
+        span.note("cache", "hit");
+        if (m_cache_hits_) m_cache_hits_->inc();
+        return respond_entity(*hit, range);
+      }
       // Stale: revalidate with a conditional GET instead of a refetch.
+      // (Key differs from the terminal "cache" verdict: a failed revalidation
+      // falls through to the miss path, and note keys must stay unique.)
+      span.note("revalidate", "stale");
       http::Request conditional = request;
       conditional.headers.set("If-None-Match", hit->etag);
       FetchResult check = fetch_result(conditional, std::nullopt);
       if (!check.ok() &&
           traits_.resilience.degradation == DegradationPolicy::kServeStale) {
         // Stale-if-error: the revalidation failed, the stale copy absorbs it.
+        span.note("degrade", "serve-stale");
         Response resp = respond_entity(*hit, range);
         resp.headers.add("Warning", "111 - \"Revalidation Failed\"");
         return resp;
@@ -170,6 +195,7 @@ Response CdnNode::handle(const Request& request) {
     if (const CachedEntity* negative = cache_.find(key + "#neg")) {
       const double now = clock_ ? clock_() : 0.0;
       if (negative->fresh_at(now)) {
+        span.note("cache", "negative-hit");
         return error(http::kBadGateway, "negative-cached upstream failure");
       }
     }
@@ -179,6 +205,8 @@ Response CdnNode::handle(const Request& request) {
   // inside its lock window replays the leader's response instead of running
   // the vendor miss path -- N concurrent cache-busting misses collapse into
   // one origin fetch (proxy_cache_lock / Varnish request collapsing).
+  span.note("cache", "miss");
+  if (m_cache_misses_) m_cache_misses_->inc();
   if (traits_.shield.coalescing.enabled) {
     const double now = sim_now();
     std::string fill_key = resolve_cache_key(request);
@@ -186,9 +214,12 @@ Response CdnNode::handle(const Request& request) {
     fill_key.append(request.headers.get_or("Range", ""));
     if (const Response* held = fills_.find(fill_key, now)) {
       ++shield_stats_.coalesced_hits;
+      span.note("fill_lock", "coalesced-hit");
+      if (m_coalesced_hits_) m_coalesced_hits_->inc();
       return *held;
     }
     ++shield_stats_.fill_fetches;
+    span.note("fill_lock", "leader");
     Response filled = logic_->on_miss(*this, request, range);
     fills_.record(std::move(fill_key), filled, now);
     return filled;
@@ -199,6 +230,39 @@ Response CdnNode::handle(const Request& request) {
 void CdnNode::set_upstream_fault_injector(net::FaultInjector* injector) {
   std::visit([&](auto& wire) { wire.set_fault_injector(injector); },
              upstream_wire_);
+}
+
+void CdnNode::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  std::visit([&](auto& wire) { wire.set_tracer(tracer); }, upstream_wire_);
+}
+
+void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (!metrics) {
+    m_requests_ = m_cache_hits_ = m_cache_misses_ = m_coalesced_hits_ =
+        m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = nullptr;
+    return;
+  }
+  const std::string label = "{vendor=\"" + traits_.name + "\"}";
+  m_requests_ = &metrics->counter("cdn_requests_total" + label,
+                                  "requests this vendor's nodes handled");
+  m_cache_hits_ = &metrics->counter("cdn_cache_hits_total" + label,
+                                    "fresh full-entity cache hits");
+  m_cache_misses_ = &metrics->counter("cdn_cache_misses_total" + label,
+                                      "requests that reached the miss path");
+  m_coalesced_hits_ =
+      &metrics->counter("cdn_coalesced_hits_total" + label,
+                        "misses answered from a fill-lock leader's response");
+  m_fetch_attempts_ =
+      &metrics->counter("cdn_origin_fetch_attempts_total" + label,
+                        "upstream wire transfers, retries included");
+  m_loop_rejected_ =
+      &metrics->counter("cdn_loop_rejected_total" + label,
+                        "requests rejected by the CDN-Loop defense (508/400)");
+  m_shed_ = &metrics->counter(
+      "cdn_shed_total" + label,
+      "fetches shed before any wire transfer (breaker open / admission)");
 }
 
 Request CdnNode::build_upstream_request(const Request& client_request,
@@ -281,6 +345,19 @@ Response CdnNode::fetch(const Request& client_request,
   return std::move(result.response);
 }
 
+namespace {
+
+std::string_view breaker_state_name(UpstreamBreaker::State state) noexcept {
+  switch (state) {
+    case UpstreamBreaker::State::kClosed: return "closed";
+    case UpstreamBreaker::State::kOpen: return "open";
+    case UpstreamBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 FetchResult CdnNode::fetch_result(const Request& client_request,
                                   const std::optional<RangeSet>& range,
                                   const net::TransferOptions& options,
@@ -288,6 +365,16 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
   const ResiliencePolicy& rp = traits_.resilience;
   const Request upstream_request =
       build_upstream_request(client_request, range, method_override);
+
+  obs::SpanScope span(tracer_, "cdn.fetch");
+  if (span) {
+    // The upstream Range is the vendor's rewrite of the client's (Laziness
+    // keeps it, Deletion drops it, Expansion widens it).
+    span.note("upstream_range", range ? range->to_string() : "(none)");
+    if (traits_.shield.breaker.enabled) {
+      span.note("breaker", breaker_state_name(breaker_.state()));
+    }
+  }
 
   net::TransferOptions attempt_options = options;
   if (!attempt_options.timeout_seconds && rp.attempt_timeout_seconds > 0) {
@@ -315,6 +402,8 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
     } else {
       ++shield_stats_.shed_admission;
     }
+    span.note("shed", shed_cause_name(cause));
+    if (m_shed_) m_shed_->inc();
     return shed;
   }
   if (traits_.shield.breaker.enabled &&
@@ -353,6 +442,17 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
     backoff *= rp.backoff_multiplier;
   }
   shield_stats_.breaker_trips += breaker_.trips() - trips_before;
+  if (span) {
+    span.note("attempts", std::to_string(result.attempts));
+    if (result.error) {
+      span.note("transfer_error",
+                net::transfer_error_name(result.error->kind));
+    }
+    span.set_status(result.response.status);
+  }
+  if (m_fetch_attempts_) {
+    m_fetch_attempts_->inc(static_cast<std::uint64_t>(result.attempts));
+  }
   return result;
 }
 

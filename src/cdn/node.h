@@ -28,6 +28,8 @@
 #include "http/range.h"
 #include "http2/wire.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rangeamp::cdn {
 
@@ -135,6 +137,19 @@ class CdnNode final : public net::HttpHandler {
   /// detaches).  The injector must outlive the node.
   void set_upstream_fault_injector(net::FaultInjector* injector);
 
+  /// Attaches a tracer (non-owning; nullptr detaches) to this node *and* its
+  /// upstream wire: handle() then opens a "cdn.handle" span (cache verdict,
+  /// fill-lock role, loop rejections) and every upstream fetch a "cdn.fetch"
+  /// span (breaker state, shed cause, attempts, upstream Range).
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Attaches a metrics registry (non-owning; nullptr detaches).  The node
+  /// then maintains the cdn_* counters (see docs/observability.md), labelled
+  /// with this vendor's name.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
   // ------------------------------------------------------------------
   // Helpers for VendorLogic implementations.
   // ------------------------------------------------------------------
@@ -208,6 +223,8 @@ class CdnNode final : public net::HttpHandler {
   http::Response error(int status, std::string_view note);
 
  private:
+  http::Response handle_request(const http::Request& request,
+                                obs::SpanScope& span);
   std::string cache_key(const http::Request& request) const;
   std::string resolve_cache_key(const http::Request& request) const;
   http::Request build_upstream_request(const http::Request& client_request,
@@ -236,6 +253,17 @@ class CdnNode final : public net::HttpHandler {
   UpstreamBreaker breaker_;
   FillLockTable fills_;
   ShieldStats shield_stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Cached metric handles (registry map entries are reference-stable); all
+  // null while no registry is attached.
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_coalesced_hits_ = nullptr;
+  obs::Counter* m_fetch_attempts_ = nullptr;
+  obs::Counter* m_loop_rejected_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
   mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
 };
 

@@ -1,6 +1,7 @@
 #include "core/campaign.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "core/obr.h"
 #include "core/sbr.h"
@@ -16,6 +17,31 @@ std::uint64_t selected_bytes(const http::RangeSet& set, std::uint64_t size) {
 }
 
 }  // namespace
+
+SbrCampaignConfig SbrCampaignConfig::Builder::build() const {
+  if (config_.file_size == 0) {
+    throw std::invalid_argument("SbrCampaignConfig: file_size must be > 0");
+  }
+  if (config_.requests_per_second <= 0) {
+    throw std::invalid_argument(
+        "SbrCampaignConfig: requests_per_second must be > 0");
+  }
+  if (config_.duration_s <= 0) {
+    throw std::invalid_argument("SbrCampaignConfig: duration_s must be > 0");
+  }
+  if (config_.edge_nodes == 0) {
+    throw std::invalid_argument("SbrCampaignConfig: edge_nodes must be > 0");
+  }
+  if (config_.origin_uplink_mbps <= 0) {
+    throw std::invalid_argument(
+        "SbrCampaignConfig: origin_uplink_mbps must be > 0");
+  }
+  if (config_.same_key_burst < 1) {
+    throw std::invalid_argument(
+        "SbrCampaignConfig: same_key_burst must be >= 1");
+  }
+  return config_;
+}
 
 SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
                                    const DetectorConfig& detector_config) {
@@ -42,6 +68,21 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   client_traffic.set_keep_log(false);
   net::Wire client_wire(client_traffic, cluster);
 
+  if (config.tracer) {
+    config.tracer->set_clock([&sim_now] { return sim_now; });
+    cluster.set_tracer(config.tracer);
+    client_wire.set_tracer(config.tracer);
+  }
+  obs::Histogram* af_histogram = nullptr;
+  if (config.metrics) {
+    cluster.set_metrics(config.metrics);
+    af_histogram = &config.metrics->histogram(
+        "sbr_amplification_factor{vendor=\"" +
+            std::string{cdn::vendor_name(config.vendor)} + "\"}",
+        obs::amplification_buckets(),
+        "per-request origin/client response byte ratio");
+  }
+
   RangeAmpDetector detector(detector_config);
   const SbrPlan plan = sbr_plan(config.vendor, config.file_size);
 
@@ -51,10 +92,19 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   const std::uint64_t burst =
       config.same_key_burst > 1 ? static_cast<std::uint64_t>(config.same_key_burst) : 1;
   std::uint64_t origin_before = 0;
+  std::int64_t last_sampled_second = -1;
   for (std::uint64_t i = 0; i < total_requests; ++i) {
     if (config.requests_per_second > 0) {
       sim_now = static_cast<double>(i) /
                 static_cast<double>(config.requests_per_second);
+    }
+    if (config.metrics) {
+      // One snapshot per simulated second, stamped on the sim clock.
+      const auto second = static_cast<std::int64_t>(sim_now);
+      if (second > last_sampled_second) {
+        config.metrics->sample(sim_now);
+        last_sampled_second = second;
+      }
     }
     // One amplification unit may need several sends (KeyCDN's pair); the
     // attacker reuses its connection, so every send of a unit reaches the
@@ -66,29 +116,40 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
     http::Request request = http::make_get(
         std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i / burst));
     request.headers.add("Range", plan.range.to_string());
-    const std::uint64_t client_before = client_traffic.response_bytes();
-    for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
+    const net::TrafficTotals client_before = client_traffic.totals();
+    {
+      // One root span per amplification unit: the wire and CDN spans of this
+      // unit's sends nest under it.
+      obs::SpanScope unit(config.tracer, "sbr.request");
+      unit.note("index", std::to_string(i));
+      unit.note("target", request.target);
+      for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
+    }
 
     const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
     DetectorSample sample;
     sample.selected_bytes = selected_bytes(plan.range, config.file_size);
     sample.resource_bytes = config.file_size;
-    sample.client_response_bytes = client_traffic.response_bytes() - client_before;
-    sample.origin_response_bytes = origin_after - origin_before;
-    sample.cache_hit = sample.origin_response_bytes == 0;
+    sample.client.request_bytes =
+        client_traffic.request_bytes() - client_before.request_bytes;
+    sample.client.response_bytes =
+        client_traffic.response_bytes() - client_before.response_bytes;
+    sample.origin.response_bytes = origin_after - origin_before;
+    sample.cache_hit = sample.origin.response_bytes == 0;
     origin_before = origin_after;
     detector.observe(sample);
+    if (af_histogram) {
+      af_histogram->observe(amplification_factor(sample.origin, sample.client));
+    }
   }
+  if (config.metrics) config.metrics->sample(sim_now);
+  if (config.tracer) config.tracer->set_clock(nullptr);
 
   SbrCampaignResult result;
-  result.attacker_request_bytes = client_traffic.request_bytes();
-  result.attacker_response_bytes = client_traffic.response_bytes();
-  result.origin_response_bytes = cluster.total_upstream_response_bytes();
-  result.amplification =
-      result.attacker_response_bytes == 0
-          ? 0
-          : static_cast<double>(result.origin_response_bytes) /
-                static_cast<double>(result.attacker_response_bytes);
+  result.attacker = client_traffic.totals();
+  result.attacker_truncated = client_traffic.truncated_count();
+  result.origin.response_bytes = cluster.total_upstream_response_bytes();
+  result.amplification = net::amplification_factor(result.origin, result.attacker);
   result.nodes_touched = cluster.nodes_touched();
   for (std::size_t i = 0; i < cluster.node_count(); ++i) {
     result.per_node_upstream_bytes.push_back(
@@ -104,8 +165,8 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   load.origin_uplink_mbps = config.origin_uplink_mbps;
   load.requests_per_second = config.requests_per_second;
   load.duration_s = config.duration_s;
-  load.origin_response_bytes = result.origin_response_bytes / total_requests;
-  load.client_response_bytes = result.attacker_response_bytes / total_requests;
+  load.origin_response_bytes = result.origin.response_bytes / total_requests;
+  load.client_response_bytes = result.attacker.response_bytes / total_requests;
   if (config.shield.coalescing.enabled || config.shield.breaker.enabled) {
     // Shielded projection: the DES run redoes the grouping/shedding itself,
     // so origin bytes must be per *fetch that reached the wire*, not the
@@ -115,7 +176,7 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
                                              : total_requests;
     sim::ShieldedLoadConfig sload;
     sload.base = load;
-    sload.base.origin_response_bytes = result.origin_response_bytes / origin_fetches;
+    sload.base.origin_response_bytes = result.origin.response_bytes / origin_fetches;
     sload.same_key_burst = config.same_key_burst;
     sload.coalesce = config.shield.coalescing.enabled;
     const cdn::CircuitBreakerPolicy& cb = config.shield.breaker;
@@ -185,6 +246,7 @@ ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
   result.bcdn_origin_response_bytes =
       bed.bcdn_origin_traffic().response_bytes();
   result.attacker_response_bytes = bed.client_traffic().response_bytes();
+  result.attacker_truncated = bed.client_traffic().truncated_count();
   result.amplification =
       result.bcdn_origin_response_bytes == 0
           ? 0
@@ -284,17 +346,18 @@ LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
         range ? http::total_selected_bytes(http::resolve_all(*range, resource_size))
               : UINT64_MAX;
     sample.resource_bytes = resource_size;
-    sample.client_response_bytes = client_traffic.response_bytes() - client_before;
-    sample.origin_response_bytes = origin_after - origin_before;
-    sample.cache_hit = sample.origin_response_bytes == 0;
+    sample.client.response_bytes =
+        client_traffic.response_bytes() - client_before;
+    sample.origin.response_bytes = origin_after - origin_before;
+    sample.cache_hit = sample.origin.response_bytes == 0;
     if (sample.cache_hit) ++hits;
     origin_before = origin_after;
     detector.observe(sample);
   }
 
   LegitWorkloadResult result;
-  result.client_response_bytes = client_traffic.response_bytes();
-  result.origin_response_bytes = cluster.total_upstream_response_bytes();
+  result.client = client_traffic.totals();
+  result.origin.response_bytes = cluster.total_upstream_response_bytes();
   result.cache_hit_rate =
       static_cast<double>(hits) / static_cast<double>(config.requests);
   result.detector_alarmed = detector.alarmed();

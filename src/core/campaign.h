@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <optional>
@@ -21,10 +22,15 @@
 #include "cdn/profiles.h"
 #include "core/detector.h"
 #include "core/mitigations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/attack_load.h"
 
 namespace rangeamp::core {
 
+/// Campaign parameters.  Construct via SbrCampaignConfig::Builder(), which
+/// validates at build() time; direct field poking is deprecated (it skips
+/// validation and will lose write access when the fields go private).
 struct SbrCampaignConfig {
   cdn::Vendor vendor = cdn::Vendor::kCloudflare;
   cdn::ProfileOptions options;
@@ -48,13 +54,80 @@ struct SbrCampaignConfig {
   /// load balancer would place them), which is the burst a fill lock can
   /// collapse.  1 = every request busts the cache with a fresh key.
   int same_key_burst = 1;
+
+  /// Observability hooks (non-owning, both null by default so the campaign
+  /// replays byte-identically).  With a tracer, every amplification unit
+  /// yields an "sbr.request" span tree; with a registry, the cdn_* counters
+  /// and the per-vendor amplification histogram are maintained and sampled
+  /// once per simulated second.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Fluent constructor with build-time validation (defined below, once the
+  /// enclosing struct is complete).
+  class Builder;
+};
+
+class SbrCampaignConfig::Builder {
+ public:
+  Builder& vendor(cdn::Vendor v) { config_.vendor = v; return *this; }
+  Builder& options(cdn::ProfileOptions o) {
+    config_.options = std::move(o);
+    return *this;
+  }
+  Builder& file_size(std::uint64_t bytes) {
+    config_.file_size = bytes;
+    return *this;
+  }
+  Builder& requests_per_second(int m) {
+    config_.requests_per_second = m;
+    return *this;
+  }
+  Builder& duration_s(int seconds) {
+    config_.duration_s = seconds;
+    return *this;
+  }
+  Builder& edge_nodes(std::size_t n) { config_.edge_nodes = n; return *this; }
+  Builder& selection(cdn::NodeSelection s) {
+    config_.selection = s;
+    return *this;
+  }
+  Builder& origin_uplink_mbps(double mbps) {
+    config_.origin_uplink_mbps = mbps;
+    return *this;
+  }
+  Builder& mitigation(Mitigation m) { config_.mitigation = m; return *this; }
+  Builder& shield(cdn::OriginShieldPolicy policy) {
+    config_.shield = policy;
+    return *this;
+  }
+  Builder& same_key_burst(int burst) {
+    config_.same_key_burst = burst;
+    return *this;
+  }
+  Builder& tracer(obs::Tracer* t) { config_.tracer = t; return *this; }
+  Builder& metrics(obs::MetricsRegistry* m) {
+    config_.metrics = m;
+    return *this;
+  }
+
+  /// Validates and returns the config; throws std::invalid_argument on an
+  /// unrunnable combination (zero-length campaign, empty cluster, ...).
+  SbrCampaignConfig build() const;
+
+ private:
+  SbrCampaignConfig config_;
 };
 
 struct SbrCampaignResult {
-  // Byte totals over the whole campaign.
-  std::uint64_t attacker_request_bytes = 0;
-  std::uint64_t attacker_response_bytes = 0;
-  std::uint64_t origin_response_bytes = 0;
+  // Byte totals over the whole campaign, per segment end.  The origin side
+  // only aggregates response bytes (per-node request counts stay available
+  // through the cluster).
+  net::TrafficTotals attacker;
+  net::TrafficTotals origin;
+  /// Client exchanges whose response the attacker cut short (deliberate
+  /// aborts / injected truncation), from TrafficRecorder::truncated_count().
+  std::uint64_t attacker_truncated = 0;
   double amplification = 0;
 
   // Edge spread.
@@ -105,6 +178,9 @@ struct ObrCampaignResult {
   std::uint64_t fcdn_bcdn_bytes_per_request = 0;
   std::uint64_t bcdn_origin_response_bytes = 0;  ///< whole campaign
   std::uint64_t attacker_response_bytes = 0;     ///< whole campaign
+  /// Client exchanges cut short by the attacker's deliberate early abort
+  /// (every OBR request, when the abort trick is on).
+  std::uint64_t attacker_truncated = 0;
   double amplification = 0;
   /// Time-domain projection of the fcdn-bcdn link.
   sim::AttackLoadSummary bandwidth;
@@ -124,8 +200,10 @@ struct LegitWorkloadConfig {
 };
 
 struct LegitWorkloadResult {
-  std::uint64_t client_response_bytes = 0;
-  std::uint64_t origin_response_bytes = 0;
+  // Byte totals per segment end (response side only for the origin
+  // aggregate, as with SbrCampaignResult).
+  net::TrafficTotals client;
+  net::TrafficTotals origin;
   double cache_hit_rate = 0;
   bool detector_alarmed = false;
   RangeAmpDetector::Stats detector_stats;

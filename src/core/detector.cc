@@ -15,8 +15,8 @@ RangeAmpDetector::Stats RangeAmpDetector::stats() const noexcept {
   std::uint64_t origin = 0, client = 0;
   std::size_t tiny = 0, misses = 0;
   for (const auto& w : window_) {
-    origin += w.origin_response_bytes;
-    client += w.client_response_bytes;
+    origin += w.origin.response_bytes;
+    client += w.client.response_bytes;
     if (!w.cache_hit) ++misses;
     if (w.selected_bytes != UINT64_MAX && w.resource_bytes > 4096 &&
         static_cast<double>(w.selected_bytes) <

@@ -21,6 +21,8 @@
 #include <deque>
 #include <string>
 
+#include "net/accounting.h"
+
 namespace rangeamp::core {
 
 /// One observed client exchange, as a detector input.
@@ -29,9 +31,11 @@ struct DetectorSample {
   std::uint64_t selected_bytes = UINT64_MAX;
   /// Size of the target resource (0 when unknown).
   std::uint64_t resource_bytes = 0;
-  std::uint64_t client_response_bytes = 0;
-  /// Back-to-origin bytes this exchange caused (0 on a cache hit).
-  std::uint64_t origin_response_bytes = 0;
+  /// Client-facing exchange bytes (the response side feeds the asymmetry
+  /// ratio).
+  net::TrafficTotals client;
+  /// Back-to-origin bytes this exchange caused (zero on a cache hit).
+  net::TrafficTotals origin;
   bool cache_hit = false;
 };
 

@@ -70,9 +70,11 @@ SbrPlan sbr_plan(Vendor vendor, std::uint64_t file_size) {
 }
 
 SbrMeasurement measure_sbr(Vendor vendor, std::uint64_t file_size,
-                           const cdn::ProfileOptions& options) {
+                           const cdn::ProfileOptions& options,
+                           obs::Tracer* tracer) {
   SingleCdnTestbed bed(cdn::make_profile(vendor, options));
   bed.origin().resources().add_synthetic("/payload.bin", file_size);
+  bed.set_tracer(tracer);
 
   const SbrPlan plan = sbr_plan(vendor, file_size);
   // A single fresh cache-busting query: KeyCDN's two sends must share the
@@ -81,7 +83,23 @@ SbrMeasurement measure_sbr(Vendor vendor, std::uint64_t file_size,
       http::make_get(std::string{kDefaultHost}, "/payload.bin?cb=000001");
   request.headers.add("Range", plan.range.to_string());
 
-  for (int i = 0; i < plan.sends; ++i) bed.send(request);
+  {
+    obs::SpanScope root(tracer, "sbr.measure");
+    root.note("vendor", cdn::vendor_name(vendor));
+    root.note("file_size", std::to_string(file_size));
+    root.note("case", plan.description);
+    for (int i = 0; i < plan.sends; ++i) bed.send(request);
+    // Recorder totals, stamped on the root so a trace consumer can verify
+    // the trace's own per-segment wire-span sums against the "tcpdump" view.
+    root.note("expect_client_request_bytes",
+              std::to_string(bed.client_traffic().request_bytes()));
+    root.note("expect_client_response_bytes",
+              std::to_string(bed.client_traffic().response_bytes()));
+    root.note("expect_origin_request_bytes",
+              std::to_string(bed.origin_traffic().request_bytes()));
+    root.note("expect_origin_response_bytes",
+              std::to_string(bed.origin_traffic().response_bytes()));
+  }
 
   SbrMeasurement m;
   m.vendor = vendor;
@@ -100,9 +118,11 @@ SbrMeasurement measure_sbr(Vendor vendor, std::uint64_t file_size,
 }
 
 SbrMeasurement measure_sbr_h2(Vendor vendor, std::uint64_t file_size,
-                              int requests, const cdn::ProfileOptions& options) {
+                              int requests, const cdn::ProfileOptions& options,
+                              obs::Tracer* tracer) {
   SingleCdnTestbedH2 bed(cdn::make_profile(vendor, options));
   bed.origin().resources().add_synthetic("/payload.bin", file_size);
+  bed.set_tracer(tracer);
   const SbrPlan plan = sbr_plan(vendor, file_size);
 
   for (int i = 0; i < requests; ++i) {
@@ -132,11 +152,12 @@ SbrMeasurement measure_sbr_h2(Vendor vendor, std::uint64_t file_size,
 
 std::vector<SbrMeasurement> sweep_sbr(Vendor vendor,
                                       const std::vector<std::uint64_t>& file_sizes,
-                                      const cdn::ProfileOptions& options) {
+                                      const cdn::ProfileOptions& options,
+                                      obs::Tracer* tracer) {
   std::vector<SbrMeasurement> out;
   out.reserve(file_sizes.size());
   for (const std::uint64_t size : file_sizes) {
-    out.push_back(measure_sbr(vendor, size, options));
+    out.push_back(measure_sbr(vendor, size, options, tracer));
   }
   return out;
 }

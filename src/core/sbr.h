@@ -19,6 +19,7 @@
 
 #include "cdn/profiles.h"
 #include "http/range.h"
+#include "obs/trace.h"
 
 namespace rangeamp::core {
 
@@ -47,14 +48,19 @@ struct SbrMeasurement {
 
 /// Runs one SBR attack request (or request pair, per the plan) against a
 /// fresh testbed with a synthetic resource of `file_size` bytes and the
-/// vendor in its paper-tested configuration.
+/// vendor in its paper-tested configuration.  With a tracer, the run is one
+/// "sbr.measure" trace whose root span carries the recorder totals as
+/// expect_* notes -- the cross-check scripts/check_trace.py verifies against
+/// the trace's own per-segment wire-span sums.
 SbrMeasurement measure_sbr(cdn::Vendor vendor, std::uint64_t file_size,
-                           const cdn::ProfileOptions& options = {});
+                           const cdn::ProfileOptions& options = {},
+                           obs::Tracer* tracer = nullptr);
 
 /// Sweeps file sizes (the paper: 1..25 MB step 1 MB) for one vendor.
 std::vector<SbrMeasurement> sweep_sbr(cdn::Vendor vendor,
                                       const std::vector<std::uint64_t>& file_sizes,
-                                      const cdn::ProfileOptions& options = {});
+                                      const cdn::ProfileOptions& options = {},
+                                      obs::Tracer* tracer = nullptr);
 
 /// Like measure_sbr, but the attacker speaks HTTP/2 to the CDN edge
 /// (section VI-B: "the RangeAmp threats in HTTP/1.1 are also applicable to
@@ -62,6 +68,7 @@ std::vector<SbrMeasurement> sweep_sbr(cdn::Vendor vendor,
 /// HPACK compress the repeated headers, which *raises* the factor.
 SbrMeasurement measure_sbr_h2(cdn::Vendor vendor, std::uint64_t file_size,
                               int requests = 1,
-                              const cdn::ProfileOptions& options = {});
+                              const cdn::ProfileOptions& options = {},
+                              obs::Tracer* tracer = nullptr);
 
 }  // namespace rangeamp::core

@@ -51,6 +51,13 @@ class SingleCdnTestbed {
     cdn_.set_upstream_fault_injector(injector);
   }
 
+  /// Installs one tracer across the whole path (both wires and the node);
+  /// non-owning, nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) {
+    client_wire_.set_tracer(tracer);
+    cdn_.set_tracer(tracer);
+  }
+
  private:
   origin::OriginServer origin_;
   cdn::CdnNode cdn_;
@@ -84,6 +91,11 @@ class SingleCdnTestbedH2 {
 
   void set_origin_fault_injector(net::FaultInjector* injector) {
     cdn_.set_upstream_fault_injector(injector);
+  }
+
+  void set_tracer(obs::Tracer* tracer) {
+    client_wire_.set_tracer(tracer);
+    cdn_.set_tracer(tracer);
   }
 
  private:
@@ -126,6 +138,20 @@ class CascadeTestbed {
   }
   void set_fcdn_bcdn_fault_injector(net::FaultInjector* injector) {
     fcdn_.set_upstream_fault_injector(injector);
+  }
+
+  /// Installs one tracer across the whole cascade: a traced send yields the
+  /// client-fcdn -> fcdn-bcdn -> bcdn-origin span chain of Fig 3.
+  void set_tracer(obs::Tracer* tracer) {
+    client_wire_.set_tracer(tracer);
+    fcdn_.set_tracer(tracer);
+    bcdn_.set_tracer(tracer);
+  }
+
+  /// Installs one metrics registry on both CDN nodes.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    fcdn_.set_metrics(metrics);
+    bcdn_.set_metrics(metrics);
   }
 
  private:

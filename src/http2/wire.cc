@@ -31,6 +31,24 @@ net::TransferOutcome Http2Wire::transfer_outcome(
   const std::optional<net::FaultSpec> fault =
       injector_ ? injector_->decide(request) : std::nullopt;
 
+  obs::SpanScope span(tracer_, "net.transfer", recorder_->segment());
+  if (span) {
+    span.note("proto", "h2");
+    span.note("target", request.target);
+    if (const auto range = request.headers.get("Range")) {
+      span.note("range", *range);
+    }
+  }
+  const auto finish = [&](net::ExchangeRecord record) {
+    if (span) {
+      span.add_bytes(record.bytes);
+      span.set_status(record.status);
+      if (record.response_truncated) span.note("truncated", "true");
+      if (record.faulted) span.note("fault", "hit");
+    }
+    recorder_->record(std::move(record));
+  };
+
   net::TransferOutcome outcome;
   net::ExchangeRecord record;
   record.target = request.target;
@@ -51,9 +69,9 @@ net::TransferOutcome Http2Wire::transfer_outcome(
 
   const auto fail_without_response = [&](net::TransferErrorKind kind) {
     record.faulted = true;
-    record.request_bytes = request_bytes;
-    record.response_bytes = response_bytes;
-    recorder_->record(std::move(record));
+    record.bytes.request_bytes = request_bytes;
+    record.bytes.response_bytes = response_bytes;
+    finish(std::move(record));
     outcome.error = net::TransferError{kind, 0};
     return std::move(outcome);
   };
@@ -131,9 +149,9 @@ net::TransferOutcome Http2Wire::transfer_outcome(
   // aborting receiver stops granting credit past its cap.
   request_bytes += (body_received / kInitialWindow) * (9 + 4);
 
-  record.request_bytes = request_bytes;
-  record.response_bytes = response_bytes;
-  recorder_->record(std::move(record));
+  record.bytes.request_bytes = request_bytes;
+  record.bytes.response_bytes = response_bytes;
+  finish(std::move(record));
   outcome.response = std::move(response);
   return outcome;
 }

@@ -38,6 +38,12 @@ class Http2Wire {
   void set_fault_injector(net::FaultInjector* injector) { injector_ = injector; }
   net::FaultInjector* fault_injector() const noexcept { return injector_; }
 
+  /// Attaches a tracer (non-owning; nullptr detaches): every transfer opens
+  /// a "net.transfer" span with this segment's id and the exact framed byte
+  /// counts, annotated proto=h2.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
   net::TrafficRecorder& recorder() noexcept { return *recorder_; }
 
   /// Frames the connection setup would add (preface + SETTINGS exchange);
@@ -57,6 +63,7 @@ class Http2Wire {
   net::HttpHandler* callee_;
   Http2Session session_;
   net::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::uint32_t next_stream_id_ = 1;
   bool connected_ = false;
 };

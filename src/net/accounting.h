@@ -1,0 +1,105 @@
+// Shared traffic-accounting vocabulary.
+//
+// Every claim in the paper is a statement about bytes on one connection
+// segment (Fig 6, Tables IV/V): response traffic on the cdn-origin wire vs
+// response traffic on the client-cdn wire.  Before this header existed the
+// reproduction spelled that vocabulary five times over (ExchangeRecord,
+// TrafficRecorder, SbrCampaignResult, DetectorSample, and the bench CSV
+// writers each re-declared `request_bytes`/`response_bytes`).  SegmentId and
+// TrafficTotals are the single shared spelling; everything that counts bytes
+// speaks in these types.
+//
+// Header-only on purpose: obs/ (the tracing subsystem) consumes these types
+// without linking rangeamp_net, and rangeamp_net links rangeamp_obs -- the
+// vocabulary must sit below both.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rangeamp::net {
+
+/// The connection segments of Fig 1/3.  Recorder names carry free-form
+/// suffixes ("cdn-origin[3]", "client-cdn (h2)"); the id is the canonical
+/// classification used by span trees, metrics, and per-segment summaries.
+enum class SegmentId {
+  kNone,        ///< not a wire segment (or an unclassifiable recorder name)
+  kClientCdn,   ///< client-cdn (SBR) / client-fcdn (OBR): the attacker's view
+  kFcdnBcdn,    ///< the inter-CDN segment of an OBR cascade
+  kCdnOrigin,   ///< the back-to-origin segment of a single-CDN deployment
+  kBcdnOrigin,  ///< the back CDN's origin pull in a cascade
+};
+
+constexpr std::string_view segment_id_name(SegmentId id) noexcept {
+  switch (id) {
+    case SegmentId::kClientCdn: return "client-cdn";
+    case SegmentId::kFcdnBcdn: return "fcdn-bcdn";
+    case SegmentId::kCdnOrigin: return "cdn-origin";
+    case SegmentId::kBcdnOrigin: return "bcdn-origin";
+    case SegmentId::kNone: break;
+  }
+  return "";
+}
+
+/// Classifies a TrafficRecorder name.  Matches on the canonical prefix so
+/// per-node suffixes ("cdn-origin[7]") and framing notes ("client-cdn (h2)")
+/// map to the same segment; the client-facing aliases the experiment drivers
+/// use ("attacker", "clients", "client-fcdn") classify as kClientCdn.
+constexpr SegmentId segment_from_name(std::string_view name) noexcept {
+  constexpr auto starts_with = [](std::string_view s, std::string_view p) {
+    return s.size() >= p.size() && s.substr(0, p.size()) == p;
+  };
+  if (starts_with(name, "client-cdn") || starts_with(name, "client-fcdn") ||
+      starts_with(name, "attacker") || starts_with(name, "clients")) {
+    return SegmentId::kClientCdn;
+  }
+  if (starts_with(name, "fcdn-bcdn")) return SegmentId::kFcdnBcdn;
+  if (starts_with(name, "bcdn-origin")) return SegmentId::kBcdnOrigin;
+  if (starts_with(name, "cdn-origin")) return SegmentId::kCdnOrigin;
+  return SegmentId::kNone;
+}
+
+/// Byte totals of one segment (or one exchange on it): exact serialized
+/// request and response sizes, as a TrafficRecorder counts them.
+struct TrafficTotals {
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+
+  TrafficTotals& operator+=(const TrafficTotals& other) noexcept {
+    request_bytes += other.request_bytes;
+    response_bytes += other.response_bytes;
+    return *this;
+  }
+  friend TrafficTotals operator+(TrafficTotals lhs,
+                                 const TrafficTotals& rhs) noexcept {
+    lhs += rhs;
+    return lhs;
+  }
+  bool operator==(const TrafficTotals&) const = default;
+
+  std::uint64_t total() const noexcept { return request_bytes + response_bytes; }
+
+  /// Within-segment amplification: how much larger the responses crossing
+  /// this segment are than the requests that elicited them (the DRDoS-style
+  /// reflector view).  0 when no request byte was sent.
+  double amplification() const noexcept {
+    return request_bytes == 0
+               ? 0
+               : static_cast<double>(response_bytes) /
+                     static_cast<double>(request_bytes);
+  }
+};
+
+/// The paper's cross-segment amplification factor:
+///     AF = response bytes on the amplified segment (cdn-origin, fcdn-bcdn)
+///        / response bytes on the attacker-facing segment (client-cdn).
+/// 0 when the attacker-facing segment carried no response byte.
+inline double amplification_factor(const TrafficTotals& amplified,
+                                   const TrafficTotals& attacker_facing) noexcept {
+  return attacker_facing.response_bytes == 0
+             ? 0
+             : static_cast<double>(amplified.response_bytes) /
+                   static_cast<double>(attacker_facing.response_bytes);
+}
+
+}  // namespace rangeamp::net

@@ -4,12 +4,15 @@
 // cdn-origin connection" vs "response traffic on the client-cdn connection"
 // (Fig 6, Tables IV/V).  A TrafficRecorder is the tcpdump of this
 // reproduction: every Wire transfer adds the exact serialized request and
-// response byte counts of its segment.
+// response byte counts of its segment.  Byte pairs are spelled with the
+// shared TrafficTotals vocabulary from net/accounting.h.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "net/accounting.h"
 
 namespace rangeamp::net {
 
@@ -18,8 +21,7 @@ struct ExchangeRecord {
   std::string target;        ///< request target
   std::string range_header;  ///< request Range value ("" when absent)
   int status = 0;            ///< response status
-  std::uint64_t request_bytes = 0;
-  std::uint64_t response_bytes = 0;
+  TrafficTotals bytes;       ///< exact serialized request/response sizes
   bool response_truncated = false;  ///< receiver aborted mid-body
   bool faulted = false;             ///< an injected fault hit this exchange
 };
@@ -28,13 +30,14 @@ struct ExchangeRecord {
 class TrafficRecorder {
  public:
   explicit TrafficRecorder(std::string segment_name = {})
-      : name_(std::move(segment_name)) {}
+      : name_(std::move(segment_name)),
+        segment_(segment_from_name(name_)) {}
 
   void record(ExchangeRecord record) {
-    request_bytes_ += record.request_bytes;
-    response_bytes_ += record.response_bytes;
+    totals_ += record.bytes;
     ++exchanges_count_;
     if (record.faulted) ++faulted_count_;
+    if (record.response_truncated) ++truncated_count_;
     if (keep_log_) log_.push_back(std::move(record));
   }
 
@@ -43,27 +46,36 @@ class TrafficRecorder {
   void set_keep_log(bool keep) { keep_log_ = keep; }
 
   void reset() {
-    request_bytes_ = 0;
-    response_bytes_ = 0;
+    totals_ = {};
     exchanges_count_ = 0;
     faulted_count_ = 0;
+    truncated_count_ = 0;
     log_.clear();
   }
 
   const std::string& name() const noexcept { return name_; }
-  std::uint64_t request_bytes() const noexcept { return request_bytes_; }
-  std::uint64_t response_bytes() const noexcept { return response_bytes_; }
-  std::uint64_t total_bytes() const noexcept { return request_bytes_ + response_bytes_; }
+  /// Canonical classification of this segment (derived from the name).
+  SegmentId segment() const noexcept { return segment_; }
+  const TrafficTotals& totals() const noexcept { return totals_; }
+  std::uint64_t request_bytes() const noexcept { return totals_.request_bytes; }
+  std::uint64_t response_bytes() const noexcept { return totals_.response_bytes; }
+  std::uint64_t total_bytes() const noexcept { return totals_.total(); }
   std::uint64_t exchange_count() const noexcept { return exchanges_count_; }
   std::uint64_t faulted_count() const noexcept { return faulted_count_; }
+  /// Exchanges whose response body the receiver (or a fault) cut short.
+  /// The byte counters above already count only the received prefix; this
+  /// exposes *how many* exchanges were cut, which the per-exchange log used
+  /// to be the only way to learn.
+  std::uint64_t truncated_count() const noexcept { return truncated_count_; }
   const std::vector<ExchangeRecord>& log() const noexcept { return log_; }
 
  private:
   std::string name_;
-  std::uint64_t request_bytes_ = 0;
-  std::uint64_t response_bytes_ = 0;
+  SegmentId segment_;
+  TrafficTotals totals_;
   std::uint64_t exchanges_count_ = 0;
   std::uint64_t faulted_count_ = 0;
+  std::uint64_t truncated_count_ = 0;
   bool keep_log_ = true;
   std::vector<ExchangeRecord> log_;
 };

@@ -14,17 +14,36 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
   const std::optional<FaultSpec> fault =
       injector_ ? injector_->decide(request) : std::nullopt;
 
+  obs::SpanScope span(tracer_, "net.transfer", recorder_->segment());
+  if (span) {
+    span.note("target", request.target);
+    if (const auto range = request.headers.get("Range")) {
+      span.note("range", *range);
+    }
+  }
+  // Stamps the span with the exchange's outcome and hands the record to the
+  // segment's recorder (the span mirrors exactly what the recorder counts).
+  const auto finish = [&](ExchangeRecord record) {
+    if (span) {
+      span.add_bytes(record.bytes);
+      span.set_status(record.status);
+      if (record.response_truncated) span.note("truncated", "true");
+      if (record.faulted) span.note("fault", "hit");
+    }
+    recorder_->record(std::move(record));
+  };
+
   TransferOutcome outcome;
   ExchangeRecord record;
   record.target = request.target;
   record.range_header = std::string{request.headers.get_or("Range", "")};
-  record.request_bytes = http::serialized_size(request);
+  record.bytes.request_bytes = http::serialized_size(request);
 
   // Connection reset before the first response byte: the request crossed the
   // segment, nothing came back.
   if (fault && fault->action == FaultAction::kConnectionReset) {
     record.faulted = true;
-    recorder_->record(std::move(record));
+    finish(std::move(record));
     outcome.error = TransferError{TransferErrorKind::kConnectionReset, 0};
     return outcome;
   }
@@ -36,7 +55,7 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
       // The receiver hung up before the first byte; the upstream's response
       // never crossed the segment.
       record.faulted = true;
-      recorder_->record(std::move(record));
+      finish(std::move(record));
       outcome.error = TransferError{TransferErrorKind::kTimeout, 0};
       outcome.latency_seconds = *options.timeout_seconds;
       return outcome;
@@ -65,11 +84,12 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
   }
 
   if (body_cap && *body_cap < response.body.size()) {
-    record.response_bytes = http::serialized_size_truncated(response, *body_cap);
+    record.bytes.response_bytes =
+        http::serialized_size_truncated(response, *body_cap);
     record.response_truncated = true;
     response.body.truncate(*body_cap);
   } else {
-    record.response_bytes = http::serialized_size(response);
+    record.bytes.response_bytes = http::serialized_size(response);
   }
   if (fault_cut) {
     // The sender died mid-entity: the prefix arrived (and was counted), but
@@ -78,7 +98,7 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
     outcome.error =
         TransferError{TransferErrorKind::kTruncatedBody, response.body.size()};
   }
-  recorder_->record(std::move(record));
+  finish(std::move(record));
   outcome.response = std::move(response);
   return outcome;
 }

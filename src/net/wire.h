@@ -29,6 +29,7 @@
 #include "net/fault.h"
 #include "net/handler.h"
 #include "net/traffic.h"
+#include "obs/trace.h"
 
 namespace rangeamp::net {
 
@@ -66,12 +67,19 @@ class Wire {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const noexcept { return injector_; }
 
+  /// Attaches a tracer (non-owning; nullptr detaches): every transfer then
+  /// opens a "net.transfer" span carrying this segment's id and the exact
+  /// exchange byte counts; the callee's processing nests under it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
   TrafficRecorder& recorder() noexcept { return *recorder_; }
 
  private:
   TrafficRecorder* recorder_;
   HttpHandler* callee_;
   FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Adapter: presents a Wire (a counted segment toward `callee`) as an

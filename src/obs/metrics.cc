@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rangeamp::obs {
+
+namespace {
+
+std::string format_value(double value) {
+  // Integral values print without a fraction so counter exposition matches
+  // Prometheus conventions; everything else keeps six significant decimals.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Splits `name{labels}` so histogram suffixes can be spliced before the
+/// label set (`x_bucket{vendor=...,le=...}`).
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  // name{a="b"} -> base "name", inner labels without braces: a="b"
+  std::string inner = name.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.pop_back();
+  return {name.substr(0, brace), inner};
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size(), 0);
+}
+
+void Histogram::observe(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      ++buckets_[i];
+      return;
+    }
+  }
+  ++overflow_;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size() + 1);
+  std::uint64_t running = 0;
+  for (const std::uint64_t b : buckets_) {
+    running += b;
+    out.push_back(running);
+  }
+  out.push_back(running + overflow_);  // +Inf
+  return out;
+}
+
+std::vector<double> amplification_buckets() {
+  return {1, 10, 100, 1000, 10000, 100000};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  if (!help.empty()) help_.emplace(name, help);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  if (!help.empty()) help_.emplace(name, help);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  if (!help.empty()) help_.emplace(name, help);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{std::move(bounds)}).first->second;
+}
+
+void MetricsRegistry::sample(double sim_seconds) {
+  for (const auto& [name, c] : counters_) {
+    series_.push_back({sim_seconds, name, static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    series_.push_back({sim_seconds, name, g.value()});
+  }
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  const auto emit_help = [&](const std::string& name, std::string_view type) {
+    const std::string base = split_labels(name).first;
+    if (const auto it = help_.find(name); it != help_.end()) {
+      out += "# HELP " + base + " " + it->second + "\n";
+    }
+    out += "# TYPE " + base + " ";
+    out += type;
+    out += "\n";
+  };
+  for (const auto& [name, c] : counters_) {
+    emit_help(name, "counter");
+    out += name + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    emit_help(name, "gauge");
+    out += name + " " + format_value(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    emit_help(name, "histogram");
+    const auto [base, labels] = split_labels(name);
+    const auto join = [&](const std::string& le) {
+      std::string l = labels;
+      if (!l.empty()) l += ",";
+      l += "le=\"" + le + "\"";
+      return base + "_bucket{" + l + "}";
+    };
+    const auto cumulative = h.cumulative_counts();
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      out += join(format_value(h.bounds()[i])) + " " +
+             std::to_string(cumulative[i]) + "\n";
+    }
+    out += join("+Inf") + " " + std::to_string(cumulative.back()) + "\n";
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    out += base + "_sum" + suffix + " " + format_value(h.sum()) + "\n";
+    out += base + "_count" + suffix + " " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::series_csv() const {
+  std::string out = "t_s,metric,value\n";
+  for (const auto& point : series_) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "%.3f", point.t);
+    out += std::string{t} + "," + point.name + "," + format_value(point.value) +
+           "\n";
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::metric_count() const noexcept {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace rangeamp::obs

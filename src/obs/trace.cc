@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rangeamp::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out += buf;
+}
+
+}  // namespace
+
+SpanId Tracer::begin_span(std::string_view name, net::SegmentId segment) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = current();
+  if (span.parent == 0) ++traces_;
+  // Children inherit the trace of the root that was open when they began.
+  span.trace = span.parent == 0 ? traces_ : spans_[span.parent - 1].trace;
+  span.name = std::string{name};
+  span.segment = segment;
+  span.start = now();
+  span.end = span.start;
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::end_span(SpanId id) {
+  const auto it = std::find(open_.begin(), open_.end(), id);
+  if (it == open_.end()) return;  // already closed (or never opened)
+  const double t = now();
+  // Close everything opened after `id` too: a traced scope that returned
+  // early must not leave descendants dangling on the stack.
+  for (auto open = it; open != open_.end(); ++open) {
+    spans_[*open - 1].end = t;
+  }
+  open_.erase(it, open_.end());
+}
+
+Span* Tracer::find(SpanId id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void Tracer::note(SpanId id, std::string_view key, std::string_view value) {
+  if (Span* span = find(id)) {
+    span->notes.emplace_back(std::string{key}, std::string{value});
+  }
+}
+
+void Tracer::set_status(SpanId id, int status) {
+  if (Span* span = find(id)) span->status = status;
+}
+
+void Tracer::add_bytes(SpanId id, const net::TrafficTotals& bytes) {
+  if (Span* span = find(id)) span->bytes += bytes;
+}
+
+net::TrafficTotals Tracer::segment_totals(net::SegmentId segment) const noexcept {
+  net::TrafficTotals totals;
+  for (const Span& span : spans_) {
+    if (span.segment == segment && segment != net::SegmentId::kNone) {
+      totals += span.bytes;
+    }
+  }
+  return totals;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const Span& span : spans_) {
+    out += "{\"trace\":" + std::to_string(span.trace);
+    out += ",\"span\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    out += ",\"name\":\"";
+    append_json_escaped(out, span.name);
+    out += "\"";
+    if (span.segment != net::SegmentId::kNone) {
+      out += ",\"segment\":\"";
+      out += net::segment_id_name(span.segment);
+      out += "\"";
+    }
+    out += ",\"start\":";
+    append_double(out, span.start);
+    out += ",\"end\":";
+    append_double(out, span.end);
+    if (span.status != 0) out += ",\"status\":" + std::to_string(span.status);
+    out += ",\"request_bytes\":" + std::to_string(span.bytes.request_bytes);
+    out += ",\"response_bytes\":" + std::to_string(span.bytes.response_bytes);
+    if (!span.notes.empty()) {
+      out += ",\"notes\":{";
+      bool first = true;
+      for (const auto& [key, value] : span.notes) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        append_json_escaped(out, key);
+        out += "\":\"";
+        append_json_escaped(out, value);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_.clear();
+  traces_ = 0;
+}
+
+}  // namespace rangeamp::obs

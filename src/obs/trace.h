@@ -1,0 +1,135 @@
+// Hop-level tracing: one crafted request yields a causally-ordered span tree.
+//
+// Every component that participates in a request's path (net::Wire,
+// http2::Http2Wire, cdn::CdnNode, cdn::EdgeCluster, the campaign drivers)
+// accepts a non-owning Tracer pointer.  A null tracer -- the default
+// everywhere -- is a complete no-op: not a single byte of any experiment
+// changes, which is what keeps the seed CSVs byte-identical while the
+// subsystem is off.
+//
+// With a tracer attached, the synchronous call nesting of a transfer
+// (client wire -> CdnNode::handle -> fetch -> upstream wire -> ...) becomes
+// span parentage: Tracer keeps a stack of open spans, and a span opened
+// while another is open becomes its child.  Each wire transfer stamps its
+// span with the segment id and the exact serialized byte counts of the
+// exchange, so summing a trace's wire spans per segment reproduces the
+// TrafficRecorder totals for the same run -- the invariant
+// scripts/check_trace.py and tests/integration/obs_cascade_test.cc enforce.
+//
+// Time is simulation time: the tracer reads the same clock the CDN nodes do
+// (0 forever when none is installed).  Exports are JSONL (one span object
+// per line, schema in scripts/trace_schema.json); scripts/trace2txt renders
+// the tree for humans.  See docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/accounting.h"
+
+namespace rangeamp::obs {
+
+using SpanId = std::uint64_t;  ///< 1-based; 0 means "no span"
+
+/// One node of the trace tree.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;      ///< 0 = root of its trace
+  std::uint64_t trace = 0;  ///< groups one request's tree; 1-based
+  std::string name;       ///< e.g. "net.transfer", "cdn.handle", "cdn.fetch"
+  net::SegmentId segment = net::SegmentId::kNone;  ///< wire spans only
+  double start = 0;       ///< simulation seconds
+  double end = 0;
+  int status = 0;         ///< HTTP status this span resolved to (0 = n/a)
+  net::TrafficTotals bytes;  ///< wire spans: exact serialized exchange sizes
+  /// Ordered key/value annotations: cache verdict, range rewrite, breaker
+  /// state, fill-lock role, fault hits, expected totals...
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+class Tracer {
+ public:
+  /// Installs a (simulation) time source; spans then carry start/end
+  /// timestamps.  Without one every timestamp is 0.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Opens a span as a child of the innermost open span; a span opened with
+  /// an empty stack roots a new trace.  Returns its id.
+  SpanId begin_span(std::string_view name,
+                    net::SegmentId segment = net::SegmentId::kNone);
+
+  /// Closes `id`, stamping its end time.  Out-of-order closes are tolerated
+  /// (everything opened after `id` is closed with it) so an early return
+  /// inside a traced scope cannot corrupt the stack.
+  void end_span(SpanId id);
+
+  /// The innermost open span (0 when none).
+  SpanId current() const noexcept {
+    return open_.empty() ? 0 : open_.back();
+  }
+
+  void note(SpanId id, std::string_view key, std::string_view value);
+  void set_status(SpanId id, int status);
+  void add_bytes(SpanId id, const net::TrafficTotals& bytes);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::uint64_t trace_count() const noexcept { return traces_; }
+
+  /// Sums the byte totals of every *wire* span (segment != kNone) recorded
+  /// for `segment`, across all traces.  This is the tracer-side view of a
+  /// TrafficRecorder's totals.
+  net::TrafficTotals segment_totals(net::SegmentId segment) const noexcept;
+
+  /// One JSON object per span, one per line (see scripts/trace_schema.json).
+  std::string to_jsonl() const;
+
+  void clear();
+
+ private:
+  Span* find(SpanId id);
+  double now() const { return clock_ ? clock_() : 0.0; }
+
+  std::function<double()> clock_;
+  std::vector<Span> spans_;
+  std::vector<SpanId> open_;  ///< stack of open span ids
+  std::uint64_t traces_ = 0;
+};
+
+/// RAII span handle, null-tracer-safe: every operation on a scope whose
+/// tracer is null is a no-op, so call sites read straight-line without
+/// `if (tracer_)` guards.  Destruction closes the span.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, std::string_view name,
+            net::SegmentId segment = net::SegmentId::kNone)
+      : tracer_(tracer),
+        id_(tracer ? tracer->begin_span(name, segment) : 0) {}
+  ~SpanScope() {
+    if (tracer_) tracer_->end_span(id_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  explicit operator bool() const noexcept { return tracer_ != nullptr; }
+  SpanId id() const noexcept { return id_; }
+
+  void note(std::string_view key, std::string_view value) {
+    if (tracer_) tracer_->note(id_, key, value);
+  }
+  void set_status(int status) {
+    if (tracer_) tracer_->set_status(id_, status);
+  }
+  void add_bytes(const net::TrafficTotals& bytes) {
+    if (tracer_) tracer_->add_bytes(id_, bytes);
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+};
+
+}  // namespace rangeamp::obs

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/campaign.h"
 #include "core/cost.h"
 #include "core/detector.h"
@@ -15,8 +17,8 @@ DetectorSample attack_sample() {
   DetectorSample s;
   s.selected_bytes = 1;
   s.resource_bytes = 10u << 20;
-  s.client_response_bytes = 800;
-  s.origin_response_bytes = 10u << 20;
+  s.client.response_bytes = 800;
+  s.origin.response_bytes = 10u << 20;
   s.cache_hit = false;
   return s;
 }
@@ -25,8 +27,8 @@ DetectorSample benign_page_sample() {
   DetectorSample s;
   s.selected_bytes = UINT64_MAX;  // no Range
   s.resource_bytes = 128 * 1024;
-  s.client_response_bytes = 128 * 1024;
-  s.origin_response_bytes = 0;  // cache hit
+  s.client.response_bytes = 128 * 1024;
+  s.origin.response_bytes = 0;  // cache hit
   s.cache_hit = true;
   return s;
 }
@@ -69,8 +71,8 @@ TEST(Detector, SilentOnColdCacheWarmup) {
     DetectorSample s;
     s.selected_bytes = UINT64_MAX;
     s.resource_bytes = 1u << 20;
-    s.client_response_bytes = 1u << 20;
-    s.origin_response_bytes = 1u << 20;
+    s.client.response_bytes = 1u << 20;
+    s.origin.response_bytes = 1u << 20;
     s.cache_hit = false;
     detector.observe(s);
   }
@@ -84,7 +86,7 @@ TEST(Detector, SilentOnLegitProbeRequests) {
   for (int i = 0; i < 200; ++i) {
     if (i % 5 == 0) {
       DetectorSample s = attack_sample();
-      s.origin_response_bytes = 0;  // served from cache
+      s.origin.response_bytes = 0;  // served from cache
       s.cache_hit = true;
       detector.observe(s);
     } else {
@@ -109,28 +111,46 @@ TEST(Detector, SlidingWindowForgetsOldAttack) {
 // Campaign end-to-end
 // ---------------------------------------------------------------------------
 
+TEST(Campaign, BuilderValidatesAtBuildTime) {
+  EXPECT_NO_THROW(SbrCampaignConfig::Builder().build());
+  EXPECT_THROW(SbrCampaignConfig::Builder().same_key_burst(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SbrCampaignConfig::Builder().edge_nodes(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SbrCampaignConfig::Builder().requests_per_second(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SbrCampaignConfig::Builder().duration_s(-1).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SbrCampaignConfig::Builder().file_size(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SbrCampaignConfig::Builder().origin_uplink_mbps(0).build(),
+               std::invalid_argument);
+}
+
 TEST(Campaign, SbrCampaignAmplifiesAndTripsDetector) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 5;
-  config.duration_s = 10;
-  config.edge_nodes = 4;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(5)
+                          .duration_s(10)
+                          .edge_nodes(4)
+                          .build();
   const auto result = run_sbr_campaign(config);
   EXPECT_GT(result.amplification, 5000.0);
   EXPECT_EQ(result.nodes_touched, 4u);
   EXPECT_TRUE(result.detector_alarmed);
   // 50 requests x ~10 MB from the origin.
-  EXPECT_NEAR(static_cast<double>(result.origin_response_bytes),
+  EXPECT_NEAR(static_cast<double>(result.origin.response_bytes),
               50.0 * 10 * (1u << 20), 50.0 * 64 * 1024);
 }
 
 TEST(Campaign, RoundRobinSpreadsOriginLoadEvenly) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 4;
-  config.duration_s = 8;
-  config.edge_nodes = 4;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(4)
+                          .duration_s(8)
+                          .edge_nodes(4)
+                          .build();
   const auto result = run_sbr_campaign(config);
   ASSERT_EQ(result.per_node_upstream_bytes.size(), 4u);
-  const auto expect = result.origin_response_bytes / 4;
+  const auto expect = result.origin.response_bytes / 4;
   for (const auto bytes : result.per_node_upstream_bytes) {
     EXPECT_NEAR(static_cast<double>(bytes), static_cast<double>(expect),
                 static_cast<double>(expect) * 0.05);
@@ -138,40 +158,44 @@ TEST(Campaign, RoundRobinSpreadsOriginLoadEvenly) {
 }
 
 TEST(Campaign, PinnedTargetsOneNode) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 3;
-  config.duration_s = 5;
-  config.edge_nodes = 6;
-  config.selection = cdn::NodeSelection::kPinned;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(3)
+                          .duration_s(5)
+                          .edge_nodes(6)
+                          .selection(cdn::NodeSelection::kPinned)
+                          .build();
   const auto result = run_sbr_campaign(config);
   EXPECT_EQ(result.nodes_touched, 1u);
-  EXPECT_EQ(result.per_node_upstream_bytes[0], result.origin_response_bytes);
+  EXPECT_EQ(result.per_node_upstream_bytes[0], result.origin.response_bytes);
 }
 
 TEST(Campaign, TimeSeriesSaturatesForHighRate) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 14;
-  config.duration_s = 10;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(14)
+                          .duration_s(10)
+                          .build();
   const auto result = run_sbr_campaign(config);
   EXPECT_TRUE(result.bandwidth.saturated);
   EXPECT_LT(result.bandwidth.peak_client_in_kbps, 500.0);
 }
 
 TEST(Campaign, KeyCdnCampaignUsesDoubleSends) {
-  SbrCampaignConfig config;
-  config.vendor = cdn::Vendor::kKeyCdn;
-  config.requests_per_second = 3;
-  config.duration_s = 10;
+  const auto config = SbrCampaignConfig::Builder()
+                          .vendor(cdn::Vendor::kKeyCdn)
+                          .requests_per_second(3)
+                          .duration_s(10)
+                          .build();
   const auto result = run_sbr_campaign(config);
   EXPECT_GT(result.amplification, 3000.0);
   EXPECT_TRUE(result.detector_alarmed);
 }
 
 TEST(Campaign, MitigatedDeploymentNeitherAmplifiesNorAlarms) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 4;
-  config.duration_s = 10;
-  config.mitigation = Mitigation::kLaziness;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(4)
+                          .duration_s(10)
+                          .mitigation(Mitigation::kLaziness)
+                          .build();
   const auto result = run_sbr_campaign(config);
   // With Laziness everywhere, the "attack" is just tiny requests: no
   // amplification, no uplink pressure -- and the detector correctly stays
@@ -182,16 +206,17 @@ TEST(Campaign, MitigatedDeploymentNeitherAmplifiesNorAlarms) {
 }
 
 TEST(Campaign, SliceMitigatedClusterCostsOneFillPerNode) {
-  SbrCampaignConfig config;
-  config.requests_per_second = 5;
-  config.duration_s = 10;
-  config.edge_nodes = 4;
-  config.mitigation = Mitigation::kSlice1M;
+  const auto config = SbrCampaignConfig::Builder()
+                          .requests_per_second(5)
+                          .duration_s(10)
+                          .edge_nodes(4)
+                          .mitigation(Mitigation::kSlice1M)
+                          .build();
   const auto result = run_sbr_campaign(config);
   // Each node's slice cache fills once (~1 MiB each); 50 attack requests
   // cost the origin ~4 slices total instead of 50 x 10 MB.
-  EXPECT_LT(result.origin_response_bytes, 4ull * ((1u << 20) + 65536));
-  EXPECT_GT(result.origin_response_bytes, 3ull << 20);
+  EXPECT_LT(result.origin.response_bytes, 4ull * ((1u << 20) + 65536));
+  EXPECT_GT(result.origin.response_bytes, 3ull << 20);
 }
 
 TEST(Campaign, LegitWorkloadDoesNotAlarm) {
@@ -211,8 +236,8 @@ TEST(Campaign, LegitWorkloadIsSeedDeterministic) {
   config.requests = 100;
   const auto a = run_legit_workload(config);
   const auto b = run_legit_workload(config);
-  EXPECT_EQ(a.client_response_bytes, b.client_response_bytes);
-  EXPECT_EQ(a.origin_response_bytes, b.origin_response_bytes);
+  EXPECT_EQ(a.client, b.client);
+  EXPECT_EQ(a.origin, b.origin);
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +256,11 @@ TEST(ObrCampaign, SustainedCascadeKeepsFullPerRequestTraffic) {
   // The origin serves each (cache-busted) request once: ~1.7 KB each.
   EXPECT_LT(result.bcdn_origin_response_bytes, 10ull * 2000);
   EXPECT_GT(result.amplification, 5000.0);
+  // The attacker aborts every client download early (the OBR cost trick);
+  // the recorder-level truncation tally must surface that in the result.
+  EXPECT_EQ(result.attacker_truncated,
+            static_cast<std::uint64_t>(config.requests_per_second) *
+                config.duration_s);
 }
 
 TEST(ObrCampaign, SaturatesAGigabitNodeUplinkInSeconds) {

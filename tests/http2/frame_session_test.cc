@@ -176,9 +176,9 @@ TEST(Http2Wire, FirstTransferIncludesConnectionSetup) {
   net::TrafficRecorder rec("h2");
   Http2Wire wire(rec, origin);
   wire.transfer(http::make_get("h", "/a"));
-  const auto first_req = rec.log()[0].request_bytes;
+  const auto first_req = rec.log()[0].bytes.request_bytes;
   wire.transfer(http::make_get("h", "/a"));
-  const auto second_req = rec.log()[1].request_bytes;
+  const auto second_req = rec.log()[1].bytes.request_bytes;
   // Setup (preface + SETTINGS exchange) only on the first transfer, and
   // HPACK shrinks the repeat.
   EXPECT_GT(first_req, second_req + Http2Wire::connection_setup_request_bytes() - 1);
@@ -191,7 +191,7 @@ TEST(Http2Wire, ResponseBytesMatchFrameArithmetic) {
   wire.transfer(http::make_get("h", "/a"));
   // 40000 body bytes -> 3 DATA frames (16384+16384+7232) = 27 B framing;
   // plus HEADERS + setup.
-  const auto resp_bytes = rec.log()[0].response_bytes;
+  const auto resp_bytes = rec.log()[0].bytes.response_bytes;
   EXPECT_GT(resp_bytes, 40000u + 27u);
   EXPECT_LT(resp_bytes, 40000u + 400u);
 }
@@ -201,9 +201,9 @@ TEST(Http2Wire, FlowControlCreditCountsTowardRequestBytes) {
   net::TrafficRecorder rec;
   Http2Wire wire(rec, origin);
   wire.transfer(http::make_get("h", "/a"));
-  const auto first_req = rec.log()[0].request_bytes;
+  const auto first_req = rec.log()[0].bytes.request_bytes;
   wire.transfer(http::make_get("h", "/a"));
-  const auto second_req = rec.log()[1].request_bytes;
+  const auto second_req = rec.log()[1].bytes.request_bytes;
   // 40000 bytes = 0 full 65535-byte windows -> no WINDOW_UPDATEs; a bigger
   // body grants credit: compare with a 200 KB origin.
   class BigOrigin final : public net::HttpHandler {
@@ -218,7 +218,7 @@ TEST(Http2Wire, FlowControlCreditCountsTowardRequestBytes) {
   big_wire.transfer(http::make_get("h", "/a"));
   big_wire.transfer(http::make_get("h", "/a"));
   // 200000 / 65535 = 3 windows -> 3 x 13 bytes of credit per transfer.
-  EXPECT_EQ(big_rec.log()[1].request_bytes, second_req + 3 * 13);
+  EXPECT_EQ(big_rec.log()[1].bytes.request_bytes, second_req + 3 * 13);
   (void)first_req;
 }
 
@@ -232,7 +232,7 @@ TEST(Http2Wire, AbortCountsPartialDataAndRstStream) {
   EXPECT_EQ(resp.body.size(), 1000u);
   EXPECT_TRUE(rec.log()[0].response_truncated);
   // Received ~1000 body bytes + one DATA header + response HEADERS.
-  EXPECT_LT(rec.log()[0].response_bytes, 1400u);
+  EXPECT_LT(rec.log()[0].bytes.response_bytes, 1400u);
 }
 
 // ---------------------------------------------------------------------------

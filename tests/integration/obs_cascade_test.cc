@@ -1,0 +1,201 @@
+// End-to-end observability: one tracer across a full OBR cascade must yield
+// a causally-ordered span tree whose per-segment wire byte sums exactly
+// reproduce the TrafficRecorder totals, and the shield state machines
+// (fill lock, circuit breaker) must annotate the spans they decide on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdn/profiles.h"
+#include "core/obr.h"
+#include "core/testbed.h"
+#include "http/generator.h"
+#include "net/fault.h"
+#include "obs/trace.h"
+
+namespace rangeamp {
+namespace {
+
+cdn::VendorProfile profile_for(cdn::Vendor vendor) {
+  cdn::ProfileOptions options;
+  if (vendor == cdn::Vendor::kCloudflare) {
+    options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  }
+  return cdn::make_profile(vendor, options);
+}
+
+const obs::Span* find_span(const obs::Tracer& tracer, std::uint64_t trace,
+                           const std::string& name,
+                           net::SegmentId segment = net::SegmentId::kNone) {
+  for (const obs::Span& span : tracer.spans()) {
+    if (span.trace == trace && span.name == name && span.segment == segment) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+bool has_note(const obs::Span& span, const std::string& key,
+              const std::string& value) {
+  return std::any_of(span.notes.begin(), span.notes.end(),
+                     [&](const auto& kv) {
+                       return kv.first == key && kv.second == value;
+                     });
+}
+
+TEST(ObsCascade, ObrSpanTreeMatchesRecorderTotalsPerSegment) {
+  // client -> FCDN (Cloudflare bypass) -> BCDN (Akamai) -> origin, the
+  // Table V cascade, driven with the FCDN's exploited multi-range case.
+  core::CascadeTestbed bed(profile_for(cdn::Vendor::kCloudflare),
+                           profile_for(cdn::Vendor::kAkamai),
+                           core::obr_origin_config());
+  obs::Tracer tracer;
+  bed.set_tracer(&tracer);
+
+  const int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    auto request = http::make_get(std::string{core::kObrHost},
+                                  std::string{core::kObrPath} +
+                                      "?cb=" + std::to_string(i));
+    request.headers.add(
+        "Range", core::obr_range_case(cdn::Vendor::kCloudflare, 4).to_string());
+    bed.send(request);
+  }
+
+  // One trace per crafted request; each trace is the full Fig 3 chain:
+  //   net.transfer(client-cdn)
+  //     -> cdn.handle(FCDN) -> cdn.fetch -> net.transfer(fcdn-bcdn)
+  //       -> cdn.handle(BCDN) -> cdn.fetch -> net.transfer(bcdn-origin)
+  ASSERT_EQ(tracer.trace_count(), static_cast<std::uint64_t>(kRequests));
+  for (std::uint64_t t = 1; t <= tracer.trace_count(); ++t) {
+    const auto* client =
+        find_span(tracer, t, "net.transfer", net::SegmentId::kClientCdn);
+    const auto* inter =
+        find_span(tracer, t, "net.transfer", net::SegmentId::kFcdnBcdn);
+    const auto* origin =
+        find_span(tracer, t, "net.transfer", net::SegmentId::kBcdnOrigin);
+    ASSERT_NE(client, nullptr) << "trace " << t;
+    ASSERT_NE(inter, nullptr) << "trace " << t;
+    ASSERT_NE(origin, nullptr) << "trace " << t;
+    EXPECT_EQ(client->parent, 0u);  // the client wire roots the trace
+
+    // Causal chain: each wire hop must be a strict descendant of the
+    // previous one, through the cdn.handle/cdn.fetch spans in between.
+    const auto is_ancestor = [&](const obs::Span* ancestor,
+                                 const obs::Span* node) {
+      for (obs::SpanId p = node->parent; p != 0;
+           p = tracer.spans()[p - 1].parent) {
+        if (p == ancestor->id) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(is_ancestor(client, inter));
+    EXPECT_TRUE(is_ancestor(inter, origin));
+
+    const auto* fcdn_handle = find_span(tracer, t, "cdn.handle");
+    ASSERT_NE(fcdn_handle, nullptr);
+    EXPECT_EQ(fcdn_handle->parent, client->id);
+    EXPECT_TRUE(has_note(*fcdn_handle, "vendor", "Cloudflare"));
+    // The FCDN's miss ran a traced fetch under its handle span.
+    const auto* fetch = find_span(tracer, t, "cdn.fetch");
+    ASSERT_NE(fetch, nullptr);
+    EXPECT_TRUE(is_ancestor(fcdn_handle, fetch));
+    EXPECT_TRUE(has_note(*fcdn_handle, "cache", "miss"));
+  }
+
+  // The tracer-side per-segment byte sums ARE the recorder totals -- the
+  // invariant that makes traces trustworthy as an accounting source.
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kClientCdn),
+            bed.client_traffic().totals());
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kFcdnBcdn),
+            bed.fcdn_bcdn_traffic().totals());
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kBcdnOrigin),
+            bed.bcdn_origin_traffic().totals());
+  // And the cascade actually amplified: more inter-CDN response bytes than
+  // the attacker paid for on the client segment.
+  EXPECT_GT(tracer.segment_totals(net::SegmentId::kFcdnBcdn).response_bytes,
+            0u);
+}
+
+TEST(ObsCascade, FillLockAnnotatesLeaderAndCoalescedHit) {
+  // Coalescing on a pass-through (no-store) edge, no clock: every request
+  // is a miss and the fill window never expires, so the second same-key
+  // miss must replay the leader's response and say so on its span.
+  cdn::VendorProfile profile = profile_for(cdn::Vendor::kCloudflare);
+  profile.traits.shield.coalescing.enabled = true;
+  profile.traits.cache_enabled = false;
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/video.mp4", 1u << 20);
+  obs::Tracer tracer;
+  bed.set_tracer(&tracer);
+
+  auto request = http::make_get(std::string{core::kDefaultHost},
+                                "/video.mp4?burst=1");
+  request.headers.add("Range", "bytes=0-1023");
+  bed.send(request);
+  bed.send(request);
+
+  ASSERT_EQ(tracer.trace_count(), 2u);
+  const auto* first = find_span(tracer, 1, "cdn.handle");
+  const auto* second = find_span(tracer, 2, "cdn.handle");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(has_note(*first, "fill_lock", "leader"));
+  EXPECT_TRUE(has_note(*second, "fill_lock", "coalesced-hit"));
+  // The coalesced hit never touched the origin: exactly one upstream
+  // exchange, and exactly one traced cdn-origin wire span.
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 1u);
+  EXPECT_EQ(find_span(tracer, 2, "net.transfer", net::SegmentId::kCdnOrigin),
+            nullptr);
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kCdnOrigin),
+            bed.origin_traffic().totals());
+}
+
+TEST(ObsCascade, BreakerStateAndShedLandOnFetchSpans) {
+  // Breaker trips on the first upstream failure; the next fetch is shed
+  // before any wire transfer, and both decisions must be readable from the
+  // cdn.fetch spans.
+  cdn::VendorProfile profile = profile_for(cdn::Vendor::kCloudflare);
+  profile.traits.shield.breaker.enabled = true;
+  profile.traits.shield.breaker.consecutive_failures_trip = 1;
+  profile.traits.resilience.max_retries = 0;
+  core::SingleCdnTestbed bed(std::move(profile));
+  bed.origin().resources().add_synthetic("/video.mp4", 1u << 20);
+  obs::Tracer tracer;
+  bed.set_tracer(&tracer);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  bed.set_origin_fault_injector(&faults);
+
+  auto miss = [&](int i) {
+    auto request = http::make_get(std::string{core::kDefaultHost},
+                                  "/video.mp4?cb=" + std::to_string(i));
+    request.headers.add("Range", "bytes=0-1023");
+    bed.send(request);
+  };
+  miss(1);  // fails upstream, trips the breaker
+  miss(2);  // shed: circuit open
+
+  ASSERT_EQ(tracer.trace_count(), 2u);
+  const auto* tripped = find_span(tracer, 1, "cdn.fetch");
+  ASSERT_NE(tripped, nullptr);
+  EXPECT_TRUE(has_note(*tripped, "breaker", "closed"));
+  EXPECT_TRUE(has_note(*tripped, "transfer_error", "connection-reset"));
+  EXPECT_TRUE(has_note(*tripped, "attempts", "1"));
+
+  const auto* shed = find_span(tracer, 2, "cdn.fetch");
+  ASSERT_NE(shed, nullptr);
+  EXPECT_TRUE(has_note(*shed, "breaker", "open"));
+  EXPECT_TRUE(has_note(*shed, "shed", "breaker-open"));
+  // The shed fetch produced no wire span and no recorded exchange.
+  EXPECT_EQ(find_span(tracer, 2, "net.transfer", net::SegmentId::kCdnOrigin),
+            nullptr);
+  EXPECT_EQ(bed.origin_traffic().exchange_count(), 1u);
+  EXPECT_EQ(bed.cdn().shield_stats().shed_breaker_open, 1u);
+}
+
+}  // namespace
+}  // namespace rangeamp

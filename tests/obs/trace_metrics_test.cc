@@ -1,0 +1,230 @@
+// Unit tests for the observability subsystem: span trees (parentage, early
+// returns, JSONL export), the metrics registry (counters, histograms,
+// Prometheus exposition, sim-clock sampling), and the shared traffic
+// accounting vocabulary (SegmentId, TrafficTotals).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/accounting.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rangeamp {
+namespace {
+
+// --- Traffic accounting -----------------------------------------------------
+
+TEST(TrafficTotals, ArithmeticAndAmplification) {
+  net::TrafficTotals a{100, 1000};
+  const net::TrafficTotals b{10, 24000};
+  a += b;
+  EXPECT_EQ(a.request_bytes, 110u);
+  EXPECT_EQ(a.response_bytes, 25000u);
+  EXPECT_EQ(a.total(), 25110u);
+
+  const net::TrafficTotals attacker{500, 250};
+  const net::TrafficTotals origin{500, 25000};
+  EXPECT_DOUBLE_EQ(net::amplification_factor(origin, attacker), 100.0);
+  // A zero-byte denominator must not divide.
+  EXPECT_DOUBLE_EQ(net::amplification_factor(origin, net::TrafficTotals{}), 0.0);
+
+  EXPECT_EQ(a, net::TrafficTotals(110, 25000));
+  EXPECT_EQ(b + b, net::TrafficTotals(20, 48000));
+}
+
+TEST(TrafficTotals, SegmentNamesRoundTrip) {
+  using net::SegmentId;
+  EXPECT_EQ(net::segment_id_name(SegmentId::kClientCdn), "client-cdn");
+  EXPECT_EQ(net::segment_id_name(SegmentId::kFcdnBcdn), "fcdn-bcdn");
+  EXPECT_EQ(net::segment_id_name(SegmentId::kCdnOrigin), "cdn-origin");
+  EXPECT_EQ(net::segment_id_name(SegmentId::kBcdnOrigin), "bcdn-origin");
+
+  // Recorder names in the tree are free-form; classification is by prefix.
+  EXPECT_EQ(net::segment_from_name("client-cdn"), SegmentId::kClientCdn);
+  EXPECT_EQ(net::segment_from_name("attacker"), SegmentId::kClientCdn);
+  EXPECT_EQ(net::segment_from_name("fcdn-bcdn ingress 3"), SegmentId::kFcdnBcdn);
+  EXPECT_EQ(net::segment_from_name("cdn-origin node-0"), SegmentId::kCdnOrigin);
+  EXPECT_EQ(net::segment_from_name("bcdn-origin"), SegmentId::kBcdnOrigin);
+  EXPECT_EQ(net::segment_from_name("mystery"), SegmentId::kNone);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(Tracer, NestingBecomesParentage) {
+  obs::Tracer tracer;
+  const auto root = tracer.begin_span("sbr.request");
+  const auto handle = tracer.begin_span("cdn.handle");
+  const auto wire =
+      tracer.begin_span("net.transfer", net::SegmentId::kCdnOrigin);
+  tracer.end_span(wire);
+  tracer.end_span(handle);
+  tracer.end_span(root);
+
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.trace_count(), 1u);
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);
+  EXPECT_EQ(tracer.spans()[1].parent, root);
+  EXPECT_EQ(tracer.spans()[2].parent, handle);
+  // All three belong to the same trace.
+  EXPECT_EQ(tracer.spans()[2].trace, tracer.spans()[0].trace);
+
+  // A second root starts a second trace.
+  const auto again = tracer.begin_span("sbr.request");
+  tracer.end_span(again);
+  EXPECT_EQ(tracer.trace_count(), 2u);
+}
+
+TEST(Tracer, EarlyReturnClosesDescendants) {
+  obs::Tracer tracer;
+  const auto outer = tracer.begin_span("cdn.handle");
+  tracer.begin_span("cdn.fetch");
+  tracer.begin_span("net.transfer", net::SegmentId::kCdnOrigin);
+  // Close the ancestor directly, as an early return through nested
+  // SpanScopes would; the stack must fully unwind.
+  tracer.end_span(outer);
+  EXPECT_EQ(tracer.current(), 0u);
+  // Closing again is harmless.
+  tracer.end_span(outer);
+  EXPECT_EQ(tracer.spans().size(), 3u);
+}
+
+TEST(Tracer, SegmentTotalsSumWireSpans) {
+  obs::Tracer tracer;
+  {
+    obs::SpanScope unit(&tracer, "sbr.request");
+    obs::SpanScope client(&tracer, "net.transfer", net::SegmentId::kClientCdn);
+    client.add_bytes({200, 250});
+    obs::SpanScope origin(&tracer, "net.transfer", net::SegmentId::kCdnOrigin);
+    origin.add_bytes({180, 24000});
+    // Non-wire spans never contribute, whatever bytes they carry.
+    unit.add_bytes({9999, 9999});
+  }
+  {
+    obs::SpanScope origin(&tracer, "net.transfer", net::SegmentId::kCdnOrigin);
+    origin.add_bytes({180, 1000});
+  }
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kClientCdn),
+            net::TrafficTotals(200, 250));
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kCdnOrigin),
+            net::TrafficTotals(360, 25000));
+  EXPECT_EQ(tracer.segment_totals(net::SegmentId::kNone), net::TrafficTotals{});
+}
+
+TEST(Tracer, JsonlExportShape) {
+  obs::Tracer tracer;
+  double t = 1.5;
+  tracer.set_clock([&t] { return t; });
+  {
+    obs::SpanScope span(&tracer, "net.transfer", net::SegmentId::kClientCdn);
+    span.note("target", "/index.html?bust=\"7\"");
+    span.set_status(206);
+    span.add_bytes({100, 2000});
+    t = 2.0;
+  }
+  const std::string jsonl = tracer.to_jsonl();
+  EXPECT_NE(jsonl.find("\"trace\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"parent\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"net.transfer\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"segment\":\"client-cdn\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"start\":1.500000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"end\":2.000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"status\":206"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"request_bytes\":100"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"response_bytes\":2000"), std::string::npos);
+  // Quotes inside note values are escaped so every line stays valid JSON.
+  EXPECT_NE(jsonl.find("\\\"7\\\""), std::string::npos);
+  EXPECT_EQ(jsonl.back(), '\n');
+
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.trace_count(), 0u);
+}
+
+TEST(Tracer, NullScopeIsANoOp) {
+  // Every call site threads a possibly-null tracer; the scope must absorb
+  // all of it without branching at the call site.
+  obs::SpanScope scope(nullptr, "cdn.handle");
+  EXPECT_FALSE(static_cast<bool>(scope));
+  EXPECT_EQ(scope.id(), 0u);
+  scope.note("cache", "hit");
+  scope.set_status(200);
+  scope.add_bytes({1, 1});
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, CounterHandlesAreStable) {
+  obs::MetricsRegistry registry;
+  obs::Counter& hits = registry.counter("cdn_cache_hits_total", "help");
+  hits.inc();
+  // Interleave other registrations; the cached reference must survive.
+  registry.counter("a_total");
+  registry.counter("z_total");
+  registry.gauge("g");
+  hits.inc(4);
+  EXPECT_EQ(registry.counter("cdn_cache_hits_total").value(), 5u);
+  EXPECT_EQ(registry.metric_count(), 4u);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulative) {
+  obs::Histogram h(obs::amplification_buckets());
+  h.observe(0.5);       // <= 1
+  h.observe(43);        // <= 100
+  h.observe(43);        // <= 100
+  h.observe(5000);      // <= 10000
+  h.observe(2000000);   // +Inf overflow
+  const auto c = h.cumulative_counts();
+  ASSERT_EQ(c.size(), 7u);  // six bounds + Inf
+  EXPECT_EQ(c[0], 1u);      // le=1
+  EXPECT_EQ(c[1], 1u);      // le=10
+  EXPECT_EQ(c[2], 3u);      // le=100
+  EXPECT_EQ(c[4], 4u);      // le=10000
+  EXPECT_EQ(c.back(), 5u);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 43 + 43 + 5000 + 2000000);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("cdn_requests_total{vendor=\"Cloudflare\"}",
+                   "requests handled").inc(3);
+  registry.gauge("origin_uplink_mbps").set(1000);
+  auto& h = registry.histogram("sbr_amplification_factor{vendor=\"KeyCDN\"}",
+                               obs::amplification_buckets(), "per-request AF");
+  h.observe(43);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP cdn_requests_total requests handled"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdn_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("cdn_requests_total{vendor=\"Cloudflare\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("origin_uplink_mbps 1000"), std::string::npos);
+  // Histogram suffixes splice before the label set, with `le` appended.
+  EXPECT_NE(text.find("sbr_amplification_factor_bucket{vendor=\"KeyCDN\","
+                      "le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sbr_amplification_factor_bucket{vendor=\"KeyCDN\","
+                      "le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sbr_amplification_factor_count{vendor=\"KeyCDN\"} 1"),
+            std::string::npos);
+}
+
+TEST(Metrics, SimClockSeriesIsDeterministic) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("cdn_requests_total");
+  registry.sample(0.0);
+  c.inc(2);
+  registry.sample(1.0);
+  EXPECT_EQ(registry.sample_count(), 2u);
+  EXPECT_EQ(registry.series_csv(),
+            "t_s,metric,value\n"
+            "0.000,cdn_requests_total,0\n"
+            "1.000,cdn_requests_total,2\n");
+}
+
+}  // namespace
+}  // namespace rangeamp
