@@ -1,0 +1,355 @@
+// Byzantine-origin chaos harness: randomized SBR/OBR cascades against an
+// actively hostile origin, with the conformance layer swept off / lenient /
+// strict.
+//
+// Each run drives a seeded stream of range requests (cache-busting keys,
+// randomized range sets) through a CDN deployment whose origin is a
+// MaliciousOrigin rotating through its full behaviour catalogue (lying
+// Content-Length, out-of-bounds Content-Range, duplicate Content-Length
+// poison tails, CL+TE smuggles, never-terminating chunked streams,
+// origin-served OBR inflation...).  After every run three global invariants
+// are checked:
+//
+//   I1  byte conservation per hop: the tracer's per-segment wire-span sums
+//       equal each TrafficRecorder's totals (nothing counted twice, nothing
+//       dropped);
+//   I2  no cache poisoning: every cached entity is byte-identical to the
+//       honest resource;
+//   I3  bounded amplification (strict mode): bytes to the client never
+//       exceed what the client's own ranges selected plus a fixed per-
+//       response header/framing allowance -- whatever the origin inflates.
+//
+// Strict mode must satisfy all three for every seed; the process exits
+// non-zero otherwise (the CI chaos gate).  Off mode is expected to violate
+// I2/I3 -- the CSV rows quantify by how much, which is the ablation:
+// byzantine_origin_ablation.csv compares off/lenient/strict per scenario and
+// seed.  Everything is seeded; two runs emit byte-identical CSVs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/rangeamp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "origin/malicious_origin.h"
+
+using namespace rangeamp;
+
+namespace {
+
+constexpr std::uint64_t kFileSize = 1u << 20;  // 1 MiB resource
+constexpr std::string_view kPath = "/asset.bin";
+constexpr std::uint64_t kSeeds[] = {0xB0B1, 0xB0B2, 0xB0B3, 0xB0B4};
+// Per-response allowance covering status line, headers, multipart framing
+// and synthesized 502 pages when checking I3.
+constexpr std::uint64_t kHeaderAllowance = 8 * 1024;
+
+cdn::ConformancePolicy conformance(cdn::ConformanceMode mode) {
+  cdn::ConformancePolicy cp;
+  cp.mode = mode;
+  // Budgets sized to the run: the honest resource (1 MiB) fits, the
+  // malicious 8 MiB chunked stream and origin-served OBR inflations do not.
+  cp.max_body_bytes = 4ull * 1024 * 1024;
+  cp.max_multipart_assembly_bytes = 4ull * 1024 * 1024;
+  return cp;
+}
+
+origin::MaliciousOriginConfig malicious_config(std::uint64_t seed) {
+  origin::MaliciousOriginConfig cfg;
+  cfg.seed = seed;
+  // Include honest responses in the rotation so every run interleaves
+  // legitimate traffic with attacks (the invariants must hold across both).
+  cfg.rotation = {
+      origin::MaliciousBehavior::kHonest,
+      origin::MaliciousBehavior::kLyingContentLength,
+      origin::MaliciousBehavior::kShortBody,
+      origin::MaliciousBehavior::kOutOfBoundsContentRange,
+      origin::MaliciousBehavior::kOverlappingExtraParts,
+      origin::MaliciousBehavior::kBoundaryInjection,
+      origin::MaliciousBehavior::kClTeSmuggle,
+      origin::MaliciousBehavior::kDuplicateContentLength,
+      origin::MaliciousBehavior::kUnboundedChunked,
+      origin::MaliciousBehavior::kStatusRangeMismatch,
+  };
+  return cfg;
+}
+
+struct RunResult {
+  int requests = 0;
+  std::uint64_t requested_bytes = 0;  ///< Σ resolved client-range selections
+  std::uint64_t origin_transfers = 0;
+  std::uint64_t client_request_bytes = 0;
+  std::uint64_t client_response_bytes = 0;
+  std::uint64_t origin_response_bytes = 0;
+  cdn::ValidationStats stats;  ///< summed over every node on the path
+  int poisoned_entries = 0;
+  std::vector<std::string> invariant_failures;
+
+  /// Bytes delivered to the client per byte its ranges actually selected --
+  /// the Byzantine origin's amplification of the client-facing leg.
+  double byzantine_af() const {
+    return requested_bytes == 0
+               ? 0.0
+               : static_cast<double>(client_response_bytes) /
+                     static_cast<double>(requested_bytes);
+  }
+};
+
+void accumulate(cdn::ValidationStats& into, const cdn::ValidationStats& from) {
+  into.upstream_responses_validated += from.upstream_responses_validated;
+  into.violations += from.violations;
+  into.rejected_502 += from.rejected_502;
+  into.passed_uncached += from.passed_uncached;
+  into.store_suppressed += from.store_suppressed;
+  into.budget_overflows += from.budget_overflows;
+  into.assembly_overflows += from.assembly_overflows;
+}
+
+// I1: the tracer's per-segment wire-span byte sums must reproduce each
+// recorder's totals exactly.
+void check_byte_conservation(const obs::Tracer& tracer,
+                             const std::vector<const net::TrafficRecorder*>& recorders,
+                             RunResult& out) {
+  for (const net::TrafficRecorder* rec : recorders) {
+    const net::TrafficTotals traced = tracer.segment_totals(rec->segment());
+    if (traced.request_bytes != rec->totals().request_bytes ||
+        traced.response_bytes != rec->totals().response_bytes) {
+      out.invariant_failures.push_back(
+          "I1 byte conservation broken on " + rec->name() + ": traced " +
+          std::to_string(traced.response_bytes) + " vs recorded " +
+          std::to_string(rec->totals().response_bytes) + " response bytes");
+    }
+  }
+}
+
+// I2: every cached entity must be byte-identical to the honest resource.
+// Marker entries (negative-cache sentinels, Vary markers) carry no entity.
+int poisoned_entries(const cdn::Cache& cache, const std::string& honest) {
+  int poisoned = 0;
+  for (const auto& [key, entry] : cache.entries()) {
+    if (entry.content_type == "#negative") continue;
+    if (entry.entity.empty() && !entry.vary.empty()) continue;  // Vary marker
+    if (entry.entity.size() != honest.size() ||
+        entry.entity.materialize() != honest) {
+      ++poisoned;
+    }
+  }
+  return poisoned;
+}
+
+// One randomized SBR run: client -> Akamai-profile CDN (Deletion policy)
+// -> MaliciousOrigin.  Small randomized single ranges, cache-busting keys.
+RunResult run_sbr(cdn::ConformanceMode mode, std::uint64_t seed) {
+  origin::MaliciousOrigin mal(malicious_config(seed));
+  mal.resources().add_synthetic(std::string{kPath}, kFileSize);
+
+  cdn::VendorProfile profile = cdn::make_profile(cdn::Vendor::kAkamai);
+  profile.traits.conformance = conformance(mode);
+  cdn::CdnNode cdn(std::move(profile), mal, "cdn-origin");
+
+  net::TrafficRecorder client_traffic("client-cdn");
+  net::Wire client_wire(client_traffic, cdn);
+
+  obs::Tracer tracer;
+  client_wire.set_tracer(&tracer);
+  cdn.set_tracer(&tracer);
+
+  http::Rng rng(seed * 0x9e3779b9u + 7);
+  RunResult out;
+  out.requests = 48;
+  for (int i = 0; i < out.requests; ++i) {
+    auto request = http::make_get(std::string{core::kDefaultHost},
+                                  std::string{kPath} + "?cb=" + std::to_string(i));
+    // Randomized small range (the SBR shape); occasionally none at all.
+    if (rng.below(8) != 0) {
+      const std::uint64_t first = rng.below(kFileSize);
+      const std::uint64_t len = 1 + rng.below(1024);
+      const std::uint64_t last = std::min(kFileSize - 1, first + len - 1);
+      request.headers.add("Range", "bytes=" + std::to_string(first) + "-" +
+                                       std::to_string(last));
+      out.requested_bytes += last - first + 1;
+    } else {
+      out.requested_bytes += kFileSize;
+    }
+    client_wire.transfer(request);
+  }
+
+  out.origin_transfers = cdn.upstream_traffic().exchange_count();
+  out.client_request_bytes = client_traffic.request_bytes();
+  out.client_response_bytes = client_traffic.response_bytes();
+  out.origin_response_bytes = cdn.upstream_traffic().response_bytes();
+  out.stats = cdn.validation_stats();
+
+  check_byte_conservation(tracer, {&client_traffic, &cdn.upstream_traffic()},
+                          out);
+  const std::string honest =
+      mal.resources().find(kPath)->entity.materialize();
+  out.poisoned_entries = poisoned_entries(cdn.cache(), honest);
+  return out;
+}
+
+// One randomized OBR cascade run: client -> Cloudflare-bypass FCDN
+// (Laziness) -> StackPath BCDN (Deletion + overlapping multipart honored)
+// -> MaliciousOrigin.  Overlapping multi-range sets, cache-busting keys.
+RunResult run_obr(cdn::ConformanceMode mode, std::uint64_t seed) {
+  origin::MaliciousOrigin mal(malicious_config(seed));
+  mal.resources().add_synthetic(std::string{kPath}, kFileSize);
+
+  cdn::ProfileOptions bypass;
+  bypass.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  cdn::VendorProfile fcdn_profile =
+      cdn::make_profile(cdn::Vendor::kCloudflare, bypass);
+  cdn::VendorProfile bcdn_profile = cdn::make_profile(cdn::Vendor::kStackPath);
+  fcdn_profile.traits.conformance = conformance(mode);
+  bcdn_profile.traits.conformance = conformance(mode);
+
+  cdn::CdnNode bcdn(std::move(bcdn_profile), mal, "bcdn-origin");
+  cdn::CdnNode fcdn(std::move(fcdn_profile), bcdn, "fcdn-bcdn");
+
+  net::TrafficRecorder client_traffic("client-fcdn");
+  net::Wire client_wire(client_traffic, fcdn);
+
+  obs::Tracer tracer;
+  client_wire.set_tracer(&tracer);
+  fcdn.set_tracer(&tracer);
+  bcdn.set_tracer(&tracer);
+
+  http::Rng rng(seed * 0x51eded1ull + 13);
+  RunResult out;
+  out.requests = 32;
+  for (int i = 0; i < out.requests; ++i) {
+    auto request = http::make_get(std::string{core::kDefaultHost},
+                                  std::string{kPath} + "?cb=" + std::to_string(i));
+    // n overlapping ranges, each covering most of the entity from a random
+    // start -- the OBR shape of section IV-C.
+    const std::size_t n = 2 + rng.below(7);
+    std::string ranges = "bytes=";
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t first = rng.below(kFileSize / 4);
+      if (k != 0) ranges += ",";
+      ranges += std::to_string(first) + "-";
+      out.requested_bytes += kFileSize - first;
+    }
+    request.headers.add("Range", ranges);
+    client_wire.transfer(request);
+  }
+
+  out.origin_transfers = bcdn.upstream_traffic().exchange_count();
+  out.client_request_bytes = client_traffic.request_bytes();
+  out.client_response_bytes = client_traffic.response_bytes();
+  out.origin_response_bytes = bcdn.upstream_traffic().response_bytes();
+  out.stats = fcdn.validation_stats();
+  accumulate(out.stats, bcdn.validation_stats());
+
+  check_byte_conservation(
+      tracer, {&client_traffic, &fcdn.upstream_traffic(), &bcdn.upstream_traffic()},
+      out);
+  const std::string honest =
+      mal.resources().find(kPath)->entity.materialize();
+  out.poisoned_entries = poisoned_entries(fcdn.cache(), honest) +
+                         poisoned_entries(bcdn.cache(), honest);
+  return out;
+}
+
+void check_strict_invariants(const std::string& scenario, std::uint64_t seed,
+                             RunResult& r) {
+  // I2 is absolute under strict conformance.
+  if (r.poisoned_entries != 0) {
+    r.invariant_failures.push_back("I2 cache poisoning under strict mode: " +
+                                   std::to_string(r.poisoned_entries) +
+                                   " entries");
+  }
+  // I3: client bytes bounded by what the client's ranges selected plus the
+  // fixed per-response allowance, no matter what the origin invented.
+  const std::uint64_t bound =
+      r.requested_bytes +
+      static_cast<std::uint64_t>(r.requests) * kHeaderAllowance;
+  if (r.client_response_bytes > bound) {
+    r.invariant_failures.push_back(
+        "I3 amplification bound broken: " +
+        std::to_string(r.client_response_bytes) + " client bytes > bound " +
+        std::to_string(bound));
+  }
+  for (const auto& failure : r.invariant_failures) {
+    std::fprintf(stderr, "INVARIANT VIOLATION [%s seed=%llu strict]: %s\n",
+                 scenario.c_str(), static_cast<unsigned long long>(seed),
+                 failure.c_str());
+  }
+}
+
+void add_row(core::Table& table, const std::string& scenario,
+             cdn::ConformanceMode mode, std::uint64_t seed,
+             const RunResult& r) {
+  table.add_row({scenario, std::string{cdn::conformance_mode_name(mode)},
+                 std::to_string(seed), std::to_string(r.requests),
+                 std::to_string(r.requested_bytes),
+                 std::to_string(r.origin_transfers),
+                 std::to_string(r.client_request_bytes),
+                 std::to_string(r.client_response_bytes),
+                 std::to_string(r.origin_response_bytes),
+                 core::fixed(r.byzantine_af(), 3),
+                 std::to_string(r.stats.violations),
+                 std::to_string(r.stats.rejected_502),
+                 std::to_string(r.stats.passed_uncached),
+                 std::to_string(r.stats.store_suppressed),
+                 std::to_string(r.stats.budget_overflows +
+                                r.stats.assembly_overflows),
+                 std::to_string(r.poisoned_entries),
+                 std::to_string(r.invariant_failures.size())});
+}
+
+}  // namespace
+
+int main() {
+  core::Table table({"scenario", "conformance", "seed", "requests",
+                     "requested_bytes", "origin_transfers",
+                     "client_request_bytes", "client_response_bytes",
+                     "origin_response_bytes", "byzantine_af", "violations",
+                     "rejected_502", "passed_uncached", "store_suppressed",
+                     "budget_overflows", "poisoned_entries",
+                     "invariant_failures"});
+
+  bool strict_clean = true;
+  for (const std::string scenario : {"sbr-single", "obr-cascade"}) {
+    for (const cdn::ConformanceMode mode :
+         {cdn::ConformanceMode::kOff, cdn::ConformanceMode::kLenient,
+          cdn::ConformanceMode::kStrict}) {
+      for (const std::uint64_t seed : kSeeds) {
+        RunResult r = scenario == "sbr-single" ? run_sbr(mode, seed)
+                                               : run_obr(mode, seed);
+        if (mode == cdn::ConformanceMode::kStrict) {
+          check_strict_invariants(scenario, seed, r);
+        } else {
+          // I1 (byte conservation) must hold in every mode.
+          for (const auto& failure : r.invariant_failures) {
+            std::fprintf(stderr, "INVARIANT VIOLATION [%s seed=%llu %s]: %s\n",
+                         scenario.c_str(),
+                         static_cast<unsigned long long>(seed),
+                         std::string{cdn::conformance_mode_name(mode)}.c_str(),
+                         failure.c_str());
+          }
+        }
+        if (!r.invariant_failures.empty()) strict_clean = false;
+        add_row(table, scenario, mode, seed, r);
+      }
+    }
+  }
+
+  std::printf("# Byzantine-origin chaos harness\n\n%s\n",
+              table.to_markdown().c_str());
+  if (!core::write_file("byzantine_origin_ablation.csv", table.to_csv())) {
+    std::fprintf(stderr, "failed to write byzantine_origin_ablation.csv\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("wrote byzantine_origin_ablation.csv (%zu rows)\n",
+              table.row_count());
+  if (!strict_clean) {
+    std::fprintf(stderr,
+                 "strict-mode invariant violations detected -- see above\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("strict mode: all invariants held across %zu seeds\n",
+              std::size(kSeeds));
+  return EXIT_SUCCESS;
+}

@@ -45,6 +45,7 @@ fi
 # failures, loudly.
 expected_csvs=(
   ablation_mitigations.csv
+  byzantine_origin_ablation.csv
   collateral_damage.csv
   fault_mitigation_ablation.csv
   fault_retry_amplification.csv

@@ -53,6 +53,12 @@ class Cache {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Full contents, for invariant checks (the chaos harness walks every
+  /// entry to prove no validator-flagged response ever entered a cache).
+  const std::unordered_map<std::string, CachedEntity>& entries() const noexcept {
+    return entries_;
+  }
+
  private:
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;

@@ -65,4 +65,13 @@ std::string_view degradation_policy_name(DegradationPolicy p) noexcept {
   return "?";
 }
 
+std::string_view conformance_mode_name(ConformanceMode m) noexcept {
+  switch (m) {
+    case ConformanceMode::kOff: return "off";
+    case ConformanceMode::kLenient: return "lenient";
+    case ConformanceMode::kStrict: return "strict";
+  }
+  return "?";
+}
+
 }  // namespace rangeamp::cdn

@@ -241,7 +241,8 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (!metrics) {
     m_requests_ = m_cache_hits_ = m_cache_misses_ = m_coalesced_hits_ =
-        m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = nullptr;
+        m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = m_budget_overflows_ =
+            nullptr;
     return;
   }
   const std::string label = "{vendor=\"" + traits_.name + "\"}";
@@ -263,6 +264,9 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   m_shed_ = &metrics->counter(
       "cdn_shed_total" + label,
       "fetches shed before any wire transfer (breaker open / admission)");
+  m_budget_overflows_ = &metrics->counter(
+      "cdn_validator_budget_overflows_total" + label,
+      "body-buffer / multipart-assembly budget trips (ingest and egress)");
 }
 
 Request CdnNode::build_upstream_request(const Request& client_request,
@@ -362,6 +366,7 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
                                   const std::optional<RangeSet>& range,
                                   const net::TransferOptions& options,
                                   http::Method method_override) {
+  fetch_taint_no_store_ = false;
   const ResiliencePolicy& rp = traits_.resilience;
   const Request upstream_request =
       build_upstream_request(client_request, range, method_override);
@@ -453,7 +458,95 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
   if (m_fetch_attempts_) {
     m_fetch_attempts_->inc(static_cast<std::uint64_t>(result.attempts));
   }
+  if (traits_.conformance.mode != ConformanceMode::kOff &&
+      result.shed == ShedCause::kNone && !result.error.has_value()) {
+    apply_conformance(result, range, span);
+  }
   return result;
+}
+
+void CdnNode::count_violation(http::ValidationCheck check,
+                              std::string_view action) {
+  if (!metrics_) return;
+  metrics_
+      ->counter("cdn_validator_violations_total{vendor=\"" + traits_.name +
+                    "\",check=\"" +
+                    std::string{http::validation_check_name(check)} +
+                    "\",action=\"" + std::string{action} + "\"}",
+                "upstream response validation failures by check and verdict")
+      .inc();
+}
+
+void CdnNode::apply_conformance(FetchResult& result,
+                                const std::optional<RangeSet>& range,
+                                obs::SpanScope& span) {
+  const ConformancePolicy& cp = traits_.conformance;
+  ++validation_stats_.upstream_responses_validated;
+
+  const http::ResponseValidator validator(
+      {cp.max_body_bytes, cp.max_multipart_assembly_bytes});
+  const http::ValidationReport report = validator.validate(result.response, range);
+  if (report.ok()) {
+    span.note("validator", "ok");
+    return;
+  }
+  validation_stats_.violations += report.violations.size();
+  const bool over_budget = report.has(http::ValidationCheck::kBodyBudget) ||
+                           report.has(http::ValidationCheck::kMultipartBudget);
+  if (over_budget) {
+    ++validation_stats_.budget_overflows;
+    if (m_budget_overflows_) m_budget_overflows_->inc();
+  }
+
+  // Verdict.  Strict rejects any violation; lenient rejects fatal shapes,
+  // truncates an over-long identity body down to its declared length, and
+  // passes the remaining soft lies through uncached.
+  std::string_view action;
+  if (cp.mode == ConformanceMode::kStrict || report.any_fatal()) {
+    action = "reject-502";
+    Response rejected =
+        error(http::kBadGateway,
+              "upstream response failed validation: " + report.summary());
+    rejected.headers.add("X-Validator-Checks", report.summary());
+    result.response = std::move(rejected);
+    fetch_taint_no_store_ = true;
+    ++validation_stats_.rejected_502;
+  } else if (report.has(http::ValidationCheck::kContentLengthMismatch) &&
+             report.declared_content_length &&
+             result.response.body.size() > *report.declared_content_length) {
+    // Truncate-and-drop: keep the declared prefix, drop the smuggled tail.
+    action = "truncate-drop";
+    result.response.body = result.response.body.slice(
+        0, *report.declared_content_length);
+    fetch_taint_no_store_ = true;
+    ++validation_stats_.passed_uncached;
+  } else {
+    action = "pass-uncached";
+    fetch_taint_no_store_ = true;
+    ++validation_stats_.passed_uncached;
+  }
+  for (const auto& v : report.violations) count_violation(v.check, action);
+  if (span) {
+    span.note("validator", std::string{action});
+    span.note("validator_checks", report.summary());
+  }
+}
+
+std::optional<Response> CdnNode::check_assembly_budget(
+    std::uint64_t body_bytes) {
+  const ConformancePolicy& cp = traits_.conformance;
+  if (cp.mode == ConformanceMode::kOff ||
+      cp.max_multipart_assembly_bytes == 0 ||
+      body_bytes <= cp.max_multipart_assembly_bytes) {
+    return std::nullopt;
+  }
+  ++validation_stats_.assembly_overflows;
+  if (m_budget_overflows_) m_budget_overflows_->inc();
+  count_violation(http::ValidationCheck::kMultipartBudget, "reject-502");
+  return error(http::kBadGateway,
+               "multipart assembly of " + std::to_string(body_bytes) +
+                   " bytes exceeds budget of " +
+                   std::to_string(cp.max_multipart_assembly_bytes));
 }
 
 const CachedEntity* CdnNode::stale_entity(const Request& request) const {
@@ -581,6 +674,19 @@ std::string CdnNode::cache_key(const Request& request) const {
 
 void CdnNode::store(const Request& request, const CachedEntity& entity) {
   if (!traits_.cache_enabled) return;
+  if (fetch_taint_no_store_) {
+    // Cache-poison guard: the response this entity came from failed
+    // validation, so it may be relayed downstream but never stored.
+    ++validation_stats_.store_suppressed;
+    if (metrics_) {
+      metrics_
+          ->counter("cdn_validator_store_suppressed_total{vendor=\"" +
+                        traits_.name + "\"}",
+                    "cache writes blocked by the never-cache taint")
+          .inc();
+    }
+    return;
+  }
   CachedEntity stored = entity;
   if (traits_.cache_ttl_seconds > 0 && clock_) {
     stored.expires_at = clock_() + traits_.cache_ttl_seconds;
@@ -678,6 +784,7 @@ Response CdnNode::respond_window(const EntityWindow& window, const RangeSet& ran
       body.append_literal("\r\n");
     }
     body.append_literal("--" + traits_.multipart_boundary + "--\r\n");
+    if (auto over = check_assembly_budget(body.size())) return std::move(*over);
     Headers content = entity_content_headers(meta);
     content.add("Content-Length", std::to_string(body.size()));
     content.add("Content-Type",
@@ -753,6 +860,7 @@ Response CdnNode::respond_assembled(
     body.append_literal("\r\n");
   }
   body.append_literal("--" + traits_.multipart_boundary + "--\r\n");
+  if (auto over = check_assembly_budget(body.size())) return std::move(*over);
   Headers content = validators;
   content.add("Content-Length", std::to_string(body.size()));
   content.add("Content-Type",

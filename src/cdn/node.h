@@ -26,6 +26,7 @@
 #include "cdn/shield.h"
 #include "cdn/types.h"
 #include "http/range.h"
+#include "http/validate.h"
 #include "http2/wire.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -124,6 +125,12 @@ class CdnNode final : public net::HttpHandler {
   /// Counters of the origin-shielding layer (all zero while the shield
   /// knobs are off).
   const ShieldStats& shield_stats() const noexcept { return shield_stats_; }
+
+  /// Counters of the Byzantine-origin validation layer (all zero while
+  /// traits().conformance.mode is kOff).
+  const ValidationStats& validation_stats() const noexcept {
+    return validation_stats_;
+  }
 
   /// The upstream circuit breaker (state machine is inert unless
   /// traits().shield.breaker.enabled).
@@ -242,6 +249,17 @@ class CdnNode final : public net::HttpHandler {
   std::optional<http::Response> check_cdn_loop(const http::Request& request);
   /// The vendor-styled 503 + Retry-After a shed request is answered with.
   http::Response shed_response(ShedCause cause);
+  /// Validates the fetched upstream response under traits().conformance and
+  /// enforces the verdict: 502-synthesize (fatal / strict), truncate-and-drop
+  /// (lenient over-long identity body), or never-cache taint (lenient soft
+  /// violations).  `range` is the Range set this hop sent upstream.
+  void apply_conformance(FetchResult& result,
+                         const std::optional<http::RangeSet>& range,
+                         obs::SpanScope& span);
+  /// Client-facing multipart assembly budget (respond_window /
+  /// respond_assembled): nullopt admits the body, otherwise the 502 to serve.
+  std::optional<http::Response> check_assembly_budget(std::uint64_t body_bytes);
+  void count_violation(http::ValidationCheck check, std::string_view action);
 
   VendorTraits traits_;
   std::unique_ptr<VendorLogic> logic_;
@@ -253,6 +271,12 @@ class CdnNode final : public net::HttpHandler {
   UpstreamBreaker breaker_;
   FillLockTable fills_;
   ShieldStats shield_stats_;
+  ValidationStats validation_stats_;
+  /// Set by apply_conformance when the current fetch's response may be
+  /// relayed but must never enter the cache; reset at every fetch_result.
+  /// Safe as a member: a node handles one request at a time, and every
+  /// logic's store() follows its fetch synchronously.
+  bool fetch_taint_no_store_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   // Cached metric handles (registry map entries are reference-stable); all
@@ -264,6 +288,7 @@ class CdnNode final : public net::HttpHandler {
   obs::Counter* m_fetch_attempts_ = nullptr;
   obs::Counter* m_loop_rejected_ = nullptr;
   obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_budget_overflows_ = nullptr;
   mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
 };
 

@@ -171,6 +171,54 @@ struct OriginShieldPolicy {
   CircuitBreakerPolicy breaker;
 };
 
+// ---------------------------------------------------------------------------
+// Byzantine-origin hardening (the paper's section VI consistency checks):
+// validate what the upstream leg actually returned before trusting it.
+// ---------------------------------------------------------------------------
+
+/// How strictly a node validates upstream responses (origin -> CDN and
+/// BCDN -> FCDN legs alike).
+enum class ConformanceMode {
+  /// No validation at all -- the paper-testbed behaviour.  The default, so
+  /// every seed CSV stays byte-identical.
+  kOff,
+  /// Fatal violations (smuggling shapes, undecodable framing, blown memory
+  /// budgets) are rejected with a synthesized 502; soft violations
+  /// (consistency lies a downstream could tolerate) are relayed but never
+  /// cached -- the cache-poison guard.
+  kLenient,
+  /// Any violation is rejected with a synthesized 502 and never cached.
+  kStrict,
+};
+
+std::string_view conformance_mode_name(ConformanceMode m) noexcept;
+
+/// Upstream response validation + per-exchange resource budgets.
+struct ConformancePolicy {
+  ConformanceMode mode = ConformanceMode::kOff;
+
+  /// Max upstream response body bytes buffered for one exchange (0 = no
+  /// limit).  A response over budget is refused with 502 before the node
+  /// materializes it -- the Envoy per-stream buffer-limit analogue.
+  std::uint64_t max_body_bytes = 64ull * 1024 * 1024;
+
+  /// Max bytes of one multipart/byteranges body this node will assemble or
+  /// ingest, part framing included (0 = no limit).  Bounds the OBR
+  /// node-exhaustion scenario.
+  std::uint64_t max_multipart_assembly_bytes = 256ull * 1024 * 1024;
+};
+
+/// Counters of the validation layer (all zero while conformance is off).
+struct ValidationStats {
+  std::uint64_t upstream_responses_validated = 0;
+  std::uint64_t violations = 0;           ///< individual failed checks
+  std::uint64_t rejected_502 = 0;         ///< responses replaced by a 502
+  std::uint64_t passed_uncached = 0;      ///< soft violations relayed uncached
+  std::uint64_t store_suppressed = 0;     ///< cache writes blocked by taint
+  std::uint64_t budget_overflows = 0;     ///< body/multipart budget trips
+  std::uint64_t assembly_overflows = 0;   ///< client-facing assembly over budget
+};
+
 /// Ingress request-header limits (section V-C: these bound the OBR n).
 struct RequestHeaderLimits {
   /// Max total size of all header fields, counted as the serialized header
@@ -246,6 +294,10 @@ struct VendorTraits {
   /// Origin shielding: loop defense, request coalescing, circuit breaking.
   /// All off by default (no byte or behaviour change).
   OriginShieldPolicy shield;
+
+  /// Byzantine-origin hardening: upstream response validation + memory
+  /// budgets.  Mode defaults to kOff (no byte or behaviour change).
+  ConformancePolicy conformance;
 
   /// Emit "Via: 1.1 <node_id>" on forwarded upstream requests AND on every
   /// client-facing response (RFC 7230 section 5.7.1).  Off by default: the

@@ -15,6 +15,20 @@ std::string chunk_size_line(std::uint64_t size) {
   return std::string(buf, static_cast<std::size_t>(n));
 }
 
+// Finds the next CRLF within the first `cap` bytes after `pos`.  An
+// adversarial upstream that never sends the CRLF (an endless chunk-size
+// line, a giant chunk extension, an unterminated trailer) would otherwise
+// make the decoder scan -- and the caller buffer -- without bound; past the
+// cap the stream is treated as undecodable instead.
+std::optional<std::size_t> find_crlf_capped(std::string_view framed,
+                                            std::size_t pos, std::size_t cap) {
+  const std::size_t window =
+      std::min(framed.size() - pos, cap + 2);  // +2: the CRLF itself
+  const auto eol = framed.substr(pos, window).find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  return pos + eol;
+}
+
 }  // namespace
 
 Body encode_chunked(const Body& body, std::uint64_t chunk_size) {
@@ -48,27 +62,29 @@ std::optional<Body> decode_chunked(std::string_view framed) {
   Body out;
   std::size_t pos = 0;
   while (true) {
-    const auto eol = framed.find("\r\n", pos);
-    if (eol == std::string_view::npos) return std::nullopt;
-    std::string_view size_token = framed.substr(pos, eol - pos);
+    const auto eol = find_crlf_capped(framed, pos, kMaxChunkLineBytes);
+    if (!eol) return std::nullopt;
+    std::string_view size_token = framed.substr(pos, *eol - pos);
     // Chunk extensions (";ext=...") are permitted and ignored.
     if (const auto semi = size_token.find(';'); semi != std::string_view::npos) {
       size_token = size_token.substr(0, semi);
     }
+    if (size_token.size() > kMaxChunkSizeDigits) return std::nullopt;
     std::uint64_t size = 0;
     const auto [ptr, ec] = std::from_chars(
         size_token.data(), size_token.data() + size_token.size(), size, 16);
     if (ec != std::errc{} || ptr != size_token.data() + size_token.size()) {
       return std::nullopt;
     }
-    pos = eol + 2;
+    pos = *eol + 2;
     if (size == 0) {
       // Optional trailers until the final blank line.
       while (true) {
-        const auto trailer_eol = framed.find("\r\n", pos);
-        if (trailer_eol == std::string_view::npos) return std::nullopt;
-        if (trailer_eol == pos) return out;  // blank line: done
-        pos = trailer_eol + 2;
+        const auto trailer_eol =
+            find_crlf_capped(framed, pos, kMaxChunkLineBytes);
+        if (!trailer_eol) return std::nullopt;
+        if (*trailer_eol == pos) return out;  // blank line: done
+        pos = *trailer_eol + 2;
       }
     }
     if (framed.size() - pos < size + 2) return std::nullopt;

@@ -18,6 +18,14 @@ namespace rangeamp::http {
 /// Default chunk size used when encoding (typical server buffer size).
 inline constexpr std::uint64_t kDefaultChunkSize = 8 * 1024;
 
+/// Decoder hardening against adversarial framing: a chunk-size line
+/// (extensions included) or trailer line longer than this is a decode error,
+/// not a reason to keep scanning (nginx/h2o cap these lines similarly).
+inline constexpr std::size_t kMaxChunkLineBytes = 4096;
+
+/// Max hex digits of a chunk size (16 digits already spans 2^64).
+inline constexpr std::size_t kMaxChunkSizeDigits = 16;
+
 /// Wraps `body` in chunked framing: hex-size lines, CRLFs and the final
 /// "0\r\n\r\n".  Synthetic payload spans are preserved (framing is literal,
 /// payload stays O(1)).
@@ -28,7 +36,9 @@ std::uint64_t chunked_size(std::uint64_t body_size,
                            std::uint64_t chunk_size = kDefaultChunkSize) noexcept;
 
 /// Decodes a chunked payload back to the original bytes.  Returns nullopt on
-/// framing errors.  Trailers are accepted and discarded.
+/// framing errors, including size/trailer lines over kMaxChunkLineBytes and
+/// size tokens over kMaxChunkSizeDigits.  Trailers are accepted and
+/// discarded.
 std::optional<Body> decode_chunked(std::string_view framed);
 
 /// True when the message declares chunked transfer coding.

@@ -23,6 +23,27 @@ std::string closing_delimiter(std::string_view boundary) {
   return out;
 }
 
+// RFC 2046 section 5.1.1: boundary := 0*69<bchars> bcharsnospace, i.e. at
+// most 70 characters from a fixed alphabet, not ending in a space.  A
+// boundary outside the grammar is an injection vector (a crafted one can
+// alias part delimiters), so it is rejected rather than used.
+bool is_bchar(char c) noexcept {
+  if ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+      (c >= 'A' && c <= 'Z')) {
+    return true;
+  }
+  constexpr std::string_view kSpecials = "'()+_,-./:=? ";
+  return kSpecials.find(c) != std::string_view::npos;
+}
+
+bool valid_boundary(std::string_view b) noexcept {
+  if (b.empty() || b.size() > 70 || b.back() == ' ') return false;
+  for (const char c : b) {
+    if (!is_bchar(c)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Body build_multipart_byteranges(const Body& entity,
@@ -77,7 +98,7 @@ std::optional<std::string> boundary_from_content_type(std::string_view value) {
     const auto sc = b.find(';');
     if (sc != std::string_view::npos) b = b.substr(0, sc);
   }
-  if (b.empty()) return std::nullopt;
+  if (!valid_boundary(b)) return std::nullopt;
   return std::string{b};
 }
 

@@ -57,8 +57,11 @@ std::uint64_t multipart_byteranges_size(const std::vector<ResolvedRange>& ranges
 std::string multipart_content_type(std::string_view boundary);
 
 /// Extracts the boundary parameter from a Content-Type value like
-/// "multipart/byteranges; boundary=XYZ".  Returns nullopt when the value is
-/// not a multipart/byteranges type.
+/// "multipart/byteranges; boundary=XYZ".  RFC 2046 quoted boundaries
+/// (boundary="X") are accepted and unquoted.  Returns nullopt when the value
+/// is not a multipart/byteranges type or the boundary falls outside the
+/// RFC 2046 grammar (over 70 chars, characters outside bchars, trailing
+/// space) -- a malformed boundary is an injection vector, not a parameter.
 std::optional<std::string> boundary_from_content_type(std::string_view value);
 
 /// Parses a materialized multipart/byteranges body back into parts.

@@ -1,0 +1,113 @@
+// Upstream response validation: the consistency checks a hardened CDN runs
+// on what its origin (or back-CDN) actually returned before trusting it.
+//
+// The paper's root cause is CDNs forwarding rewritten ranges upstream and
+// ingesting the reply unchecked (sections IV-V); its countermeasures call
+// for exactly these cross-checks.  A ResponseValidator inspects one upstream
+// response against the Range set that was requested and reports every
+// violation it finds:
+//
+//   * status / Content-Range agreement (a 206 must carry a Content-Range or
+//     a multipart/byteranges type; nothing else may carry a Content-Range);
+//   * Content-Range bounds against the declared total (first <= last < total)
+//     and against the body actually received;
+//   * Content-Length against the actual body byte count;
+//   * multipart framing: parsable boundary, part headers, per-part
+//     Content-Range bounds, one total size across parts, and no more parts
+//     than ranges were requested;
+//   * chunked-framing totals (the stream must decode completely);
+//   * request-smuggling shapes: duplicate differing Content-Length fields,
+//     Content-Length alongside Transfer-Encoding: chunked (RFC 7230 §3.3.3);
+//   * resource budgets: per-exchange body bytes and multipart assembly bytes
+//     (Envoy-style per-stream buffer limits).
+//
+// Validation never mutates the response; enforcement (502-synthesize,
+// truncate-and-drop, never-cache) is the caller's policy -- see
+// cdn::ConformancePolicy and docs/adversarial-model.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+#include "http/range.h"
+
+namespace rangeamp::http {
+
+/// One validated property of an upstream response.
+enum class ValidationCheck {
+  kStatusRangeAgreement,      ///< status vs Content-Range presence
+  kContentRangeBounds,        ///< Content-Range vs declared total / body
+  kContentLengthMismatch,     ///< declared Content-Length vs actual bytes
+  kDuplicateContentLength,    ///< differing Content-Length fields (smuggle)
+  kContentLengthWithChunked,  ///< Content-Length + Transfer-Encoding conflict
+  kChunkedFraming,            ///< chunked stream fails to decode
+  kMultipartFraming,          ///< multipart/byteranges body fails to parse
+  kMultipartPartCount,        ///< more parts than ranges were requested
+  kBodyBudget,                ///< body exceeds the per-exchange buffer budget
+  kMultipartBudget,           ///< multipart body exceeds the assembly budget
+};
+
+inline constexpr std::size_t kValidationCheckCount = 10;
+
+/// Stable label used in metrics and CSV output ("content-length-mismatch").
+std::string_view validation_check_name(ValidationCheck check) noexcept;
+
+/// How dangerous an accepted violation of this check would be.  Fatal checks
+/// (smuggling shapes, undecodable framing, blown budgets) are rejected even
+/// under lenient conformance; soft checks (consistency lies a downstream
+/// could tolerate) are passed through uncached in lenient mode.
+enum class ValidationSeverity { kFatal, kSoft };
+
+ValidationSeverity validation_check_severity(ValidationCheck check) noexcept;
+
+struct ValidationViolation {
+  ValidationCheck check;
+  std::string detail;
+};
+
+/// Resource budgets the validator enforces (0 = unlimited).
+struct ValidationLimits {
+  /// Max response body bytes buffered for one exchange.
+  std::uint64_t max_body_bytes = 0;
+  /// Max bytes of a multipart/byteranges body (part framing included).
+  std::uint64_t max_multipart_bytes = 0;
+};
+
+struct ValidationReport {
+  std::vector<ValidationViolation> violations;
+
+  /// The declared Content-Length when one parsed unambiguously (the
+  /// truncate-and-drop enforcement needs it).
+  std::optional<std::uint64_t> declared_content_length;
+
+  bool ok() const noexcept { return violations.empty(); }
+  bool has(ValidationCheck check) const noexcept;
+  bool any_fatal() const noexcept;
+
+  /// Comma-joined check names ("" when ok) for traces and error notes.
+  std::string summary() const;
+};
+
+class ResponseValidator {
+ public:
+  explicit ResponseValidator(ValidationLimits limits = {}) : limits_(limits) {}
+
+  /// Validates one upstream response.  `requested` is the Range set the
+  /// validating hop sent upstream (nullopt = no Range header was sent, so a
+  /// partial reply is itself suspect).  Budget checks run before any body
+  /// materialization, so a response that blows its budget is refused without
+  /// the validator itself buffering it.
+  ValidationReport validate(const Response& response,
+                            const std::optional<RangeSet>& requested) const;
+
+  const ValidationLimits& limits() const noexcept { return limits_; }
+
+ private:
+  ValidationLimits limits_;
+};
+
+}  // namespace rangeamp::http

@@ -1,0 +1,222 @@
+#include "origin/malicious_origin.h"
+
+#include <string>
+#include <utility>
+
+#include "http/chunked.h"
+#include "http/multipart.h"
+#include "http/range.h"
+
+namespace rangeamp::origin {
+
+using http::Body;
+using http::Request;
+using http::Response;
+
+namespace {
+
+const std::vector<MaliciousBehavior>& default_rotation() {
+  static const std::vector<MaliciousBehavior> kAll = {
+      MaliciousBehavior::kLyingContentLength,
+      MaliciousBehavior::kShortBody,
+      MaliciousBehavior::kOutOfBoundsContentRange,
+      MaliciousBehavior::kOverlappingExtraParts,
+      MaliciousBehavior::kBoundaryInjection,
+      MaliciousBehavior::kClTeSmuggle,
+      MaliciousBehavior::kDuplicateContentLength,
+      MaliciousBehavior::kUnboundedChunked,
+      MaliciousBehavior::kStatusRangeMismatch,
+  };
+  return kAll;
+}
+
+}  // namespace
+
+std::string_view malicious_behavior_name(MaliciousBehavior b) noexcept {
+  switch (b) {
+    case MaliciousBehavior::kHonest: return "honest";
+    case MaliciousBehavior::kLyingContentLength: return "lying-content-length";
+    case MaliciousBehavior::kShortBody: return "short-body";
+    case MaliciousBehavior::kOutOfBoundsContentRange:
+      return "oob-content-range";
+    case MaliciousBehavior::kOverlappingExtraParts:
+      return "overlapping-extra-parts";
+    case MaliciousBehavior::kBoundaryInjection: return "boundary-injection";
+    case MaliciousBehavior::kClTeSmuggle: return "cl-te-smuggle";
+    case MaliciousBehavior::kDuplicateContentLength:
+      return "duplicate-content-length";
+    case MaliciousBehavior::kUnboundedChunked: return "unbounded-chunked";
+    case MaliciousBehavior::kStatusRangeMismatch:
+      return "status-range-mismatch";
+  }
+  return "unknown";
+}
+
+bool behavior_can_poison_cache(MaliciousBehavior b) noexcept {
+  // The other behaviours are refused by the legacy ingestion guards
+  // (entity_from_response): a body that contradicts its single Content-Length
+  // or fails to de-chunk never enters the cache even unvalidated.  These
+  // shapes slip past them.
+  return b == MaliciousBehavior::kDuplicateContentLength ||
+         b == MaliciousBehavior::kOverlappingExtraParts ||
+         b == MaliciousBehavior::kBoundaryInjection ||
+         b == MaliciousBehavior::kStatusRangeMismatch ||
+         b == MaliciousBehavior::kOutOfBoundsContentRange;
+}
+
+MaliciousOrigin::MaliciousOrigin(MaliciousOriginConfig config)
+    : config_(std::move(config)),
+      honest_(config_.origin),
+      rng_(config_.seed) {}
+
+Response MaliciousOrigin::handle(const Request& request) {
+  MaliciousBehavior behavior;
+  if (pinned_) {
+    behavior = *pinned_;
+  } else {
+    const auto& rotation =
+        config_.rotation.empty() ? default_rotation() : config_.rotation;
+    behavior = rotation[static_cast<std::size_t>(rng_.below(rotation.size()))];
+  }
+  served_.push_back(behavior);
+  return corrupt(behavior, request, honest_.handle(request));
+}
+
+Response MaliciousOrigin::corrupt(MaliciousBehavior behavior,
+                                  const Request& request, Response honest) {
+  switch (behavior) {
+    case MaliciousBehavior::kHonest:
+      return honest;
+
+    case MaliciousBehavior::kLyingContentLength: {
+      // Promise more bytes than will ever arrive; the connection "dies"
+      // before the remainder.
+      honest.headers.set(
+          "Content-Length",
+          std::to_string(honest.body.size() + config_.lie_extra_bytes));
+      return honest;
+    }
+
+    case MaliciousBehavior::kShortBody: {
+      // Cut the entity in half while the headers keep promising all of it.
+      honest.body = honest.body.slice(0, honest.body.size() / 2);
+      return honest;
+    }
+
+    case MaliciousBehavior::kOutOfBoundsContentRange: {
+      if (const auto cr = honest.headers.get("Content-Range")) {
+        // Point the range past the declared total.
+        const auto parsed = http::parse_content_range(*cr);
+        const std::uint64_t total =
+            parsed ? parsed->resource_size : honest.body.size();
+        honest.headers.set("Content-Range",
+                           "bytes " + std::to_string(total) + "-" +
+                               std::to_string(total + 999) + "/" +
+                               std::to_string(total));
+      } else {
+        // A Content-Range where none belongs (200/416 carrying one).
+        honest.headers.set(
+            "Content-Range",
+            "bytes 0-" +
+                std::to_string(honest.body.empty() ? 0
+                                                   : honest.body.size() - 1) +
+                "/" + std::to_string(honest.body.size()));
+      }
+      return honest;
+    }
+
+    case MaliciousBehavior::kOverlappingExtraParts: {
+      // OBR served straight from the origin: every requested range appears
+      // `overlap_extra_parts` times in the multipart answer.
+      const Resource* res = honest_.resources().find(request.path());
+      if (res == nullptr || res->size() == 0) return honest;
+      std::vector<http::ResolvedRange> resolved;
+      if (const auto value = request.headers.get("Range")) {
+        if (const auto set = http::parse_range_header(*value)) {
+          resolved = http::resolve_all(*set, res->size());
+        }
+      }
+      if (resolved.empty()) resolved.push_back({0, res->size() - 1});
+      std::vector<http::ResolvedRange> inflated;
+      for (std::size_t copy = 0; copy < config_.overlap_extra_parts; ++copy) {
+        inflated.insert(inflated.end(), resolved.begin(), resolved.end());
+      }
+      Body body = http::build_multipart_byteranges(
+          res->entity, inflated, res->size(), res->content_type,
+          config_.origin.multipart_boundary);
+      Response resp;
+      resp.status = http::kPartialContent;
+      resp.headers.add("Date", config_.origin.date);
+      resp.headers.add("Server", config_.origin.server_banner);
+      resp.headers.add("Last-Modified", res->last_modified);
+      if (!res->etag.empty()) resp.headers.add("ETag", res->etag);
+      resp.headers.add("Accept-Ranges", "bytes");
+      resp.headers.add("Content-Length", std::to_string(body.size()));
+      resp.headers.add(
+          "Content-Type",
+          http::multipart_content_type(config_.origin.multipart_boundary));
+      resp.body = std::move(body);
+      return resp;
+    }
+
+    case MaliciousBehavior::kBoundaryInjection: {
+      // Declare a boundary the body is not framed with: any delimiter the
+      // receiver trusts is attacker-chosen, so the only safe parse outcome
+      // is a framing error.
+      honest.status = http::kPartialContent;
+      honest.headers.remove("Content-Range");
+      honest.headers.set("Content-Type",
+                         "multipart/byteranges; boundary=injected_boundary");
+      return honest;
+    }
+
+    case MaliciousBehavior::kClTeSmuggle: {
+      // RFC 7230 section 3.3.3 conflict: keep the identity Content-Length
+      // AND chunk the body.
+      const std::string declared =
+          std::string{honest.headers.get_or("Content-Length",
+                                            std::to_string(honest.body.size()))};
+      honest.body = http::encode_chunked(honest.body);
+      honest.headers.set("Content-Length", declared);
+      honest.headers.set("Transfer-Encoding", "chunked");
+      return honest;
+    }
+
+    case MaliciousBehavior::kDuplicateContentLength: {
+      // The cache-poison vector: a garbage tail covered by the *first*
+      // Content-Length (the one naive ingestion trusts), with the honest
+      // length smuggled in a second field.
+      const std::string honest_length = std::to_string(honest.body.size());
+      honest.body.append_literal(
+          std::string(static_cast<std::size_t>(config_.garbage_tail_bytes),
+                      'Z'));
+      honest.headers.set("Content-Length", std::to_string(honest.body.size()));
+      honest.headers.add("Content-Length", honest_length);
+      return honest;
+    }
+
+    case MaliciousBehavior::kUnboundedChunked: {
+      // A stream that keeps coming: `chunked_stream_bytes` of chunked data
+      // with the terminating "0\r\n\r\n" never sent.
+      Body stream = Body::synthetic(config_.seed ^ 0x9e3779b97f4a7c15ull, 0,
+                                    config_.chunked_stream_bytes);
+      Body framed = http::encode_chunked(stream);
+      honest.body = framed.slice(0, framed.size() - 5);
+      honest.headers.remove("Content-Length");
+      honest.headers.remove("Content-Range");
+      honest.status = http::kOk;
+      honest.headers.set("Transfer-Encoding", "chunked");
+      return honest;
+    }
+
+    case MaliciousBehavior::kStatusRangeMismatch: {
+      // A 206 that never says which bytes it carries.
+      honest.status = http::kPartialContent;
+      honest.headers.remove("Content-Range");
+      return honest;
+    }
+  }
+  return honest;
+}
+
+}  // namespace rangeamp::origin

@@ -1,0 +1,119 @@
+// Byzantine origin model: an origin that answers with adversarial responses.
+//
+// The paper's attacks need only a *cooperating* origin (the attacker often
+// controls it, section IV); this model goes further and makes the origin
+// actively hostile toward the CDN in front of it -- the threat the
+// Byzantine-origin hardening layer (http::ResponseValidator +
+// cdn::ConformancePolicy) defends against.  Each behaviour below corrupts
+// the honest Apache-flavored response in one specific way:
+//
+//   * kLyingContentLength    -- Content-Length larger than the body;
+//   * kShortBody             -- body cut short of the declared length;
+//   * kOutOfBoundsContentRange -- Content-Range pointing outside the
+//                               declared total (or onto a 200);
+//   * kOverlappingExtraParts -- multipart/byteranges with the requested
+//                               range duplicated N times (OBR-style inflation
+//                               served directly by the origin);
+//   * kBoundaryInjection     -- multipart framed against a boundary the
+//                               Content-Type does not (legally) declare;
+//   * kClTeSmuggle           -- Content-Length alongside Transfer-Encoding:
+//                               chunked (RFC 7230 section 3.3.3 smuggle shape);
+//   * kDuplicateContentLength -- two differing Content-Length fields, body
+//                               padded with a garbage tail the first one
+//                               covers (the cache-poison vector);
+//   * kUnboundedChunked      -- a large chunked stream that never terminates;
+//   * kStatusRangeMismatch   -- a 206 status with no Content-Range at all.
+//
+// Behaviours rotate per request under a seeded Rng, so a chaos run is fully
+// reproducible from its seed; `served_log()` records what each request got.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "http/generator.h"
+#include "net/handler.h"
+#include "origin/origin_server.h"
+
+namespace rangeamp::origin {
+
+enum class MaliciousBehavior {
+  kHonest,
+  kLyingContentLength,
+  kShortBody,
+  kOutOfBoundsContentRange,
+  kOverlappingExtraParts,
+  kBoundaryInjection,
+  kClTeSmuggle,
+  kDuplicateContentLength,
+  kUnboundedChunked,
+  kStatusRangeMismatch,
+};
+
+inline constexpr std::size_t kMaliciousBehaviorCount = 10;
+
+std::string_view malicious_behavior_name(MaliciousBehavior b) noexcept;
+
+/// True when a CDN ingesting this behaviour's response unvalidated could end
+/// up with a wrong entity in its cache (as opposed to merely wasted bytes).
+bool behavior_can_poison_cache(MaliciousBehavior b) noexcept;
+
+struct MaliciousOriginConfig {
+  /// The honest Apache model underneath; corruption starts from its output.
+  OriginConfig origin;
+
+  /// Seed for the per-request behaviour rotation.
+  std::uint64_t seed = 1;
+
+  /// Behaviours the rotation draws from.  Empty = every non-honest one.
+  std::vector<MaliciousBehavior> rotation;
+
+  /// kLyingContentLength: bytes added to the declared length.
+  std::uint64_t lie_extra_bytes = 4096;
+
+  /// kOverlappingExtraParts: copies of the requested range in the multipart.
+  std::size_t overlap_extra_parts = 8;
+
+  /// kDuplicateContentLength: garbage bytes appended to the entity.
+  std::uint64_t garbage_tail_bytes = 512;
+
+  /// kUnboundedChunked: bytes streamed before the (missing) terminator.
+  std::uint64_t chunked_stream_bytes = 8ull * 1024 * 1024;
+};
+
+class MaliciousOrigin final : public net::HttpHandler {
+ public:
+  explicit MaliciousOrigin(MaliciousOriginConfig config = {});
+
+  ResourceStore& resources() noexcept { return honest_.resources(); }
+  OriginServer& honest() noexcept { return honest_; }
+  const MaliciousOriginConfig& config() const noexcept { return config_; }
+
+  /// Pin every subsequent response to one behaviour (tests); nullopt
+  /// restores the seeded rotation.
+  void set_behavior(std::optional<MaliciousBehavior> behavior) {
+    pinned_ = behavior;
+  }
+
+  /// The behaviour each handled request was served with, in arrival order.
+  const std::vector<MaliciousBehavior>& served_log() const noexcept {
+    return served_;
+  }
+  void clear_log() { served_.clear(); }
+
+  http::Response handle(const http::Request& request) override;
+
+ private:
+  http::Response corrupt(MaliciousBehavior behavior,
+                         const http::Request& request, http::Response honest);
+
+  MaliciousOriginConfig config_;
+  OriginServer honest_;
+  http::Rng rng_;
+  std::vector<MaliciousBehavior> served_;
+  std::optional<MaliciousBehavior> pinned_;
+};
+
+}  // namespace rangeamp::origin

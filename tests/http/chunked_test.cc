@@ -52,6 +52,35 @@ TEST(Chunked, DecodeRejectsFramingErrors) {
   EXPECT_FALSE(decode_chunked(""));
 }
 
+TEST(Chunked, DecodeCapsSizeLineLength) {
+  // A size line whose CRLF never arrives within kMaxChunkLineBytes must be a
+  // decode error, not an O(input) scan per chunk.
+  const std::string long_ext(kMaxChunkLineBytes + 1, 'e');
+  EXPECT_FALSE(decode_chunked("5;" + long_ext + "\r\nhello\r\n0\r\n\r\n"));
+  // At the cap the extension is still legal.
+  const std::string ok_ext(kMaxChunkLineBytes - 2, 'e');
+  const auto decoded =
+      decode_chunked("5;" + ok_ext + "\r\nhello\r\n0\r\n\r\n");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->materialize(), "hello");
+}
+
+TEST(Chunked, DecodeCapsSizeDigits) {
+  // More hex digits than a 64-bit size can need is an attack, not a size.
+  const std::string padded(kMaxChunkSizeDigits, '0');
+  EXPECT_FALSE(decode_chunked(padded + "5\r\nhello\r\n0\r\n\r\n"));
+  const std::string ok_padded(kMaxChunkSizeDigits - 1, '0');
+  const auto decoded = decode_chunked(ok_padded + "5\r\nhello\r\n0\r\n\r\n");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->materialize(), "hello");
+}
+
+TEST(Chunked, DecodeCapsTrailerLineLength) {
+  const std::string long_trailer(kMaxChunkLineBytes + 8, 't');
+  EXPECT_FALSE(
+      decode_chunked("5\r\nhello\r\n0\r\n" + long_trailer + "\r\n\r\n"));
+}
+
 TEST(Chunked, ResponseCodingHelpers) {
   Response resp = make_response(kOk, Body::synthetic(5, 0, 1000));
   apply_chunked_coding(resp, 256);

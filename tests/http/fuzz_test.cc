@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include "cdn/shield.h"
+#include "http/chunked.h"
 #include "http/generator.h"
 #include "http/multipart.h"
 #include "http/range.h"
 #include "http/serialize.h"
+#include "http/validate.h"
 #include "http2/hpack.h"
 
 namespace rangeamp::http {
@@ -180,6 +182,81 @@ TEST_P(FuzzSweep, HpackDecoderIsTotal) {
       for (const auto& h : *decoded) {
         ASSERT_LE(h.name.size(), wire.size() + 64);
       }
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ValidatorIsTotalOnMutatedMultipart) {
+  Rng rng{GetParam() ^ 0x77AA55};
+  const Body entity = Body::synthetic(77, 0, 2048);
+  ResponseValidator validator{ValidationLimits{}};
+  for (int i = 0; i < 800; ++i) {
+    // A correctly framed multipart 206 for a random requested range set...
+    std::vector<ResolvedRange> ranges;
+    std::string range_header = "bytes=";
+    const int parts = 1 + static_cast<int>(rng.below(4));
+    for (int p = 0; p < parts; ++p) {
+      const std::uint64_t first = rng.below(2048);
+      const std::uint64_t last =
+          std::min<std::uint64_t>(2047, first + rng.below(256));
+      ranges.push_back({first, last});
+      if (p != 0) range_header += ',';
+      range_header += std::to_string(first) + "-" + std::to_string(last);
+    }
+    const auto requested = parse_range_header(range_header);
+    ASSERT_TRUE(requested);
+    Response response = make_response(
+        kPartialContent,
+        build_multipart_byteranges(entity, ranges, 2048, "a/b", "BNDRY"));
+    response.headers.set("Content-Type",
+                         "multipart/byteranges; boundary=BNDRY");
+    // ...mangled on the wire before it reaches the validating hop.
+    std::string wire = to_bytes(response);
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < mutations; ++m) wire = mutate(rng, wire);
+    const auto parsed = parse_response(wire);
+    if (!parsed) continue;
+    const auto report = validator.validate(*parsed, requested);
+    if (report.ok() && parsed->status == kPartialContent) {
+      // Anything the validator accepts as a framed multipart must actually
+      // parse, with every part inside the entity it claims to slice.
+      const auto boundary =
+          boundary_from_content_type(parsed->headers.get("Content-Type")
+                                         .value_or(""));
+      if (boundary) {
+        const auto reparsed =
+            parse_multipart_byteranges(parsed->body.materialize(), *boundary);
+        ASSERT_TRUE(reparsed) << i;
+        ASSERT_LE(reparsed->size(), requested->count()) << i;
+        for (const auto& part : *reparsed) {
+          ASSERT_LT(part.range.last, 2048u) << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ValidatorIsTotalOnMutatedChunked) {
+  Rng rng{GetParam() ^ 0x55CC33};
+  ResponseValidator validator{ValidationLimits{}};
+  for (int i = 0; i < 800; ++i) {
+    const std::uint64_t n = 1 + rng.below(4096);
+    Response response =
+        make_response(kOk, Body::synthetic(rng.next(), 0, n));
+    apply_chunked_coding(response, 1 + rng.below(512));
+    std::string wire = to_bytes(response);
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) wire = mutate(rng, wire);
+    const auto parsed = parse_response(wire);
+    if (!parsed) continue;
+    const auto report = validator.validate(*parsed, std::nullopt);
+    if (report.ok() && is_chunked(*parsed)) {
+      // An accepted chunked body must decode, and stay decodable after a
+      // serialize/parse round trip (stability of the accept decision).
+      ASSERT_TRUE(decode_chunked(parsed->body.materialize())) << i;
+      const auto again = parse_response(to_bytes(*parsed));
+      ASSERT_TRUE(again) << i;
+      EXPECT_TRUE(validator.validate(*again, std::nullopt).ok()) << i;
     }
   }
 }

@@ -98,6 +98,33 @@ TEST(Multipart, ContentTypeHelpers) {
   EXPECT_FALSE(boundary_from_content_type("multipart/byteranges; boundary="));
 }
 
+TEST(Multipart, BoundaryValidationFollowsRfc2046) {
+  // Quoted boundaries may carry bchars the bare form cannot end with.
+  EXPECT_EQ(boundary_from_content_type(
+                "multipart/byteranges; boundary=\"gc0p4Jq0M:2Yt08j34c0p\""),
+            "gc0p4Jq0M:2Yt08j34c0p");
+  EXPECT_EQ(boundary_from_content_type(
+                "multipart/byteranges; boundary=a'()+_,-./:=?b"),
+            "a'()+_,-./:=?b");
+  // Exactly 70 characters is the RFC 2046 maximum; 71 is rejected.
+  const std::string max(70, 'a');
+  EXPECT_EQ(boundary_from_content_type(
+                "multipart/byteranges; boundary=" + max),
+            max);
+  EXPECT_FALSE(boundary_from_content_type(
+      "multipart/byteranges; boundary=" + max + "a"));
+  // Characters outside bchars must be rejected, not smuggled downstream.
+  EXPECT_FALSE(boundary_from_content_type(
+      "multipart/byteranges; boundary=bad{boundary}"));
+  EXPECT_FALSE(
+      boundary_from_content_type("multipart/byteranges; boundary=\"a\rb\""));
+  EXPECT_FALSE(
+      boundary_from_content_type("multipart/byteranges; boundary=a\"b"));
+  // A space is a bchar but may not terminate the boundary.
+  EXPECT_FALSE(
+      boundary_from_content_type("multipart/byteranges; boundary=\"ab \""));
+}
+
 TEST(Multipart, ParseRejectsTruncatedBody) {
   const Body entity = test_entity(100);
   const std::vector<ResolvedRange> ranges{{0, 99}};
