@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validates a rangeamp Prometheus text-exposition export.
+
+Stdlib-only (CI needs no extra packages).  Three layers of checks:
+
+  1. syntax: every non-comment line must be `name{labels} value` with a
+     metric name matching the Prometheus grammar, balanced/well-formed
+     labels, and a finite numeric value;
+  2. schema: every base metric name (labels stripped, `_bucket`/`_sum`/
+     `_count` histogram suffixes folded onto their family) must appear in
+     the catalogue documented in docs/observability.md, mirrored in
+     KNOWN_METRICS below -- an unknown name means code and docs drifted;
+  3. coverage: counters are non-negative integers, and every base name
+     passed via --require is present with at least one series.
+
+Usage: check_metrics.py METRICS.prom [--require name1,name2,...]
+Exit 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+# The metric catalogue of docs/observability.md.  Kept flat and sorted so a
+# drift shows as a one-line diff here and in the doc.
+KNOWN_METRICS = {
+    "cdn_cache_hits_total",
+    "cdn_cache_misses_total",
+    "cdn_coalesced_hits_total",
+    "cdn_deadline_expired_total",
+    "cdn_loop_rejected_total",
+    "cdn_origin_fetch_attempts_total",
+    "cdn_overload_degraded_total",
+    "cdn_overload_shed_total",
+    "cdn_requests_total",
+    "cdn_retry_budget_denied_total",
+    "cdn_shed_total",
+    "cdn_validator_budget_overflows_total",
+    "cdn_validator_store_suppressed_total",
+    "cdn_validator_violations_total",
+    "sbr_amplification_factor",
+}
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$')
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_name(name, families):
+    """Strips histogram suffixes when the bare family was declared."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(path):
+    """Returns (series, families, errors); series maps base name -> values."""
+    series = {}
+    families = set()
+    errors = []
+    with open(path) as f:
+        lines = f.readlines()
+
+    # First pass: TYPE/HELP declarations name the families, which is what
+    # lets _bucket/_sum/_count fold back onto their histogram.
+    for line in lines:
+        fields = line.split()
+        if len(fields) >= 3 and fields[0] == "#" and fields[1] in ("TYPE", "HELP"):
+            families.add(fields[2])
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            metric, value_text = line.rsplit(None, 1)
+        except ValueError:
+            errors.append("line %d: not `name value`: %r" % (lineno, line))
+            continue
+        brace = metric.find("{")
+        name = metric if brace < 0 else metric[:brace]
+        labels = "" if brace < 0 else metric[brace:]
+        if not NAME_RE.match(name):
+            errors.append("line %d: bad metric name %r" % (lineno, name))
+            continue
+        if labels and not LABELS_RE.match(labels):
+            errors.append("line %d: malformed labels %r" % (lineno, labels))
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            value = math.nan
+        if not math.isfinite(value):
+            errors.append("line %d: non-finite value %r" % (lineno, value_text))
+            continue
+        if name.endswith("_total") and (value < 0 or value != int(value)):
+            errors.append("line %d: counter %s has non-counter value %r"
+                          % (lineno, name, value_text))
+        series.setdefault(base_name(name, families), []).append(value)
+    return series, families, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help=".prom exposition file to validate")
+    parser.add_argument("--require", default="",
+                        help="comma-separated base metric names that must be "
+                             "present with at least one series")
+    args = parser.parse_args()
+
+    series, families, errors = parse(args.metrics)
+    if not series:
+        errors.append("no metric samples found in %s" % args.metrics)
+
+    for name in series:
+        if name not in KNOWN_METRICS:
+            errors.append("unknown metric %r -- update docs/observability.md "
+                          "and KNOWN_METRICS together" % name)
+
+    required = [n for n in args.require.split(",") if n]
+    for name in required:
+        if name not in series:
+            errors.append("required metric %r has no series" % name)
+
+    if errors:
+        for error in errors[:50]:
+            print("check_metrics: %s" % error, file=sys.stderr)
+        if len(errors) > 50:
+            print("check_metrics: ... and %d more" % (len(errors) - 50),
+                  file=sys.stderr)
+        return 1
+
+    print("check_metrics: OK -- %d base metrics, %d series, %d required "
+          "present" % (len(series), sum(len(v) for v in series.values()),
+                       len(required)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

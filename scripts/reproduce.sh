@@ -58,6 +58,7 @@ expected_csvs=(
   http2_rangeamp.csv
   obr_node_exhaustion.csv
   origin_shield_ablation.csv
+  overload_ablation.csv
   practicability_cost.csv
   table1_sbr_forwarding.csv
   table2_obr_forwarding.csv
@@ -86,9 +87,24 @@ echo "==================== traced Fig 6 re-run ====================" | tee -a be
 RANGEAMP_TRACE=1 RANGEAMP_METRICS=1 \
   ./build/bench/bench_table4_fig6_sbr_amplification 2>&1 | tee -a bench_output.txt
 python3 scripts/check_trace.py fig6_trace.jsonl
+python3 scripts/check_metrics.py fig6_metrics.prom
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   if ! git diff --exit-code -- '*.csv'; then
     echo "Reproduction FAILED: the traced run perturbed committed CSVs (diff above)" >&2
+    exit 1
+  fi
+fi
+
+# Overload metrics gate: the storm's metrics-enabled re-run must export a
+# .prom whose names are all in the documented catalogue with the four
+# overload counters present, and must not perturb a committed CSV byte.
+echo "==================== overload storm metrics re-run ====================" | tee -a bench_output.txt
+RANGEAMP_METRICS=1 ./build/bench/bench_overload_storm 2>&1 | tee -a bench_output.txt
+python3 scripts/check_metrics.py overload_metrics.prom \
+  --require cdn_overload_shed_total,cdn_overload_degraded_total,cdn_deadline_expired_total,cdn_retry_budget_denied_total
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: the overload metrics re-run perturbed committed CSVs (diff above)" >&2
     exit 1
   fi
 fi

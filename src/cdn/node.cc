@@ -88,7 +88,8 @@ CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
                       ? default_cdn_loop_token(traits_.name)
                       : traits_.shield.loop.token),
       breaker_(traits_.shield.breaker),
-      fills_(traits_.shield.coalescing) {
+      fills_(traits_.shield.coalescing),
+      overload_(traits_.overload) {
   if (traits_.node_id.empty()) traits_.node_id = loop_token_;
 }
 
@@ -144,6 +145,10 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
     if (m_loop_rejected_) m_loop_rejected_->inc();
     return std::move(*rejected);
   }
+  if (auto rejected = check_deadline_ingress(request, span)) {
+    span.note("verdict", "deadline-expired");
+    return std::move(*rejected);
+  }
 
   std::optional<RangeSet> range;
   if (const auto value = request.headers.get("Range")) {
@@ -165,6 +170,19 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
         if (m_cache_hits_) m_cache_hits_->inc();
         return respond_entity(*hit, range);
       }
+      // Stale under overload pressure: skip the conditional GET entirely --
+      // the stale copy absorbs the request at zero upstream cost
+      // (stale-while-revalidate collapsed onto the overload manager).
+      if (traits_.overload.watermarks.enabled &&
+          overload_.admit(sim_now()) != OverloadVerdict::kAdmit) {
+        ++overload_stats_.degraded;
+        ++overload_stats_.stale_under_pressure;
+        span.note("overload", "serve-stale");
+        if (m_overload_degraded_) m_overload_degraded_->inc();
+        Response resp = respond_entity(*hit, range);
+        resp.headers.add("Warning", "110 - \"Response is Stale\"");
+        return resp;
+      }
       // Stale: revalidate with a conditional GET instead of a refetch.
       // (Key differs from the terminal "cache" verdict: a failed revalidation
       // falls through to the miss path, and note keys must stay unique.)
@@ -172,6 +190,12 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
       http::Request conditional = request;
       conditional.headers.set("If-None-Match", hit->etag);
       FetchResult check = fetch_result(conditional, std::nullopt);
+      if (check.shed == ShedCause::kDeadline || check.deadline_expired) {
+        // Deadline outranks serve-stale: past the client-facing deadline
+        // even the stale copy is useless work (see degrade()).
+        span.note("degrade", "deadline-504");
+        return degrade(request, range, check);
+      }
       if (!check.ok() &&
           traits_.resilience.degradation == DegradationPolicy::kServeStale) {
         // Stale-if-error: the revalidation failed, the stale copy absorbs it.
@@ -212,11 +236,17 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
     std::string fill_key = resolve_cache_key(request);
     fill_key.push_back('\x1f');
     fill_key.append(request.headers.get_or("Range", ""));
+    // A held fill outranks overload shedding: replaying the leader's
+    // response costs the origin nothing, so shedding it would only hurt
+    // availability (same argument as serve-stale vs the open breaker).
     if (const Response* held = fills_.find(fill_key, now)) {
       ++shield_stats_.coalesced_hits;
       span.note("fill_lock", "coalesced-hit");
       if (m_coalesced_hits_) m_coalesced_hits_->inc();
       return *held;
+    }
+    if (auto refused = check_overload(request, range, span)) {
+      return std::move(*refused);
     }
     ++shield_stats_.fill_fetches;
     span.note("fill_lock", "leader");
@@ -224,7 +254,80 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
     fills_.record(std::move(fill_key), filled, now);
     return filled;
   }
+  if (auto refused = check_overload(request, range, span)) {
+    return std::move(*refused);
+  }
   return logic_->on_miss(*this, request, range);
+}
+
+std::optional<Response> CdnNode::check_deadline_ingress(const Request& request,
+                                                        obs::SpanScope& span) {
+  // Per-exchange state reset happens here, knobs on or off -- a node is
+  // reused across requests and stale budgets must never leak.
+  deadline_remaining_.reset();
+  incoming_attempt_count_ = 1;
+
+  const RetryBudgetPolicy& rb = traits_.overload.retry_budget;
+  if (const auto value = request.headers.get(kAttemptCountHeader)) {
+    if (const auto count = parse_attempt_count(*value)) {
+      incoming_attempt_count_ = *count;
+      if (rb.enabled && rb.count_chain_attempts && *count > 1) {
+        // An upstream hop is retrying through us: charge its retry against
+        // our budget so a chain cannot multiply attempts geometrically.
+        overload_.note_chain_attempt(sim_now());
+        ++overload_stats_.chain_attempts;
+        span.note("chain_attempt", std::to_string(*count));
+      }
+    }
+  }
+
+  const DeadlinePolicy& dp = traits_.overload.deadline;
+  if (!dp.enabled) return std::nullopt;
+  double budget = dp.default_budget_seconds;
+  if (const auto value = request.headers.get(kDeadlineBudgetHeader)) {
+    if (const auto parsed = parse_deadline_budget(*value)) budget = *parsed;
+    // An unparseable value falls back to the default: the header is
+    // internal, and failing open here only loses an optimization.
+  }
+  deadline_remaining_ = budget;
+  if (budget < dp.per_hop_min_seconds) {
+    ++overload_stats_.deadline_rejected_ingress;
+    if (m_deadline_expired_) m_deadline_expired_->inc();
+    span.note("deadline", "expired-at-ingress");
+    return deadline_response("at ingress");
+  }
+  return std::nullopt;
+}
+
+std::optional<Response> CdnNode::check_overload(
+    const Request& request, const std::optional<RangeSet>& range,
+    obs::SpanScope& span) {
+  const WatermarkPolicy& wp = traits_.overload.watermarks;
+  if (!wp.enabled) return std::nullopt;
+  const double now = sim_now();
+  const OverloadVerdict verdict = overload_.admit(now);
+  if (verdict == OverloadVerdict::kAdmit) {
+    ++overload_stats_.admitted;
+    overload_.note_queued(now);
+    return std::nullopt;
+  }
+  span.note("overload", std::string{overload_verdict_name(verdict)});
+  span.note("pressure",
+            std::string{pressure_dim_name(overload_.last_pressure_dim())});
+  if (verdict == OverloadVerdict::kDegrade) {
+    ++overload_stats_.degraded;
+    if (m_overload_degraded_) m_overload_degraded_->inc();
+    if (const CachedEntity* stale = stale_entity(request)) {
+      ++overload_stats_.stale_under_pressure;
+      Response resp = respond_entity(*stale, range);
+      resp.headers.add("Warning", "110 - \"Response is Stale\"");
+      return resp;
+    }
+    return shed_response(ShedCause::kOverloadLow);
+  }
+  ++overload_stats_.shed_high_watermark;
+  if (m_overload_shed_) m_overload_shed_->inc();
+  return shed_response(ShedCause::kOverloadHigh);
 }
 
 void CdnNode::set_upstream_fault_injector(net::FaultInjector* injector) {
@@ -242,7 +345,8 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   if (!metrics) {
     m_requests_ = m_cache_hits_ = m_cache_misses_ = m_coalesced_hits_ =
         m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = m_budget_overflows_ =
-            nullptr;
+            m_overload_shed_ = m_overload_degraded_ = m_deadline_expired_ =
+                m_retry_budget_denied_ = nullptr;
     return;
   }
   const std::string label = "{vendor=\"" + traits_.name + "\"}";
@@ -267,6 +371,18 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   m_budget_overflows_ = &metrics->counter(
       "cdn_validator_budget_overflows_total" + label,
       "body-buffer / multipart-assembly budget trips (ingest and egress)");
+  m_overload_shed_ = &metrics->counter(
+      "cdn_overload_shed_total" + label,
+      "misses hard-rejected 503 at a high watermark");
+  m_overload_degraded_ = &metrics->counter(
+      "cdn_overload_degraded_total" + label,
+      "misses degraded between watermarks (stale served or 503)");
+  m_deadline_expired_ = &metrics->counter(
+      "cdn_deadline_expired_total" + label,
+      "exchanges refused or cancelled by the propagated deadline (504)");
+  m_retry_budget_denied_ = &metrics->counter(
+      "cdn_retry_budget_denied_total" + label,
+      "upstream retries refused by the cross-hop retry budget");
 }
 
 Request CdnNode::build_upstream_request(const Request& client_request,
@@ -277,6 +393,12 @@ Request CdnNode::build_upstream_request(const Request& client_request,
   upstream_request.target = client_request.target;
   for (const auto& f : client_request.headers.fields()) {
     if (http::iequals(f.name, "Range") || is_hop_by_hop(f.name)) continue;
+    // The deadline/attempt headers are hop-by-hop too: each hop re-stamps
+    // its own values per attempt (fetch_result), never relays the client's.
+    if (http::iequals(f.name, kDeadlineBudgetHeader) ||
+        http::iequals(f.name, kAttemptCountHeader)) {
+      continue;
+    }
     upstream_request.headers.add(f.name, f.value);
   }
   for (const auto& f : traits_.forward_headers) {
@@ -314,15 +436,26 @@ net::TransferOutcome CdnNode::upstream_transfer(
 }
 
 Response CdnNode::shed_response(ShedCause cause) {
+  const bool overload_cause = cause == ShedCause::kOverloadHigh ||
+                              cause == ShedCause::kOverloadLow;
   Response resp = error(http::kServiceUnavailable,
-                        std::string{"request shed by origin shield: "} +
+                        std::string{overload_cause
+                                        ? "request shed by overload control: "
+                                        : "request shed by origin shield: "} +
                             std::string{shed_cause_name(cause)});
   char value[32];
   std::snprintf(value, sizeof(value), "%.0f",
-                traits_.shield.breaker.retry_after_seconds);
+                overload_cause
+                    ? traits_.overload.watermarks.retry_after_seconds
+                    : traits_.shield.breaker.retry_after_seconds);
   resp.headers.add("Retry-After", value);
   ++shield_stats_.shed_responses;
   return resp;
+}
+
+Response CdnNode::deadline_response(std::string_view where) {
+  return error(http::kGatewayTimeout,
+               std::string{"exchange deadline expired "} + std::string{where});
 }
 
 Response CdnNode::fetch(const Request& client_request,
@@ -330,6 +463,9 @@ Response CdnNode::fetch(const Request& client_request,
                         const net::TransferOptions& options,
                         http::Method method_override) {
   FetchResult result = fetch_result(client_request, range, options, method_override);
+  if (result.shed == ShedCause::kDeadline) {
+    return deadline_response("before upstream leg");
+  }
   if (result.shed != ShedCause::kNone) return shed_response(result.shed);
   if (result.error) {
     // Present the failure as an upstream gateway error so callers that only
@@ -368,7 +504,9 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
                                   http::Method method_override) {
   fetch_taint_no_store_ = false;
   const ResiliencePolicy& rp = traits_.resilience;
-  const Request upstream_request =
+  const DeadlinePolicy& dlp = traits_.overload.deadline;
+  const RetryBudgetPolicy& rbp = traits_.overload.retry_budget;
+  Request upstream_request =
       build_upstream_request(client_request, range, method_override);
 
   obs::SpanScope span(tracer_, "cdn.fetch");
@@ -392,6 +530,22 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
   if (rp.degradation == DegradationPolicy::kServeStale &&
       rp.serve_stale_skips_retries && stale_entity(client_request) != nullptr) {
     budget = 0;
+  }
+
+  // Deadline gate ahead of everything else, the breaker included: a leg
+  // whose remaining budget is below the per-hop minimum is cancelled before
+  // any side effect -- no wire byte moves and no breaker state is touched.
+  const bool deadline_active = dlp.enabled && deadline_remaining_.has_value();
+  if (deadline_active && *deadline_remaining_ < dlp.per_hop_min_seconds) {
+    FetchResult cancelled;
+    cancelled.shed = ShedCause::kDeadline;
+    cancelled.deadline_expired = true;
+    cancelled.attempts = 0;
+    fetch_taint_no_store_ = true;
+    ++overload_stats_.deadline_cancelled_legs;
+    if (m_deadline_expired_) m_deadline_expired_->inc();
+    span.note("deadline", "cancelled-before-wire");
+    return cancelled;
   }
 
   // Circuit breaker + admission control gate the whole fetch: an open
@@ -420,31 +574,109 @@ FetchResult CdnNode::fetch_result(const Request& client_request,
   FetchResult result;
   double backoff = rp.backoff_initial_seconds;
   for (int attempt = 0;; ++attempt) {
+    net::TransferOptions this_attempt = attempt_options;
+    bool deadline_binds = false;
+    if (deadline_active) {
+      // The remaining budget caps this attempt's timeout: a leg the deadline
+      // would outlive is cut at the budget, costing only the request bytes
+      // that already crossed (the response never does).
+      if (!this_attempt.timeout_seconds ||
+          *deadline_remaining_ < *this_attempt.timeout_seconds) {
+        this_attempt.timeout_seconds = *deadline_remaining_;
+        deadline_binds = true;
+      }
+      if (dlp.propagate) {
+        upstream_request.headers.set(
+            std::string{kDeadlineBudgetHeader},
+            format_deadline_budget(*deadline_remaining_));
+      }
+    }
+    if (rbp.enabled && rbp.count_chain_attempts) {
+      // x-envoy-attempt-count semantics: the chain-wide attempt number of
+      // this leg, so the next hop can charge retried requests against its
+      // own budget.
+      upstream_request.headers.set(
+          std::string{kAttemptCountHeader},
+          std::to_string(incoming_attempt_count_ + attempt));
+    }
+    if (attempt == 0 && rbp.enabled) {
+      overload_.note_first_attempt(now);
+      ++overload_stats_.attempts.first_attempts;
+    }
+
     net::TransferOutcome outcome =
-        upstream_transfer(upstream_request, attempt_options);
+        upstream_transfer(upstream_request, this_attempt);
     result.attempts = attempt + 1;
     result.elapsed_seconds += outcome.latency_seconds;
     result.error = outcome.error;
     result.upstream_5xx = outcome.ok() && rp.retry_on_5xx &&
                           outcome.response.status >= 500 &&
                           outcome.response.status <= 599;
-    // Feed the breaker the typed outcome of every attempt: transport errors
-    // and upstream 5xx count toward the consecutive-failure trip threshold,
-    // and the transfer occupies a connection slot for its injected latency.
+    // The transfer occupies a breaker connection slot for its injected
+    // latency and feeds the overload manager's pressure windows.
     breaker_.occupy_connection(now + outcome.latency_seconds);
-    const bool upstream_5xx_any = outcome.ok() &&
-                                  outcome.response.status >= 500 &&
-                                  outcome.response.status <= 599;
-    if (outcome.error.has_value() || upstream_5xx_any) {
+    overload_.note_inflight(now, now + outcome.latency_seconds);
+    if (!outcome.error.has_value()) {
+      overload_.note_body_bytes(now, outcome.response.body.size());
+    }
+    if (deadline_active) *deadline_remaining_ -= outcome.latency_seconds;
+    const bool timed_out =
+        outcome.error.has_value() &&
+        outcome.error->kind == net::TransferErrorKind::kTimeout;
+    result.response = std::move(outcome.response);
+
+    if (deadline_binds && timed_out) {
+      // The deadline, not the vendor's attempt timeout, cut this leg: mark
+      // the exchange expired, never store, and stop -- a retry would only
+      // burn more of a budget that is already gone.
+      result.deadline_expired = true;
+      fetch_taint_no_store_ = true;
+      ++overload_stats_.deadline_cancelled_legs;
+      if (m_deadline_expired_) m_deadline_expired_->inc();
+      span.note("deadline", "cancelled-leg");
+      break;
+    }
+
+    const bool retryable = result.error.has_value() || result.upstream_5xx;
+    if (!retryable || attempt >= budget) break;
+    if (deadline_active &&
+        *deadline_remaining_ - backoff < dlp.per_hop_min_seconds) {
+      // Backing off would eat the rest of the budget; give up now.
+      result.deadline_expired = true;
+      fetch_taint_no_store_ = true;
+      ++overload_stats_.deadline_cancelled_legs;
+      if (m_deadline_expired_) m_deadline_expired_->inc();
+      span.note("deadline", "no-budget-for-retry");
+      break;
+    }
+    if (!overload_.try_start_retry(sim_now())) {
+      // Retry budget spent: the failure stands, and the cross-hop storm the
+      // per-request policy would have started never leaves this node.
+      ++overload_stats_.retries_denied;
+      if (m_retry_budget_denied_) m_retry_budget_denied_->inc();
+      span.note("retry_budget", "denied");
+      break;
+    }
+    if (rbp.enabled) ++overload_stats_.attempts.retries;
+    result.elapsed_seconds += backoff;
+    if (deadline_active) *deadline_remaining_ -= backoff;
+    backoff *= rp.backoff_multiplier;
+  }
+  // Feed the breaker ONE verdict for the whole fetch.  Counting every
+  // attempt would let a single request's retries trip the breaker on their
+  // own (retries x trip-threshold coupling) and would re-open a half-open
+  // circuit several times per probe; the breaker tracks upstream health per
+  // exchange, and the resilience layer's retries are internal to one
+  // exchange.  (Any 5xx counts, retryable or not -- health, not retryability.)
+  if (result.attempts > 0) {
+    const bool upstream_failure = result.error.has_value() ||
+                                  (result.response.status >= 500 &&
+                                   result.response.status <= 599);
+    if (upstream_failure) {
       breaker_.on_failure(now);
     } else {
       breaker_.on_success();
     }
-    result.response = std::move(outcome.response);
-    const bool retryable = result.error.has_value() || result.upstream_5xx;
-    if (!retryable || attempt >= budget) break;
-    result.elapsed_seconds += backoff;
-    backoff *= rp.backoff_multiplier;
   }
   shield_stats_.breaker_trips += breaker_.trips() - trips_before;
   if (span) {
@@ -558,6 +790,13 @@ Response CdnNode::degrade(const Request& request,
                           const std::optional<RangeSet>& range,
                           const FetchResult& result) {
   const ResiliencePolicy& rp = traits_.resilience;
+  if (result.shed == ShedCause::kDeadline || result.deadline_expired) {
+    // Deadline outranks every degradation, serve-stale included: past the
+    // client-facing deadline the downstream has abandoned the exchange, so
+    // even a free stale answer is useless work.  504, never cached.
+    return deadline_response("after " + std::to_string(result.attempts) +
+                             " attempt(s)");
+  }
   if (result.shed != ShedCause::kNone) {
     // Serve-stale outranks the open circuit: the stale copy costs the origin
     // nothing, so shedding it would only hurt availability.  Everything else

@@ -23,6 +23,7 @@
 #include <variant>
 
 #include "cdn/cache.h"
+#include "cdn/overload.h"
 #include "cdn/shield.h"
 #include "cdn/types.h"
 #include "http/range.h"
@@ -89,8 +90,15 @@ struct FetchResult {
   /// Latency observed across attempts, including backoff gaps.
   double elapsed_seconds = 0;
   /// When the shielding layer refused the fetch before any wire transfer
-  /// (circuit open / admission limits), why.  `response` is then empty.
+  /// (circuit open / admission limits / expired deadline), why.  `response`
+  /// is then empty.
   ShedCause shed = ShedCause::kNone;
+  /// The exchange's deadline budget ran out on this fetch: either before the
+  /// first attempt (shed == kDeadline, no wire transfer) or mid-transfer
+  /// (the remaining budget bounded the attempt timeout and it fired).  The
+  /// degradation path answers 504 and never consults the stale copy -- past
+  /// the client-facing deadline even a stale answer is useless work.
+  bool deadline_expired = false;
 
   /// A usable response arrived (not shed, not a transport error, not a
   /// retryable 5xx).
@@ -135,6 +143,15 @@ class CdnNode final : public net::HttpHandler {
   /// The upstream circuit breaker (state machine is inert unless
   /// traits().shield.breaker.enabled).
   const UpstreamBreaker& breaker() const noexcept { return breaker_; }
+
+  /// Counters of the overload-control layer (all zero while the overload
+  /// knobs are off).
+  const OverloadStats& overload_stats() const noexcept {
+    return overload_stats_;
+  }
+
+  /// The overload manager (inert unless traits().overload knobs are on).
+  const OverloadManager& overload() const noexcept { return overload_; }
 
   /// This node's CDN-Loop cdn-id (the configured token, or the default
   /// derived from the vendor name).
@@ -247,8 +264,23 @@ class CdnNode final : public net::HttpHandler {
   /// RFC 8586 ingress check: 508 on self-recurrence or hop-cap excess,
   /// 400 on a malformed CDN-Loop; nullopt admits the request.
   std::optional<http::Response> check_cdn_loop(const http::Request& request);
+  /// Deadline ingress check: stamps this exchange's remaining budget from
+  /// the incoming header (or the policy default) and answers 504 when it is
+  /// already below the per-hop minimum; nullopt admits the request.  Also
+  /// charges upstream-hop retries (attempt-count header > 1) against the
+  /// retry budget.  Resets the per-exchange state even when the knobs are
+  /// off.
+  std::optional<http::Response> check_deadline_ingress(
+      const http::Request& request, obs::SpanScope& span);
+  /// Watermark admission for one cache miss: nullopt admits, otherwise the
+  /// degraded (stale / 503) or shed (503) response to serve.
+  std::optional<http::Response> check_overload(
+      const http::Request& request, const std::optional<http::RangeSet>& range,
+      obs::SpanScope& span);
   /// The vendor-styled 503 + Retry-After a shed request is answered with.
   http::Response shed_response(ShedCause cause);
+  /// The vendor-styled 504 an exchange past its deadline is answered with.
+  http::Response deadline_response(std::string_view where);
   /// Validates the fetched upstream response under traits().conformance and
   /// enforces the verdict: 502-synthesize (fatal / strict), truncate-and-drop
   /// (lenient over-long identity body), or never-cache taint (lenient soft
@@ -270,13 +302,23 @@ class CdnNode final : public net::HttpHandler {
   std::string loop_token_;
   UpstreamBreaker breaker_;
   FillLockTable fills_;
+  OverloadManager overload_;
   ShieldStats shield_stats_;
   ValidationStats validation_stats_;
+  OverloadStats overload_stats_;
   /// Set by apply_conformance when the current fetch's response may be
   /// relayed but must never enter the cache; reset at every fetch_result.
   /// Safe as a member: a node handles one request at a time, and every
   /// logic's store() follows its fetch synchronously.
   bool fetch_taint_no_store_ = false;
+  /// Per-exchange deadline state, stamped at ingress by
+  /// check_deadline_ingress and decremented by every attempt's latency and
+  /// backoff in fetch_result.  Same single-request-at-a-time safety argument
+  /// as fetch_taint_no_store_.  nullopt = deadline knob off.
+  std::optional<double> deadline_remaining_;
+  /// The exchange's attempt number at ingress (kAttemptCountHeader, 1 when
+  /// absent); forwarded legs stamp `incoming + retry index`.
+  int incoming_attempt_count_ = 1;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   // Cached metric handles (registry map entries are reference-stable); all
@@ -289,6 +331,10 @@ class CdnNode final : public net::HttpHandler {
   obs::Counter* m_loop_rejected_ = nullptr;
   obs::Counter* m_shed_ = nullptr;
   obs::Counter* m_budget_overflows_ = nullptr;
+  obs::Counter* m_overload_shed_ = nullptr;
+  obs::Counter* m_overload_degraded_ = nullptr;
+  obs::Counter* m_deadline_expired_ = nullptr;
+  obs::Counter* m_retry_budget_denied_ = nullptr;
   mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
 };
 

@@ -1,0 +1,186 @@
+#include "cdn/overload.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rangeamp::cdn {
+
+std::string_view overload_verdict_name(OverloadVerdict v) noexcept {
+  switch (v) {
+    case OverloadVerdict::kAdmit: return "admit";
+    case OverloadVerdict::kDegrade: return "degrade";
+    case OverloadVerdict::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::string_view pressure_dim_name(PressureDim d) noexcept {
+  switch (d) {
+    case PressureDim::kNone: return "none";
+    case PressureDim::kConcurrency: return "concurrency";
+    case PressureDim::kQueue: return "queue";
+    case PressureDim::kBodyBytes: return "body-bytes";
+  }
+  return "unknown";
+}
+
+void OverloadManager::prune(std::deque<Entry>& entries, double now) {
+  while (!entries.empty() && entries.front().until <= now) entries.pop_front();
+}
+
+std::uint64_t OverloadManager::window_sum(std::deque<Entry>& entries,
+                                          double now) {
+  prune(entries, now);
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries) sum += e.amount;
+  return sum;
+}
+
+OverloadVerdict OverloadManager::admit(double now) {
+  const WatermarkPolicy& wp = policy_.watermarks;
+  last_dim_ = PressureDim::kNone;
+  if (!wp.enabled) return OverloadVerdict::kAdmit;
+
+  // Evaluate every enabled dimension; the most severe verdict wins, and
+  // last_dim_ names the dimension that drove it.
+  OverloadVerdict verdict = OverloadVerdict::kAdmit;
+  const auto consider = [&](PressureDim dim, std::uint64_t level,
+                            std::uint64_t low, std::uint64_t high) {
+    if (high == 0) return;  // dimension disabled
+    if (level >= high) {
+      verdict = OverloadVerdict::kShed;
+      last_dim_ = dim;
+    } else if (low != 0 && level >= low && verdict == OverloadVerdict::kAdmit) {
+      verdict = OverloadVerdict::kDegrade;
+      last_dim_ = dim;
+    }
+  };
+  consider(PressureDim::kConcurrency, inflight(now),
+           static_cast<std::uint64_t>(std::max(0, wp.concurrency_low)),
+           static_cast<std::uint64_t>(std::max(0, wp.concurrency_high)));
+  consider(PressureDim::kQueue, queued(now),
+           static_cast<std::uint64_t>(std::max(0, wp.queue_low)),
+           static_cast<std::uint64_t>(std::max(0, wp.queue_high)));
+  consider(PressureDim::kBodyBytes, body_bytes(now), wp.body_bytes_low,
+           wp.body_bytes_high);
+  return verdict;
+}
+
+void OverloadManager::note_queued(double now) {
+  if (!policy_.watermarks.enabled) return;
+  queued_.push_back({now + policy_.watermarks.window_seconds, 1});
+}
+
+void OverloadManager::note_inflight(double now, double until) {
+  if (!policy_.watermarks.enabled) return;
+  // A zero-latency transfer still occupies its slot for the instant it runs;
+  // entries expire strictly after `until` so same-instant arrivals see it.
+  inflight_.push_back({std::max(until, now), 1});
+  // Keep expiry-ordering under variable latencies.
+  std::push_heap(inflight_.begin(), inflight_.end(),
+                 [](const Entry& a, const Entry& b) { return a.until > b.until; });
+}
+
+void OverloadManager::note_body_bytes(double now, std::uint64_t bytes) {
+  if (!policy_.watermarks.enabled || bytes == 0) return;
+  body_bytes_.push_back({now + policy_.watermarks.window_seconds, bytes});
+}
+
+std::size_t OverloadManager::inflight(double now) {
+  // Inflight entries expire at their own `until`, not a fixed window, so the
+  // deque is heap-ordered (see note_inflight); prune from the heap front.
+  const auto later = [](const Entry& a, const Entry& b) {
+    return a.until > b.until;
+  };
+  while (!inflight_.empty() && inflight_.front().until < now) {
+    std::pop_heap(inflight_.begin(), inflight_.end(), later);
+    inflight_.pop_back();
+  }
+  return inflight_.size();
+}
+
+std::size_t OverloadManager::queued(double now) {
+  return static_cast<std::size_t>(window_sum(queued_, now));
+}
+
+std::uint64_t OverloadManager::body_bytes(double now) {
+  return window_sum(body_bytes_, now);
+}
+
+void OverloadManager::note_first_attempt(double now) {
+  if (!policy_.retry_budget.enabled) return;
+  first_attempts_.push_back({now + policy_.retry_budget.window_seconds, 1});
+}
+
+void OverloadManager::note_chain_attempt(double now) {
+  if (!policy_.retry_budget.enabled) return;
+  retries_.push_back({now + policy_.retry_budget.window_seconds, 1});
+}
+
+int OverloadManager::retry_allowance(double now) {
+  const RetryBudgetPolicy& rb = policy_.retry_budget;
+  const auto firsts = static_cast<double>(window_sum(first_attempts_, now));
+  const int allowed = std::max(
+      rb.min_retries, static_cast<int>(std::floor(rb.ratio * firsts)));
+  const auto used = static_cast<int>(window_sum(retries_, now));
+  return std::max(0, allowed - used);
+}
+
+bool OverloadManager::try_start_retry(double now) {
+  const RetryBudgetPolicy& rb = policy_.retry_budget;
+  if (!rb.enabled) return true;
+  if (retry_allowance(now) <= 0) return false;
+  retries_.push_back({now + rb.window_seconds, 1});
+  return true;
+}
+
+std::size_t OverloadManager::first_attempts_in_window(double now) {
+  return static_cast<std::size_t>(window_sum(first_attempts_, now));
+}
+
+std::size_t OverloadManager::retries_in_window(double now) {
+  return static_cast<std::size_t>(window_sum(retries_, now));
+}
+
+std::optional<double> parse_deadline_budget(std::string_view value) {
+  if (value.empty() || value.size() > 32) return std::nullopt;
+  // Accept "<int>[.<frac>]" only -- no signs, exponents, or stray bytes.
+  std::uint64_t whole = 0;
+  const char* begin = value.data();
+  const char* end = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, whole);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  double result = static_cast<double>(whole);
+  if (ptr != end) {
+    if (*ptr != '.' || ptr + 1 == end) return std::nullopt;
+    double scale = 0.1;
+    for (const char* p = ptr + 1; p != end; ++p) {
+      if (*p < '0' || *p > '9') return std::nullopt;
+      result += static_cast<double>(*p - '0') * scale;
+      scale *= 0.1;
+    }
+  }
+  if (!std::isfinite(result)) return std::nullopt;
+  return result;
+}
+
+std::string format_deadline_budget(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", std::max(0.0, seconds));
+  return buffer;
+}
+
+std::optional<int> parse_attempt_count(std::string_view value) {
+  if (value.empty() || value.size() > 9) return std::nullopt;
+  int count = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), count);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || count < 1) {
+    return std::nullopt;
+  }
+  return count;
+}
+
+}  // namespace rangeamp::cdn

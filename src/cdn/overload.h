@@ -1,0 +1,161 @@
+// Overload-control machinery: watermark-based load shedding, cross-hop
+// retry budgets, and the deadline-propagation header vocabulary.
+//
+// The policies (all-off defaults) live in types.h as part of VendorTraits;
+// this header holds the runtime state a CdnNode instantiates when the knobs
+// are turned on.  Everything is deterministic and clock-driven: pressure is
+// measured over sliding windows of the node's simulation clock (0 forever
+// when no clock is installed), so overload experiments replay
+// byte-identically.  Semantics and the admission precedence order are
+// documented in docs/overload-model.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cdn/types.h"
+#include "net/accounting.h"
+
+namespace rangeamp::cdn {
+
+/// Verdict of the watermark layer for one cache miss.
+enum class OverloadVerdict {
+  kAdmit,    ///< every enabled dimension below its low watermark
+  kDegrade,  ///< between watermarks: serve stale if available, else 503
+  kShed,     ///< a dimension at/above its high watermark: hard 503
+};
+
+std::string_view overload_verdict_name(OverloadVerdict v) noexcept;
+
+/// Which pressure dimension drove the last non-admit verdict.
+enum class PressureDim { kNone, kConcurrency, kQueue, kBodyBytes };
+
+std::string_view pressure_dim_name(PressureDim d) noexcept;
+
+/// Counters one node's overload layer accumulates (all zero while the
+/// overload knobs are off).  Counted by the CdnNode at its decision points,
+/// not by the manager -- the manager's queries are side-effect free.
+struct OverloadStats {
+  std::uint64_t admitted = 0;           ///< misses past the watermark gate
+  std::uint64_t degraded = 0;           ///< verdicts in the low..high band
+  std::uint64_t shed_high_watermark = 0;///< hard 503s at the high watermark
+  std::uint64_t stale_under_pressure = 0;///< degraded misses a stale copy absorbed
+  std::uint64_t deadline_rejected_ingress = 0;///< 504 before any processing
+  std::uint64_t deadline_cancelled_legs = 0;  ///< upstream legs cut by the budget
+  net::AttemptTotals attempts;          ///< first attempts vs granted retries
+  std::uint64_t retries_denied = 0;     ///< retries refused by the budget
+  std::uint64_t chain_attempts = 0;     ///< upstream-hop retries charged here
+
+  std::uint64_t shed_total() const noexcept {
+    return shed_high_watermark + (degraded - stale_under_pressure);
+  }
+};
+
+/// Per-node overload manager.  Pressure dimensions are tracked as
+/// (expiry, amount) entries in sliding windows; every query prunes expired
+/// entries first, so the manager needs no periodic tick.  All queries are
+/// pure observations -- the owning node records admissions/denials itself,
+/// which keeps the "consult twice, act once" call sites (stale-hit path and
+/// miss path) from double counting.
+class OverloadManager {
+ public:
+  explicit OverloadManager(OverloadPolicy policy) : policy_(std::move(policy)) {}
+
+  // --- watermark admission -----------------------------------------------
+
+  /// Classifies one would-be miss against the watermarks at `now`.
+  /// kAdmit whenever the policy is disabled.
+  OverloadVerdict admit(double now);
+
+  /// The dimension behind the most recent non-admit verdict.
+  PressureDim last_pressure_dim() const noexcept { return last_dim_; }
+
+  /// Records an admitted miss in the queue-depth window.
+  void note_queued(double now);
+
+  /// Records an upstream transfer occupying a slot until `until`.
+  void note_inflight(double now, double until);
+
+  /// Records upstream response-body bytes buffered at `now`.
+  void note_body_bytes(double now, std::uint64_t bytes);
+
+  // --- retry budget -------------------------------------------------------
+
+  /// Records a first upstream attempt (the denominator of the budget).
+  void note_first_attempt(double now);
+
+  /// Charges an upstream hop's retry (attempt-count header > 1) against
+  /// this hop's budget.
+  void note_chain_attempt(double now);
+
+  /// Asks to start one retry at `now`.  True consumes one unit of budget;
+  /// false means the window's allowance is spent.  Always true when the
+  /// policy is disabled.
+  bool try_start_retry(double now);
+
+  /// Retries the window's allowance would still admit at `now`.
+  int retry_allowance(double now);
+
+  // --- introspection (tests and benches) ---------------------------------
+
+  std::size_t inflight(double now);
+  std::size_t queued(double now);
+  std::uint64_t body_bytes(double now);
+  std::size_t first_attempts_in_window(double now);
+  std::size_t retries_in_window(double now);
+
+  const OverloadPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct Entry {
+    double until;
+    std::uint64_t amount;
+  };
+
+  void prune(std::deque<Entry>& entries, double now);
+  std::uint64_t window_sum(std::deque<Entry>& entries, double now);
+
+  OverloadPolicy policy_;
+  PressureDim last_dim_ = PressureDim::kNone;
+  // Sliding-window pressure entries, expiry-ordered (appends are monotone in
+  // `until` because windows are fixed-width and the clock never goes back).
+  std::deque<Entry> inflight_;
+  std::deque<Entry> queued_;
+  std::deque<Entry> body_bytes_;
+  std::deque<Entry> first_attempts_;
+  std::deque<Entry> retries_;
+};
+
+// ---------------------------------------------------------------------------
+// Deadline propagation vocabulary.
+// ---------------------------------------------------------------------------
+
+/// Internal hop-by-hop header carrying the exchange's remaining time budget
+/// in seconds (fixed 6-decimal spelling, so forwarded bytes are
+/// deterministic).  Stripped from every forwarded request and re-stamped per
+/// attempt when DeadlinePolicy.propagate is on -- a client-supplied value is
+/// honored at ingress but never relayed verbatim.
+inline constexpr std::string_view kDeadlineBudgetHeader =
+    "X-Rangeamp-Deadline-Budget";
+
+/// Internal hop-by-hop header counting the exchange's attempt number along
+/// the chain (1 = first attempt; the x-envoy-attempt-count analogue).  A
+/// value > 1 at ingress marks the request as an upstream hop's retry and is
+/// charged against this hop's retry budget.
+inline constexpr std::string_view kAttemptCountHeader =
+    "X-Rangeamp-Attempt-Count";
+
+/// Parses a deadline-budget header value.  Total: any input yields either a
+/// finite non-negative seconds value or nullopt.
+std::optional<double> parse_deadline_budget(std::string_view value);
+
+/// Canonical spelling of a budget value (clamped at 0, 6 decimals).
+std::string format_deadline_budget(double seconds);
+
+/// Parses an attempt-count header value (>= 1, or nullopt).
+std::optional<int> parse_attempt_count(std::string_view value);
+
+}  // namespace rangeamp::cdn

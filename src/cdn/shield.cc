@@ -135,6 +135,9 @@ std::string_view shed_cause_name(ShedCause cause) noexcept {
     case ShedCause::kNone: return "none";
     case ShedCause::kBreakerOpen: return "breaker-open";
     case ShedCause::kAdmission: return "admission";
+    case ShedCause::kOverloadHigh: return "overload-high-watermark";
+    case ShedCause::kOverloadLow: return "overload-degraded";
+    case ShedCause::kDeadline: return "deadline-expired";
   }
   return "unknown";
 }

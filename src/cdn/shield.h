@@ -62,11 +62,19 @@ std::string default_cdn_loop_token(std::string_view vendor_name);
 // Shed / shield accounting.
 // ---------------------------------------------------------------------------
 
-/// Why an upstream fetch was refused before touching the wire.
+/// Why a request (or an upstream fetch) was refused before touching the
+/// wire.  Precedence when several layers could refuse the same miss: a held
+/// coalesced fill always wins (it costs nothing), then deadline expiry
+/// (504 -- the client-facing deadline makes even a stale answer useless),
+/// then the overload watermarks, then the circuit breaker.  See
+/// docs/overload-model.md for the full ordering.
 enum class ShedCause {
   kNone,
-  kBreakerOpen,  ///< circuit open: failure threshold tripped, not yet probed
-  kAdmission,    ///< max_connections/max_pending exceeded
+  kBreakerOpen,    ///< circuit open: failure threshold tripped, not yet probed
+  kAdmission,      ///< max_connections/max_pending exceeded
+  kOverloadHigh,   ///< a pressure dimension at/above its high watermark
+  kOverloadLow,    ///< between watermarks with no stale copy to degrade to
+  kDeadline,       ///< per-exchange deadline budget below the per-hop minimum
 };
 
 std::string_view shed_cause_name(ShedCause cause) noexcept;

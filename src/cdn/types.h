@@ -172,6 +172,96 @@ struct OriginShieldPolicy {
 };
 
 // ---------------------------------------------------------------------------
+// Overload control (the third defense layer: Envoy-style overload manager).
+// Watermark-based load shedding, deadline propagation along the forwarding
+// chain, and cross-hop retry budgets.  Every knob defaults to OFF so a
+// profile without explicit overload configuration produces byte-identical
+// traffic to an overload-unaware node.  Semantics: docs/overload-model.md.
+// ---------------------------------------------------------------------------
+
+/// Watermark-based admission control.  Three pressure dimensions are tracked
+/// over a sliding window; each has a low and a high watermark.  Below every
+/// low watermark a miss is admitted.  Between low and high the node degrades:
+/// serve the stale copy when one exists, otherwise answer 503 + Retry-After.
+/// At or above any high watermark the miss is hard-rejected (503), no stale
+/// fallback.  A watermark pair with high == 0 disables that dimension.
+struct WatermarkPolicy {
+  bool enabled = false;
+
+  /// Sliding window over which pressure is measured (simulation seconds).
+  double window_seconds = 1.0;
+
+  /// Upstream transfers still in flight (injected latency not yet elapsed).
+  int concurrency_low = 0;
+  int concurrency_high = 0;
+
+  /// Misses admitted to the fill path inside the window (queue depth proxy).
+  int queue_low = 0;
+  int queue_high = 0;
+
+  /// Upstream response-body bytes buffered inside the window.
+  std::uint64_t body_bytes_low = 0;
+  std::uint64_t body_bytes_high = 0;
+
+  /// Retry-After value attached to overload 503s.
+  double retry_after_seconds = 30.0;
+};
+
+/// Per-exchange deadline propagation (gRPC/Envoy timeout semantics projected
+/// onto the synchronous testbed).  The first hop stamps a time budget on the
+/// forwarded request; each hop decrements it by the latency and backoff it
+/// observes, refuses work whose remaining budget is below the per-hop
+/// minimum (504, never cached), and caps each attempt's timeout at the
+/// remaining budget so a slow upstream leg is cancelled -- costing only
+/// request-header bytes -- instead of completing work the client-facing
+/// deadline has already made useless.
+struct DeadlinePolicy {
+  bool enabled = false;
+
+  /// Budget stamped when a request arrives without a deadline header.
+  double default_budget_seconds = 10.0;
+
+  /// Minimum budget worth starting a leg for: below this, the hop answers
+  /// 504 immediately (ingress) or cancels before the wire (egress).
+  double per_hop_min_seconds = 0.05;
+
+  /// Forward the remaining budget to the next hop (kDeadlineBudgetHeader).
+  /// Off = enforce locally but strip the header (chain-edge behaviour).
+  bool propagate = true;
+};
+
+/// Envoy-style retry budget: retries are admitted only up to a bounded ratio
+/// of the first attempts seen inside the window, with a small fixed floor so
+/// a quiet node can still retry at all.  With count_chain_attempts on, a
+/// forwarded request that is itself a retry (attempt-count header > 1)
+/// consumes this hop's budget too -- the cross-hop guard that keeps chained
+/// vendors from multiplying attempts geometrically.
+struct RetryBudgetPolicy {
+  bool enabled = false;
+
+  /// Retries admitted per first attempt inside the window.
+  double ratio = 0.2;
+
+  /// Floor: retries always admitted regardless of the ratio.
+  int min_retries = 3;
+
+  /// Sliding window over which attempts are counted (simulation seconds).
+  double window_seconds = 10.0;
+
+  /// Count upstream hops' retries (kAttemptCountHeader > 1) against this
+  /// hop's budget.
+  bool count_chain_attempts = true;
+};
+
+/// The full overload-control layer of one node.  Defaults are all off:
+/// traffic is byte-identical to a node without the subsystem.
+struct OverloadPolicy {
+  WatermarkPolicy watermarks;
+  DeadlinePolicy deadline;
+  RetryBudgetPolicy retry_budget;
+};
+
+// ---------------------------------------------------------------------------
 // Byzantine-origin hardening (the paper's section VI consistency checks):
 // validate what the upstream leg actually returned before trusting it.
 // ---------------------------------------------------------------------------
@@ -298,6 +388,10 @@ struct VendorTraits {
   /// Byzantine-origin hardening: upstream response validation + memory
   /// budgets.  Mode defaults to kOff (no byte or behaviour change).
   ConformancePolicy conformance;
+
+  /// Overload control: watermark shedding, deadline propagation, retry
+  /// budgets.  All off by default (no byte or behaviour change).
+  OverloadPolicy overload;
 
   /// Emit "Via: 1.1 <node_id>" on forwarded upstream requests AND on every
   /// client-facing response (RFC 7230 section 5.7.1).  Off by default: the

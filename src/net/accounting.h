@@ -90,6 +90,39 @@ struct TrafficTotals {
   }
 };
 
+/// Attempt accounting for retry-budget experiments: how many wire transfers
+/// on one segment (or summed over a path) were first attempts vs retries.
+/// The retry-storm claim of the overload experiments is a statement about
+/// this split -- `retries` is the traffic a per-request retry policy adds on
+/// top of the load the clients actually offered.
+struct AttemptTotals {
+  std::uint64_t first_attempts = 0;
+  std::uint64_t retries = 0;
+
+  AttemptTotals& operator+=(const AttemptTotals& other) noexcept {
+    first_attempts += other.first_attempts;
+    retries += other.retries;
+    return *this;
+  }
+  friend AttemptTotals operator+(AttemptTotals lhs,
+                                 const AttemptTotals& rhs) noexcept {
+    lhs += rhs;
+    return lhs;
+  }
+  bool operator==(const AttemptTotals&) const = default;
+
+  std::uint64_t total() const noexcept { return first_attempts + retries; }
+
+  /// Attempt amplification: total wire transfers per offered request.
+  /// 1.0 = no retry ever fired; 0 when nothing was attempted.
+  double amplification() const noexcept {
+    return first_attempts == 0
+               ? 0
+               : static_cast<double>(total()) /
+                     static_cast<double>(first_attempts);
+  }
+};
+
 /// The paper's cross-segment amplification factor:
 ///     AF = response bytes on the amplified segment (cdn-origin, fcdn-bcdn)
 ///        / response bytes on the attacker-facing segment (client-cdn).

@@ -2,27 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace rangeamp::sim {
 
-void EventQueue::schedule(double at, Event event) {
-  queue_.push({std::max(at, now_), next_seq_++, std::move(event)});
+EventQueue::EventId EventQueue::schedule(double at, Event event) {
+  const EventId id = next_seq_++;
+  queue_.push({std::max(at, now_), id, std::move(event)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;  // already ran, cancelled, or bogus
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::discard_cancelled_top() {
+  while (!queue_.empty()) {
+    const EventId seq = queue_.top().seq;
+    const auto it = cancelled_.find(seq);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
+    queue_.pop();  // cancelled: drop without running or advancing time
+  }
+  return false;
 }
 
 bool EventQueue::run_next() {
-  if (queue_.empty()) return false;
+  if (!discard_cancelled_top()) return false;
   // priority_queue::top() is const; the event is moved out via const_cast,
   // which is safe because the entry is popped immediately.
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
+  live_.erase(entry.seq);
   now_ = entry.at;
   entry.event();
   return true;
 }
 
 void EventQueue::run_until(double horizon) {
-  while (!queue_.empty() && queue_.top().at < horizon) {
+  while (discard_cancelled_top() && queue_.top().at < horizon) {
     run_next();
   }
   now_ = std::max(now_, horizon);
@@ -48,6 +70,18 @@ std::uint64_t PsLink::start_flow(std::uint64_t bytes) {
   }
   arm_next_completion();
   return flow.id;
+}
+
+bool PsLink::cancel_flow(std::uint64_t id) {
+  advance_to_now();
+  const auto it = std::find_if(flows_.begin(), flows_.end(),
+                               [&](const PsFlow& f) { return f.id == id; });
+  if (it == flows_.end()) return false;
+  cancelled_bytes_ += it->total - it->remaining;
+  flows_.erase(it);
+  // The survivors' shares just grew; their next completion moves earlier.
+  arm_next_completion();
+  return true;
 }
 
 void PsLink::advance_to_now() {
@@ -198,8 +232,21 @@ ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& confi
     return std::min(seconds - 1, static_cast<std::size_t>(t));
   };
 
+  // Deadline machinery: each admitted flow arms a cancellation event; the
+  // completion handler disarms it (EventQueue::cancel), and a firing event
+  // cuts the flow (PsLink::cancel_flow).  Declared before the link so the
+  // completion lambda's by-reference capture outlives every event.
+  std::unordered_map<std::uint64_t, EventQueue::EventId> deadline_events;
+
   PsLink* link_ptr = nullptr;
-  PsLink link(queue, capacity, [&](std::uint64_t, std::uint64_t, double) {
+  PsLink link(queue, capacity, [&](std::uint64_t id, std::uint64_t, double) {
+    if (config.deadline_seconds > 0) {
+      const auto armed = deadline_events.find(id);
+      if (armed != deadline_events.end()) {
+        queue.cancel(armed->second);
+        deadline_events.erase(armed);
+      }
+    }
     // An origin flow completing also completes the client-facing 206.
     client_bytes[bucket_of(queue.now())] +=
         static_cast<double>(base.client_response_bytes);
@@ -226,7 +273,21 @@ ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& confi
           continue;
         }
         ++result.origin_fetches;
-        link_ptr->start_flow(base.origin_response_bytes);
+        const std::uint64_t flow_id =
+            link_ptr->start_flow(base.origin_response_bytes);
+        if (config.deadline_seconds > 0 && base.origin_response_bytes > 0) {
+          deadline_events[flow_id] =
+              queue.schedule_in(config.deadline_seconds, [&, flow_id] {
+                deadline_events.erase(flow_id);
+                if (link_ptr->cancel_flow(flow_id)) {
+                  ++result.deadline_cancelled;
+                  // The client leg is abandoned: a 504 the size of the shed
+                  // response, not a 206.
+                  client_bytes[bucket_of(queue.now())] +=
+                      static_cast<double>(config.shed_response_bytes);
+                }
+              });
+        }
       }
     });
   }
@@ -253,6 +314,7 @@ ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& confi
     result.series[s].client_in_kbps = client_bytes[s] * 8.0 / 1e3;
     result.series[s].in_flight = active_at_end[s];
   }
+  result.cancelled_origin_bytes = link.cancelled_bytes();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/attack_load.h"
@@ -23,22 +24,33 @@ namespace rangeamp::sim {
 class EventQueue {
  public:
   using Event = std::function<void()>;
+  /// Handle returned by schedule(); pass to cancel().
+  using EventId = std::uint64_t;
 
-  /// Schedules `event` at absolute time `at` (must be >= now()).
-  void schedule(double at, Event event);
+  /// Schedules `event` at absolute time `at` (must be >= now()); returns a
+  /// handle the event can be cancelled with.
+  EventId schedule(double at, Event event);
 
   /// Schedules `event` `delay` seconds from now.
-  void schedule_in(double delay, Event event) { schedule(now_ + delay, std::move(event)); }
+  EventId schedule_in(double delay, Event event) {
+    return schedule(now_ + delay, std::move(event));
+  }
 
-  /// Runs the earliest event; returns false when the queue is empty.
+  /// Cancels a pending event.  A cancelled event never runs and never
+  /// advances the clock.  Returns false when the event already ran (or was
+  /// already cancelled) -- the caller can use that to disarm exactly once.
+  bool cancel(EventId id);
+
+  /// Runs the earliest live event; returns false when none remain.
   bool run_next();
 
-  /// Runs every event scheduled strictly before `horizon`; time ends at
-  /// `horizon` (or at the last event if beyond).
+  /// Runs every live event scheduled strictly before `horizon`; time ends
+  /// at `horizon` (or at the last event if beyond).
   void run_until(double horizon);
 
   double now() const noexcept { return now_; }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Live (non-cancelled) events still scheduled.
+  std::size_t pending() const noexcept { return live_.size(); }
 
  private:
   struct Entry {
@@ -52,9 +64,18 @@ class EventQueue {
     }
   };
 
+  /// Pops cancelled entries off the top; true when a live entry remains.
+  bool discard_cancelled_top();
+
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Lazy deletion: cancel() moves the seq from live_ to cancelled_; the
+  // heap entry itself is discarded when it surfaces (a heap cannot remove
+  // from the middle).  live_ makes cancel-after-run detection exact and
+  // pending() O(1).
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
 };
 
 /// An exact processor-sharing link driven by an EventQueue: flows share the
@@ -74,10 +95,21 @@ class PsLink {
   /// Starts a flow now; returns its id.
   std::uint64_t start_flow(std::uint64_t bytes);
 
+  /// Cancels an active flow (deadline expiry): its remaining demand leaves
+  /// the link immediately -- the survivors' shares rescale from now -- and
+  /// the bytes it had already moved are counted into cancelled_bytes(), not
+  /// completed_bytes().  The completion handler never fires for it.
+  /// Returns false when the flow already completed (or never existed).
+  bool cancel_flow(std::uint64_t id);
+
   std::size_t active_flows() const noexcept { return flows_.size(); }
 
   /// Total bytes that have fully crossed the link (completed flows).
   double completed_bytes() const noexcept { return completed_bytes_; }
+
+  /// Bytes moved by flows that were cancelled mid-transfer (wasted work the
+  /// deadline could not claw back).
+  double cancelled_bytes() const noexcept { return cancelled_bytes_; }
 
  private:
   struct PsFlow {
@@ -96,6 +128,7 @@ class PsLink {
   std::vector<PsFlow> flows_;
   double last_update_ = 0;
   double completed_bytes_ = 0;
+  double cancelled_bytes_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t arm_generation_ = 0;  ///< invalidates stale completion events
 };
@@ -128,6 +161,13 @@ struct ShieldedLoadConfig {
   /// Client-side bytes of a shed 503 (counted into client_in_kbps so the
   /// attacker's view of a shedding origin stays visible in the series).
   std::uint64_t shed_response_bytes = 0;
+
+  /// Per-exchange deadline (seconds): an origin flow still in flight this
+  /// long after it started is cancelled -- the projection of
+  /// cdn::DeadlinePolicy onto the PS model (0 = off).  Cancellation frees
+  /// the remaining demand; the bytes already moved stay as wasted work in
+  /// cancelled_origin_bytes.
+  double deadline_seconds = 0;
 };
 
 struct ShieldedLoadResult {
@@ -135,6 +175,20 @@ struct ShieldedLoadResult {
   std::uint64_t origin_fetches = 0;  ///< flows that actually hit the uplink
   std::uint64_t coalesced = 0;       ///< arrivals absorbed by a fill lock
   std::uint64_t shed = 0;            ///< arrivals refused by admission control
+  std::uint64_t deadline_cancelled = 0;  ///< flows cut by the deadline
+  double cancelled_origin_bytes = 0;     ///< bytes those flows had moved
+
+  /// Seconds the uplink spent busy (the "pinned resource time" of the OBR
+  /// node-exhaustion scenario): sum of per-second busy fractions, recovered
+  /// from the series by dividing out the configured uplink capacity.
+  double busy_seconds(double uplink_mbps) const noexcept {
+    if (uplink_mbps <= 0) return 0;
+    double busy = 0;
+    for (const BandwidthSample& s : series) {
+      busy += s.origin_out_mbps / uplink_mbps;
+    }
+    return busy;
+  }
 };
 
 ShieldedLoadResult simulate_attack_load_shielded(const ShieldedLoadConfig& config);

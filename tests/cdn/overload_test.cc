@@ -1,0 +1,525 @@
+// Overload control: watermark verdicts and sliding windows, deadline
+// propagation (ingress refusal, leg cancellation, cross-hop decrement),
+// retry budgets, and the admission precedence order of
+// docs/overload-model.md.
+#include "cdn/overload.h"
+
+#include <gtest/gtest.h>
+
+#include "cdn/logic.h"
+#include "cdn/node.h"
+#include "http/generator.h"
+#include "net/fault.h"
+#include "net/handler.h"
+
+namespace rangeamp::cdn {
+namespace {
+
+using http::Request;
+using http::Response;
+
+// A minimal origin that records every request it is asked to serve, so
+// tests can assert exactly what (and how much) a node forwarded upstream.
+class CaptureOrigin final : public net::HttpHandler {
+ public:
+  http::Response handle(const http::Request& request) override {
+    requests_.push_back(request);
+    http::Response resp;
+    resp.status = 200;
+    resp.body = http::Body::literal("0123456789abcdef");
+    resp.headers.add("Content-Length", std::to_string(resp.body.size()));
+    resp.headers.add("Content-Type", "application/octet-stream");
+    resp.headers.add("ETag", "\"cap-1\"");
+    return resp;
+  }
+
+  const std::vector<http::Request>& requests() const noexcept {
+    return requests_;
+  }
+
+ private:
+  std::vector<http::Request> requests_;
+};
+
+VendorProfile overload_profile(OverloadPolicy overload) {
+  VendorProfile profile;
+  profile.traits.name = "TestCDN";
+  profile.traits.response_identity_headers = {{"Server", "TestCDN"}};
+  profile.traits.multipart_boundary = "test_boundary_123";
+  profile.traits.overload = std::move(overload);
+  profile.logic = std::make_unique<DeletionLogic>();
+  return profile;
+}
+
+Request plain_get(std::string target) {
+  return http::make_get("site.example", std::move(target));
+}
+
+// ---------------------------------------------------------------------------
+// OverloadManager: watermark verdicts and sliding windows.
+// ---------------------------------------------------------------------------
+
+TEST(OverloadManager, DisabledAlwaysAdmits) {
+  OverloadManager manager{OverloadPolicy{}};
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kAdmit);
+  manager.note_queued(0);
+  manager.note_inflight(0, 100);
+  manager.note_body_bytes(0, 1 << 20);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kAdmit);
+  EXPECT_EQ(manager.queued(0), 0u);  // disabled knobs record nothing
+  EXPECT_EQ(manager.inflight(0), 0u);
+}
+
+TEST(OverloadManager, QueueWatermarksDegradeThenShedThenExpire) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 1.0;
+  policy.watermarks.queue_low = 2;
+  policy.watermarks.queue_high = 4;
+  OverloadManager manager{policy};
+
+  manager.note_queued(0);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kAdmit);  // 1 < low
+  manager.note_queued(0);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kDegrade);  // 2 in [low, high)
+  EXPECT_EQ(manager.last_pressure_dim(), PressureDim::kQueue);
+  manager.note_queued(0);
+  manager.note_queued(0);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kShed);  // 4 >= high
+  // The window slides: at t=1 every entry has expired.
+  EXPECT_EQ(manager.queued(1.0), 0u);
+  EXPECT_EQ(manager.admit(1.0), OverloadVerdict::kAdmit);
+  EXPECT_EQ(manager.last_pressure_dim(), PressureDim::kNone);
+}
+
+TEST(OverloadManager, ConcurrencyExpiresAtTransferCompletion) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.concurrency_low = 1;
+  policy.watermarks.concurrency_high = 2;
+  OverloadManager manager{policy};
+
+  manager.note_inflight(0, 0.5);
+  EXPECT_EQ(manager.inflight(0), 1u);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kDegrade);
+  EXPECT_EQ(manager.last_pressure_dim(), PressureDim::kConcurrency);
+  manager.note_inflight(0, 2.0);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kShed);
+  // The 0.5s transfer completed; only the 2.0s one still occupies a slot.
+  EXPECT_EQ(manager.inflight(1.0), 1u);
+  EXPECT_EQ(manager.admit(1.0), OverloadVerdict::kDegrade);
+  EXPECT_EQ(manager.admit(3.0), OverloadVerdict::kAdmit);
+}
+
+TEST(OverloadManager, BodyBytesDimension) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 1.0;
+  policy.watermarks.body_bytes_low = 100;
+  policy.watermarks.body_bytes_high = 1000;
+  OverloadManager manager{policy};
+
+  manager.note_body_bytes(0, 150);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kDegrade);
+  EXPECT_EQ(manager.last_pressure_dim(), PressureDim::kBodyBytes);
+  manager.note_body_bytes(0, 900);
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kShed);
+  EXPECT_EQ(manager.body_bytes(0.5), 1050u);
+  EXPECT_EQ(manager.admit(1.0), OverloadVerdict::kAdmit);
+}
+
+TEST(OverloadManager, MostSevereDimensionWins) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 10.0;
+  policy.watermarks.concurrency_low = 1;
+  policy.watermarks.concurrency_high = 100;  // degrade band only
+  policy.watermarks.queue_low = 1;
+  policy.watermarks.queue_high = 2;
+  OverloadManager manager{policy};
+
+  manager.note_inflight(0, 5.0);  // concurrency: degrade
+  manager.note_queued(0);
+  manager.note_queued(0);  // queue: shed
+  EXPECT_EQ(manager.admit(0), OverloadVerdict::kShed);
+  EXPECT_EQ(manager.last_pressure_dim(), PressureDim::kQueue);
+}
+
+// ---------------------------------------------------------------------------
+// OverloadManager: retry budget.
+// ---------------------------------------------------------------------------
+
+TEST(OverloadManager, RetryAllowanceFollowsRatio) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.5;
+  policy.retry_budget.min_retries = 0;
+  policy.retry_budget.window_seconds = 10.0;
+  OverloadManager manager{policy};
+
+  EXPECT_EQ(manager.retry_allowance(0), 0);
+  EXPECT_FALSE(manager.try_start_retry(0));
+  manager.note_first_attempt(0);
+  manager.note_first_attempt(0);
+  manager.note_first_attempt(0);
+  EXPECT_EQ(manager.retry_allowance(0), 1);  // floor(0.5 * 3)
+  EXPECT_TRUE(manager.try_start_retry(0));
+  EXPECT_FALSE(manager.try_start_retry(0));  // allowance spent
+}
+
+TEST(OverloadManager, MinRetriesIsAFloor) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.0;
+  policy.retry_budget.min_retries = 2;
+  OverloadManager manager{policy};
+
+  // No first attempts at all: the floor still grants two retries.
+  EXPECT_TRUE(manager.try_start_retry(0));
+  EXPECT_TRUE(manager.try_start_retry(0));
+  EXPECT_FALSE(manager.try_start_retry(0));
+}
+
+TEST(OverloadManager, ChainAttemptsConsumeTheSameBudget) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.0;
+  policy.retry_budget.min_retries = 1;
+  OverloadManager manager{policy};
+
+  manager.note_chain_attempt(0);  // an upstream hop retried through us
+  EXPECT_EQ(manager.retry_allowance(0), 0);
+  EXPECT_FALSE(manager.try_start_retry(0));
+}
+
+TEST(OverloadManager, WindowExpiryRestoresTheAllowance) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.0;
+  policy.retry_budget.min_retries = 1;
+  policy.retry_budget.window_seconds = 1.0;
+  OverloadManager manager{policy};
+
+  EXPECT_TRUE(manager.try_start_retry(0));
+  EXPECT_EQ(manager.retry_allowance(0), 0);
+  EXPECT_EQ(manager.retries_in_window(0.5), 1u);
+  EXPECT_EQ(manager.retry_allowance(1.0), 1);  // the granted retry aged out
+}
+
+// ---------------------------------------------------------------------------
+// Deadline header vocabulary.
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineHeaders, ParseAcceptsPlainSeconds) {
+  EXPECT_EQ(parse_deadline_budget("1.5"), 1.5);
+  EXPECT_EQ(parse_deadline_budget("0"), 0.0);
+  EXPECT_EQ(parse_deadline_budget("10"), 10.0);
+  EXPECT_DOUBLE_EQ(*parse_deadline_budget("007.250000"), 7.25);
+}
+
+TEST(DeadlineHeaders, ParseRejectsEverythingElse) {
+  EXPECT_FALSE(parse_deadline_budget(""));
+  EXPECT_FALSE(parse_deadline_budget("-1"));
+  EXPECT_FALSE(parse_deadline_budget("+1"));
+  EXPECT_FALSE(parse_deadline_budget("1e3"));
+  EXPECT_FALSE(parse_deadline_budget("1."));
+  EXPECT_FALSE(parse_deadline_budget(".5"));
+  EXPECT_FALSE(parse_deadline_budget("abc"));
+  EXPECT_FALSE(parse_deadline_budget("1.5x"));
+  EXPECT_FALSE(parse_deadline_budget("1.5 "));
+  EXPECT_FALSE(parse_deadline_budget("999999999999999999999999999999999"));
+}
+
+TEST(DeadlineHeaders, FormatIsCanonicalAndRoundTrips) {
+  EXPECT_EQ(format_deadline_budget(1.5), "1.500000");
+  EXPECT_EQ(format_deadline_budget(0), "0.000000");
+  EXPECT_EQ(format_deadline_budget(-2), "0.000000");  // clamped
+  EXPECT_DOUBLE_EQ(*parse_deadline_budget(format_deadline_budget(4.25)), 4.25);
+}
+
+TEST(DeadlineHeaders, AttemptCountParse) {
+  EXPECT_EQ(parse_attempt_count("1"), 1);
+  EXPECT_EQ(parse_attempt_count("17"), 17);
+  EXPECT_FALSE(parse_attempt_count("0"));
+  EXPECT_FALSE(parse_attempt_count("-2"));
+  EXPECT_FALSE(parse_attempt_count(""));
+  EXPECT_FALSE(parse_attempt_count("abc"));
+  EXPECT_FALSE(parse_attempt_count("1x"));
+}
+
+// ---------------------------------------------------------------------------
+// Node integration: watermark shedding and degradation.
+// ---------------------------------------------------------------------------
+
+TEST(NodeOverload, HighWatermarkSheds503WithRetryAfter) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 100.0;  // no clock: nothing expires
+  policy.watermarks.queue_high = 2;
+  CaptureOrigin origin;
+  CdnNode node(overload_profile(policy), origin);
+
+  EXPECT_NE(node.handle(plain_get("/a.bin")).status, 503);
+  EXPECT_NE(node.handle(plain_get("/b.bin")).status, 503);
+  const Response shed = node.handle(plain_get("/c.bin"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.headers.get_or("Retry-After", ""), "30");
+  EXPECT_EQ(origin.requests().size(), 2u);  // the shed miss never went up
+
+  EXPECT_EQ(node.overload_stats().admitted, 2u);
+  EXPECT_EQ(node.overload_stats().shed_high_watermark, 1u);
+  EXPECT_EQ(node.shield_stats().shed_responses, 1u);
+}
+
+TEST(NodeOverload, DegradeBandWithoutStaleCopySheds503) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 100.0;
+  policy.watermarks.queue_low = 1;
+  policy.watermarks.queue_high = 10;
+  CaptureOrigin origin;
+  CdnNode node(overload_profile(policy), origin);
+
+  EXPECT_NE(node.handle(plain_get("/a.bin")).status, 503);
+  const Response degraded = node.handle(plain_get("/b.bin"));
+  EXPECT_EQ(degraded.status, 503);  // in the band, nothing stale to serve
+  EXPECT_EQ(degraded.headers.get_or("Retry-After", ""), "30");
+  EXPECT_EQ(node.overload_stats().degraded, 1u);
+  EXPECT_EQ(node.overload_stats().stale_under_pressure, 0u);
+  EXPECT_EQ(origin.requests().size(), 1u);
+}
+
+TEST(NodeOverload, StaleHitUnderPressureSkipsRevalidation) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 1.0;
+  policy.watermarks.queue_low = 1;
+  policy.watermarks.queue_high = 10;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.cache_ttl_seconds = 60;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  double now = 0;
+  node.set_clock([&] { return now; });
+
+  EXPECT_EQ(node.handle(plain_get("/r.bin")).status, 200);  // prime the cache
+  now = 120;                                                // entry is stale
+  EXPECT_NE(node.handle(plain_get("/other.bin")).status, 503);  // pressure: 1
+  ASSERT_EQ(origin.requests().size(), 2u);
+
+  // The stale hit absorbs the request with zero upstream cost: no
+  // conditional GET, a Warning 110 marks the degraded answer.
+  const Response stale = node.handle(plain_get("/r.bin"));
+  EXPECT_EQ(stale.status, 200);
+  EXPECT_EQ(stale.headers.get_or("Warning", ""), "110 - \"Response is Stale\"");
+  EXPECT_EQ(origin.requests().size(), 2u);
+  EXPECT_EQ(node.overload_stats().stale_under_pressure, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Node integration: deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(NodeOverload, DeadlineBelowPerHopMinimumIsRefusedAtIngress) {
+  OverloadPolicy policy;
+  policy.deadline.enabled = true;
+  policy.deadline.per_hop_min_seconds = 0.05;
+  CaptureOrigin origin;
+  CdnNode node(overload_profile(policy), origin);
+
+  Request expired = plain_get("/r.bin");
+  expired.headers.add(std::string{kDeadlineBudgetHeader}, "0.010000");
+  const Response resp = node.handle(expired);
+  EXPECT_EQ(resp.status, 504);
+  EXPECT_TRUE(origin.requests().empty());  // refused before any processing
+  EXPECT_EQ(node.overload_stats().deadline_rejected_ingress, 1u);
+
+  // Without the header the default budget applies and the request proceeds.
+  EXPECT_EQ(node.handle(plain_get("/r.bin")).status, 200);
+  EXPECT_EQ(origin.requests().size(), 1u);
+}
+
+TEST(NodeOverload, DeadlineCancelsASlowLegAndNeverStores) {
+  OverloadPolicy policy;
+  policy.deadline.enabled = true;
+  policy.deadline.default_budget_seconds = 1.0;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.resilience.max_retries = 2;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::latency(2.0));
+  node.set_upstream_fault_injector(&faults);
+
+  const Response resp = node.handle(plain_get("/r.bin"));
+  EXPECT_EQ(resp.status, 504);
+  // The budget bounded the attempt timeout: the leg was cut before the
+  // response crossed, and a deadline-expired leg is never retried.
+  EXPECT_TRUE(origin.requests().empty());
+  EXPECT_EQ(faults.transfers_seen(), 1u);
+  EXPECT_EQ(node.overload_stats().deadline_cancelled_legs, 1u);
+
+  // Nothing was stored: with the fault cleared, the same request must go
+  // upstream again instead of hitting the cache.
+  faults.clear_rules();
+  EXPECT_EQ(node.handle(plain_get("/r.bin")).status, 200);
+  EXPECT_EQ(origin.requests().size(), 1u);
+}
+
+TEST(NodeOverload, DeadlineDecrementIsPropagatedAcrossARetry) {
+  OverloadPolicy policy;
+  policy.deadline.enabled = true;
+  policy.deadline.default_budget_seconds = 5.0;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.resilience.max_retries = 2;
+  profile.traits.resilience.backoff_initial_seconds = 0.5;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_first(1, net::FaultSpec::reset());
+  node.set_upstream_fault_injector(&faults);
+
+  EXPECT_EQ(node.handle(plain_get("/r.bin")).status, 200);
+  // The first leg (budget 5.000000) was reset before reaching the origin;
+  // the retry's stamp shows the backoff-decremented budget.
+  ASSERT_EQ(origin.requests().size(), 1u);
+  EXPECT_EQ(origin.requests().front().headers.get_or(
+                std::string{kDeadlineBudgetHeader}, ""),
+            "4.500000");
+}
+
+// ---------------------------------------------------------------------------
+// Node integration: retry budget.
+// ---------------------------------------------------------------------------
+
+TEST(NodeOverload, RetryBudgetFloorBoundsAttemptsBelowMaxRetries) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.0;
+  policy.retry_budget.min_retries = 1;
+  policy.retry_budget.window_seconds = 100.0;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.resilience.max_retries = 5;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  node.set_upstream_fault_injector(&faults);
+
+  const Response resp = node.handle(plain_get("/r.bin"));
+  EXPECT_EQ(resp.status, 502);
+  // The per-request policy would try 6 times; the budget granted one retry.
+  EXPECT_EQ(faults.transfers_seen(), 2u);
+  EXPECT_EQ(node.overload_stats().attempts.first_attempts, 1u);
+  EXPECT_EQ(node.overload_stats().attempts.retries, 1u);
+  EXPECT_EQ(node.overload_stats().retries_denied, 1u);
+}
+
+TEST(NodeOverload, IncomingChainAttemptChargesTheLocalBudget) {
+  OverloadPolicy policy;
+  policy.retry_budget.enabled = true;
+  policy.retry_budget.ratio = 0.0;
+  policy.retry_budget.min_retries = 1;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.resilience.max_retries = 5;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  node.set_upstream_fault_injector(&faults);
+
+  // An upstream hop is on its third attempt through us: that chain retry
+  // consumes this hop's floor, so our own retry is denied outright.
+  Request retried = plain_get("/r.bin");
+  retried.headers.add(std::string{kAttemptCountHeader}, "3");
+  node.handle(retried);
+  EXPECT_EQ(faults.transfers_seen(), 1u);
+  EXPECT_EQ(node.overload_stats().chain_attempts, 1u);
+  EXPECT_EQ(node.overload_stats().retries_denied, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Precedence.
+// ---------------------------------------------------------------------------
+
+TEST(NodeOverload, CoalescedFillOutranksShedding) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 100.0;
+  policy.watermarks.queue_high = 1;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.shield.coalescing.enabled = true;
+  // Pass-through edge: with the store disabled, the identical second miss
+  // reaches the fill lock instead of turning into a plain cache hit.
+  profile.traits.cache_enabled = false;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+
+  Request ranged = plain_get("/r.bin?bust=1");
+  ranged.headers.add("Range", "bytes=0-0");
+  EXPECT_NE(node.handle(ranged).status, 503);  // leader: queue now at high
+  // The identical miss replays the held fill despite the high watermark --
+  // answering it costs the origin nothing.
+  EXPECT_NE(node.handle(ranged).status, 503);
+  EXPECT_EQ(node.shield_stats().coalesced_hits, 1u);
+  EXPECT_EQ(node.overload_stats().shed_high_watermark, 0u);
+  EXPECT_EQ(origin.requests().size(), 1u);
+
+  // A different key has no fill to ride: it is shed.
+  EXPECT_EQ(node.handle(plain_get("/other.bin")).status, 503);
+  EXPECT_EQ(node.overload_stats().shed_high_watermark, 1u);
+}
+
+TEST(NodeOverload, OverloadShedPrecedesTheBreaker) {
+  OverloadPolicy policy;
+  policy.watermarks.enabled = true;
+  policy.watermarks.window_seconds = 100.0;
+  policy.watermarks.queue_high = 1;
+  VendorProfile profile = overload_profile(policy);
+  profile.traits.shield.breaker.enabled = true;
+  profile.traits.shield.breaker.consecutive_failures_trip = 1;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::reset());
+  node.set_upstream_fault_injector(&faults);
+
+  node.handle(plain_get("/a.bin"));  // admitted; the failure trips the breaker
+  EXPECT_EQ(node.breaker().state(), UpstreamBreaker::State::kOpen);
+
+  // The next miss is shed by the watermark layer before fetch_result ever
+  // consults the (open) breaker.
+  const Response shed = node.handle(plain_get("/b.bin"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.body.materialize().find("overload control"), std::string::npos);
+  EXPECT_EQ(node.overload_stats().shed_high_watermark, 1u);
+  EXPECT_EQ(node.shield_stats().shed_breaker_open, 0u);
+}
+
+TEST(NodeOverload, KnobsOffLeavesNoTrace) {
+  VendorProfile profile = overload_profile(OverloadPolicy{});
+  profile.traits.resilience.max_retries = 2;
+  CaptureOrigin origin;
+  CdnNode node(std::move(profile), origin);
+  net::FaultInjector faults;
+  faults.fail_first(1, net::FaultSpec::reset());
+  node.set_upstream_fault_injector(&faults);
+
+  EXPECT_EQ(node.handle(plain_get("/r.bin")).status, 200);
+  // With every knob off the subsystem is invisible: zero counters, and no
+  // internal headers reach the upstream.
+  const OverloadStats& stats = node.overload_stats();
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.shed_high_watermark, 0u);
+  EXPECT_EQ(stats.attempts.total(), 0u);
+  EXPECT_EQ(stats.retries_denied, 0u);
+  ASSERT_EQ(origin.requests().size(), 1u);
+  EXPECT_FALSE(
+      origin.requests().front().headers.get(kDeadlineBudgetHeader).has_value());
+  EXPECT_FALSE(
+      origin.requests().front().headers.get(kAttemptCountHeader).has_value());
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

@@ -136,5 +136,41 @@ TEST(ShieldCascade, HopCapBoundsChainsOfDistinctNodes) {
   EXPECT_EQ(hop4.shield_stats().hop_cap_rejected, 1u);
 }
 
+TEST(ShieldCascade, RetriedUpstream5xxCountsOneBreakerFailure) {
+  // Regression: the breaker is fed ONE verdict per fetch, not one per
+  // attempt.  Per-attempt feeding coupled the trip threshold to the retry
+  // budget -- a single request with max_retries=2 contributed three
+  // failures and tripped a 3-failure breaker on its own.
+  cdn::VendorProfile profile = cdn::make_profile(cdn::Vendor::kAkamai);
+  profile.traits.resilience.max_retries = 2;
+  profile.traits.resilience.retry_on_5xx = true;
+  profile.traits.shield.breaker.enabled = true;
+  profile.traits.shield.breaker.consecutive_failures_trip = 3;
+  CaptureOrigin origin;
+  cdn::CdnNode node(std::move(profile), origin, "cdn-origin");
+  net::FaultInjector faults;
+  faults.fail_always(net::FaultSpec::status_code(503));
+  node.set_upstream_fault_injector(&faults);
+
+  // Request 1: three attempts (1 + 2 retries), but a single breaker failure.
+  node.handle(cascade_get("/leak.bin?1"));
+  EXPECT_EQ(faults.transfers_seen(), 3u);
+  EXPECT_EQ(node.breaker().consecutive_failures(), 1);
+  EXPECT_EQ(node.breaker().state(), cdn::UpstreamBreaker::State::kClosed);
+
+  // Two more failed fetches reach the trip threshold; only then does the
+  // breaker open and start shedding.
+  node.handle(cascade_get("/leak.bin?2"));
+  EXPECT_EQ(node.breaker().state(), cdn::UpstreamBreaker::State::kClosed);
+  node.handle(cascade_get("/leak.bin?3"));
+  EXPECT_EQ(node.breaker().state(), cdn::UpstreamBreaker::State::kOpen);
+  EXPECT_EQ(faults.transfers_seen(), 9u);
+
+  const auto shed = node.handle(cascade_get("/leak.bin?4"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(faults.transfers_seen(), 9u);  // shed before any wire transfer
+  EXPECT_EQ(node.shield_stats().shed_breaker_open, 1u);
+}
+
 }  // namespace
 }  // namespace rangeamp

@@ -129,6 +129,118 @@ TEST(PsLink, ZeroByteFlowCompletesImmediately) {
 }
 
 // ---------------------------------------------------------------------------
+// Cancellation: EventQueue handles and PsLink flow cuts
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, CancelledEventNeverRuns) {
+  EventQueue queue;
+  std::vector<int> order;
+  const auto doomed = queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_TRUE(queue.cancel(doomed));
+  EXPECT_EQ(queue.pending(), 1u);
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, CancelledEventDoesNotAdvanceTheClock) {
+  EventQueue queue;
+  const auto doomed = queue.schedule(5.0, [] {});
+  EXPECT_TRUE(queue.cancel(doomed));
+  EXPECT_FALSE(queue.run_next());  // nothing live to run
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  queue.run_until(10.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, CancelIsExactAboutLiveness) {
+  EventQueue queue;
+  const auto ran = queue.schedule(1.0, [] {});
+  const auto doomed = queue.schedule(2.0, [] {});
+  queue.run_next();
+  EXPECT_FALSE(queue.cancel(ran));     // already ran
+  EXPECT_TRUE(queue.cancel(doomed));
+  EXPECT_FALSE(queue.cancel(doomed));  // double-cancel
+  EXPECT_FALSE(queue.cancel(9999));    // never scheduled
+}
+
+TEST(EventQueue, SameInstantOrderingIsStableAcrossCancellation) {
+  // Regression: cancelling one of several same-instant events must not
+  // perturb the FIFO order of the survivors, and an event scheduled *from
+  // within* an event at the current instant runs after the already-queued
+  // same-instant events.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&] {
+    order.push_back(0);
+    queue.schedule(1.0, [&] { order.push_back(9); });  // same instant, last
+  });
+  const auto doomed = queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(1.0, [&] { order.push_back(2); });
+  queue.schedule(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(queue.cancel(doomed));
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 9}));
+}
+
+TEST(PsLink, CancelFlowFreesCapacityForSurvivors) {
+  // A (1000 B) and B (1000 B) on 100 B/s share 50 B/s each.  B is cancelled
+  // at t=5 with 750 B remaining; A then runs alone at 100 B/s and finishes
+  // its remaining 750 B at t=12.5.  B's 250 moved bytes are wasted work.
+  EventQueue queue;
+  std::vector<double> completions;
+  PsLink link(queue, 100.0, [&](std::uint64_t, std::uint64_t, double) {
+    completions.push_back(queue.now());
+  });
+  link.start_flow(1000);
+  const std::uint64_t b = link.start_flow(1000);
+  queue.schedule(5.0, [&] { EXPECT_TRUE(link.cancel_flow(b)); });
+  queue.run_until(50.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0], 12.5, 1e-9);
+  EXPECT_NEAR(link.cancelled_bytes(), 250.0, 1e-9);
+  EXPECT_DOUBLE_EQ(link.completed_bytes(), 1000.0);
+}
+
+TEST(PsLink, CancelUnknownOrCompletedFlowIsANoOp) {
+  EventQueue queue;
+  PsLink link(queue, 100.0, [](std::uint64_t, std::uint64_t, double) {});
+  EXPECT_FALSE(link.cancel_flow(42));  // never started
+  const std::uint64_t id = link.start_flow(100);
+  queue.run_until(10.0);               // flow completed at t=1
+  EXPECT_FALSE(link.cancel_flow(id));  // already done
+  EXPECT_DOUBLE_EQ(link.cancelled_bytes(), 0.0);
+}
+
+TEST(ShieldedLoad, DeadlineCancellationCutsPinnedResourceTime) {
+  // A saturating OBR load: 5 x 10 MB fetches per second against a 1 MB/s
+  // uplink.  Unprotected, the backlog pins the uplink far past the attack
+  // window; a 2s per-exchange deadline cancels the stuck flows instead.
+  ShieldedLoadConfig config;
+  config.base.requests_per_second = 5;
+  config.base.origin_response_bytes = 10'000'000;
+  config.base.client_response_bytes = 822;
+  config.base.origin_uplink_mbps = 8.0;  // 1e6 B/s
+  config.base.duration_s = 5.0;
+  config.base.drain_s = 30.0;
+  config.shed_response_bytes = 500;
+
+  const ShieldedLoadResult baseline = simulate_attack_load_shielded(config);
+  config.deadline_seconds = 2.0;
+  const ShieldedLoadResult protected_run = simulate_attack_load_shielded(config);
+
+  EXPECT_EQ(baseline.deadline_cancelled, 0u);
+  EXPECT_GT(protected_run.deadline_cancelled, 0u);
+  EXPECT_GT(protected_run.cancelled_origin_bytes, 0.0);
+  EXPECT_LT(protected_run.busy_seconds(8.0),
+            baseline.busy_seconds(8.0) * 0.5);
+}
+
+// ---------------------------------------------------------------------------
 // Cross-validation: DES vs fluid engine on the Fig 7 experiment
 // ---------------------------------------------------------------------------
 
