@@ -1,0 +1,192 @@
+// Campaign engine throughput: exchanges/sec of the sharded SBR campaign at
+// 1/2/4/8 worker threads against the serial baseline, plus the
+// serial-vs-sharded equivalence check the sharding contract promises
+// (docs/parallel-model.md): the merged result of every sharded run must
+// equal the serial run field for field, byte for byte.
+//
+// Emits BENCH_campaign.json (schema enforced by scripts/check_bench.py; CI
+// uploads it as a workflow artifact so speedups are tracked PR-over-PR).
+// Wall-clock timing is the only nondeterministic output here, which is why
+// the JSON is gitignored while every CSV stays under the drift gate.
+// The process exits non-zero if any sharded run diverges from serial.
+//
+// Knobs:
+//   RANGEAMP_BENCH_EXCHANGES  exchanges per run (default 20000)
+//   RANGEAMP_BENCH_TRIALS     timed trials per config, best kept (default 3)
+//   RANGEAMP_THREADS          cap on the thread sweep (default 8)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/rangeamp.h"
+
+using namespace rangeamp;
+
+namespace {
+
+/// Everything deterministic a campaign run produces, flattened for
+/// comparison.  Timing is deliberately absent.
+struct Fingerprint {
+  net::TrafficTotals attacker;
+  std::uint64_t attacker_truncated = 0;
+  std::uint64_t origin_response_bytes = 0;
+  double amplification = 0;
+  std::size_t nodes_touched = 0;
+  std::vector<std::uint64_t> per_node_upstream_bytes;
+  bool detector_alarmed = false;
+  std::size_t detector_samples = 0;
+
+  static Fingerprint of(const core::SbrCampaignResult& r) {
+    Fingerprint f;
+    f.attacker = r.attacker;
+    f.attacker_truncated = r.attacker_truncated;
+    f.origin_response_bytes = r.origin.response_bytes;
+    f.amplification = r.amplification;
+    f.nodes_touched = r.nodes_touched;
+    f.per_node_upstream_bytes = r.per_node_upstream_bytes;
+    f.detector_alarmed = r.detector_alarmed;
+    f.detector_samples = r.detector_stats.samples;
+    return f;
+  }
+
+  bool operator==(const Fingerprint& o) const {
+    return attacker.request_bytes == o.attacker.request_bytes &&
+           attacker.response_bytes == o.attacker.response_bytes &&
+           attacker_truncated == o.attacker_truncated &&
+           origin_response_bytes == o.origin_response_bytes &&
+           amplification == o.amplification &&
+           nodes_touched == o.nodes_touched &&
+           per_node_upstream_bytes == o.per_node_upstream_bytes &&
+           detector_alarmed == o.detector_alarmed &&
+           detector_samples == o.detector_samples;
+  }
+};
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::string json_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t exchanges = env_u64("RANGEAMP_BENCH_EXCHANGES", 20000);
+  const int trials =
+      static_cast<int>(std::max<std::uint64_t>(1, env_u64("RANGEAMP_BENCH_TRIALS", 3)));
+  const int max_threads = static_cast<int>(env_u64("RANGEAMP_THREADS", 8));
+  constexpr int kDurationS = 10;
+  constexpr std::size_t kShards = 64;
+  const int rps = static_cast<int>(
+      std::max<std::uint64_t>(1, exchanges / kDurationS));
+  const std::uint64_t total = static_cast<std::uint64_t>(rps) * kDurationS;
+
+  const auto base = core::SbrCampaignConfig::Builder()
+                        .vendor(cdn::Vendor::kCloudflare)
+                        .file_size(64u << 10)
+                        .requests_per_second(rps)
+                        .duration_s(kDurationS)
+                        .edge_nodes(8);
+
+  // Best-of-N wall clock (noise on shared CI runners only ever slows a
+  // trial down); every trial's fingerprint must agree -- a run that is fast
+  // but wrong is a bug, not a best time.
+  const auto timed_run = [trials](const core::SbrCampaignConfig& config) {
+    double best_seconds = 0;
+    Fingerprint fp;
+    for (int t = 0; t < trials; ++t) {
+      const auto start = std::chrono::steady_clock::now();
+      core::SbrCampaignResult result = core::run_sbr_campaign(config);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      if (t == 0) {
+        best_seconds = seconds;
+        fp = Fingerprint::of(result);
+      } else {
+        best_seconds = std::min(best_seconds, seconds);
+        if (!(Fingerprint::of(result) == fp)) {
+          std::fprintf(stderr,
+                       "FAIL: two runs of one campaign config disagreed -- "
+                       "nondeterminism in the engine\n");
+          std::exit(1);
+        }
+      }
+    }
+    return std::pair<double, Fingerprint>{best_seconds, fp};
+  };
+
+  std::printf("campaign throughput: %llu exchanges, %zu shards, "
+              "%u hardware threads\n",
+              static_cast<unsigned long long>(total), kShards,
+              std::thread::hardware_concurrency());
+
+  const auto [serial_seconds, serial_fp] =
+      timed_run(core::SbrCampaignConfig::Builder(base).build());
+  const double serial_eps =
+      serial_seconds > 0 ? static_cast<double>(total) / serial_seconds : 0;
+  std::printf("  serial          %8.3f s  %10.0f exchanges/s\n",
+              serial_seconds, serial_eps);
+
+  std::string runs_json;
+  bool all_match = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    if (threads > max_threads) continue;
+    const auto config = core::SbrCampaignConfig::Builder(base)
+                            .shards(kShards)
+                            .threads(threads)
+                            .build();
+    const auto [seconds, fp] = timed_run(config);
+    const double eps =
+        seconds > 0 ? static_cast<double>(total) / seconds : 0;
+    const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    const bool matches = fp == serial_fp;
+    all_match = all_match && matches;
+    std::printf("  sharded x%-2d    %8.3f s  %10.0f exchanges/s  "
+                "%5.2fx vs serial  %s\n",
+                threads, seconds, eps, speedup,
+                matches ? "== serial" : "DIVERGED from serial");
+    if (!runs_json.empty()) runs_json += ",";
+    runs_json += "\n    {\"threads\": " + std::to_string(threads) +
+                 ", \"seconds\": " + json_double(seconds) +
+                 ", \"exchanges_per_sec\": " + json_double(eps) +
+                 ", \"speedup_vs_serial\": " + json_double(speedup) +
+                 ", \"matches_serial\": " + (matches ? "true" : "false") + "}";
+  }
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"campaign_throughput\",\n";
+  json += "  \"vendor\": \"Cloudflare\",\n";
+  json += "  \"file_size_bytes\": " + std::to_string(64u << 10) + ",\n";
+  json += "  \"exchanges\": " + std::to_string(total) + ",\n";
+  json += "  \"shards\": " + std::to_string(kShards) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"serial\": {\"seconds\": " + json_double(serial_seconds) +
+          ", \"exchanges_per_sec\": " + json_double(serial_eps) + "},\n";
+  json += "  \"runs\": [" + runs_json + "\n  ],\n";
+  json += std::string{"  \"sharded_equals_serial\": "} +
+          (all_match ? "true" : "false") + "\n";
+  json += "}\n";
+  core::write_file("BENCH_campaign.json", json);
+  std::printf("wrote BENCH_campaign.json\n");
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: a sharded campaign diverged from the serial "
+                 "baseline (see BENCH_campaign.json)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,13 +6,22 @@
 //     every campaign and stays silent on a benign workload),
 //   * monetary loss (section V-E): projected victim cost per vendor for a
 //     laptop-scale 10 req/s day-long campaign.
+//
+// RANGEAMP_THREADS=N (default 1) runs each campaign sharded on N workers;
+// these campaigns are shield-free, so the sharded reduction reproduces the
+// serial numbers exactly (see docs/parallel-model.md) and every output byte
+// stays identical at any thread count.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/rangeamp.h"
 
 using namespace rangeamp;
 
 int main() {
+  const char* threads_env = std::getenv("RANGEAMP_THREADS");
+  const int threads = threads_env && *threads_env ? std::atoi(threads_env) : 1;
+
   // --- Campaign matrix: rate x spread --------------------------------------
   core::Table campaigns({"vendor", "m (req/s)", "nodes", "origin MB", "AF",
                          "origin saturated", "detector"});
@@ -27,6 +36,8 @@ int main() {
                             .requests_per_second(m)
                             .duration_s(10)
                             .edge_nodes(static_cast<std::size_t>(nodes))
+                            .shards(threads > 1 ? 8 : 1)
+                            .threads(threads)
                             .build();
     const auto result = core::run_sbr_campaign(config);
     campaigns.add_row(

@@ -11,6 +11,10 @@
 //                       (validated by scripts/check_trace.py in CI),
 //   RANGEAMP_METRICS=1  per-vendor amplification histograms, write
 //                       fig6_metrics.prom (Prometheus text format).
+//
+// Parallelism (default 1; any value writes the same CSV bytes, which the
+// reproduce.sh drift gate re-verifies at 8 threads):
+//   RANGEAMP_THREADS=N  run each vendor's size sweep on N worker threads.
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -31,6 +35,9 @@ int main() {
   obs::MetricsRegistry registry;
   obs::MetricsRegistry* metrics =
       std::getenv("RANGEAMP_METRICS") ? &registry : nullptr;
+  const char* threads_env = std::getenv("RANGEAMP_THREADS");
+  const int threads =
+      threads_env && *threads_env ? std::atoi(threads_env) : 1;
 
   core::Table table4({"CDN", "Exploited Range Case", "AF @1MB", "AF @10MB",
                       "AF @25MB", "client B @25MB", "origin B @25MB"});
@@ -42,7 +49,7 @@ int main() {
   std::vector<std::vector<core::SbrMeasurement>> all;
   std::vector<std::string> names;
   for (const cdn::Vendor vendor : cdn::kAllVendors) {
-    all.push_back(core::sweep_sbr(vendor, sizes, {}, trace));
+    all.push_back(core::sweep_sbr(vendor, sizes, {}, trace, threads));
     names.emplace_back(cdn::vendor_name(vendor));
     const auto& sweep = all.back();
     if (metrics) {

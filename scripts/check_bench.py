@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate BENCH_campaign.json emitted by bench_campaign_throughput.
+
+Checks the schema (keys, types, non-empty runs), the determinism contract
+(every sharded run must match the serial baseline field-for-field, as
+reported by the bench itself), and -- optionally -- a minimum speedup at a
+given thread count, which CI enforces on its multi-core runners but local
+single-core runs skip.
+
+Usage:
+    scripts/check_bench.py BENCH_campaign.json
+    scripts/check_bench.py BENCH_campaign.json --min-speedup 3.0 --at-threads 8
+
+Exit status: 0 = valid, 1 = violation (with a message on stderr).
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_number(obj, key, ctx, minimum=None):
+    require(key in obj, f"{ctx}: missing key '{key}'")
+    value = obj[key]
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{ctx}: '{key}' must be a number, got {type(value).__name__}",
+    )
+    if minimum is not None:
+        require(value >= minimum, f"{ctx}: '{key}' = {value} < {minimum}")
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="path to BENCH_campaign.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="require speedup_vs_serial >= this at --at-threads",
+    )
+    parser.add_argument(
+        "--at-threads",
+        type=int,
+        default=8,
+        help="thread count the --min-speedup requirement applies to",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {args.path}: {exc}")
+
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("bench") == "campaign_throughput",
+            f"'bench' must be 'campaign_throughput', got {doc.get('bench')!r}")
+    require(isinstance(doc.get("vendor"), str) and doc["vendor"],
+            "'vendor' must be a non-empty string")
+    check_number(doc, "file_size_bytes", "top level", minimum=1)
+    exchanges = check_number(doc, "exchanges", "top level", minimum=1)
+    check_number(doc, "shards", "top level", minimum=2)
+    check_number(doc, "hardware_threads", "top level", minimum=0)
+
+    serial = doc.get("serial")
+    require(isinstance(serial, dict), "'serial' must be an object")
+    check_number(serial, "seconds", "serial", minimum=0)
+    check_number(serial, "exchanges_per_sec", "serial", minimum=0)
+    require(serial["exchanges_per_sec"] > 0, "serial exchanges_per_sec must be > 0")
+
+    runs = doc.get("runs")
+    require(isinstance(runs, list) and runs, "'runs' must be a non-empty array")
+    seen_threads = set()
+    for i, run in enumerate(runs):
+        ctx = f"runs[{i}]"
+        require(isinstance(run, dict), f"{ctx} must be an object")
+        threads = check_number(run, "threads", ctx, minimum=1)
+        require(threads not in seen_threads, f"{ctx}: duplicate thread count {threads}")
+        seen_threads.add(threads)
+        check_number(run, "seconds", ctx, minimum=0)
+        eps = check_number(run, "exchanges_per_sec", ctx, minimum=0)
+        require(eps > 0, f"{ctx}: exchanges_per_sec must be > 0")
+        check_number(run, "speedup_vs_serial", ctx, minimum=0)
+        require(run.get("matches_serial") is True,
+                f"{ctx} (threads={run.get('threads')}): sharded run diverged "
+                "from the serial baseline")
+
+    require(doc.get("sharded_equals_serial") is True,
+            "'sharded_equals_serial' must be true")
+
+    if args.min_speedup is not None:
+        matching = [r for r in runs if r["threads"] == args.at_threads]
+        require(matching,
+                f"no run at threads={args.at_threads} for --min-speedup check")
+        speedup = matching[0]["speedup_vs_serial"]
+        require(speedup >= args.min_speedup,
+                f"speedup at {args.at_threads} threads is {speedup:.2f}x, "
+                f"required >= {args.min_speedup:.2f}x")
+
+    best = max(r["speedup_vs_serial"] for r in runs)
+    print(f"check_bench: OK: {int(exchanges)} exchanges, "
+          f"{len(runs)} sharded runs, all match serial, "
+          f"best speedup {best:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -109,5 +109,27 @@ if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   fi
 fi
 
+# Campaign-throughput gate: the bench glob above already ran
+# bench_campaign_throughput (which exits non-zero if any sharded campaign
+# diverges from the serial baseline); validate the JSON it wrote.  No
+# speedup floor here -- wall-clock gains need real cores, and this script
+# must pass on a 1-core box; CI layers --min-speedup on top.
+python3 scripts/check_bench.py BENCH_campaign.json
+
+# Parallel drift gate: re-run the CSV-writing harnesses with the `threads`
+# knob wide open.  The sharding contract (docs/parallel-model.md) says
+# thread count is unobservable in the results, so every committed CSV must
+# regenerate byte-identically at 8 threads.
+echo "==================== 8-thread drift re-run ====================" | tee -a bench_output.txt
+RANGEAMP_THREADS=8 \
+  ./build/bench/bench_table4_fig6_sbr_amplification 2>&1 | tee -a bench_output.txt
+RANGEAMP_THREADS=8 ./build/bench/bench_practicability 2>&1 | tee -a bench_output.txt
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: the 8-thread re-run perturbed committed CSVs (diff above)" >&2
+    exit 1
+  fi
+fi
+
 echo
 echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

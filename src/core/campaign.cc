@@ -1,9 +1,12 @@
 #include "core/campaign.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "core/obr.h"
+#include "core/parallel.h"
 #include "core/sbr.h"
 #include "core/testbed.h"
 #include "http/generator.h"
@@ -14,6 +17,159 @@ namespace {
 
 std::uint64_t selected_bytes(const http::RangeSet& set, std::uint64_t size) {
   return http::total_selected_bytes(http::resolve_all(set, size));
+}
+
+void add_shield_stats(cdn::ShieldStats& into, const cdn::ShieldStats& from) {
+  into.loop_rejected += from.loop_rejected;
+  into.hop_cap_rejected += from.hop_cap_rejected;
+  into.coalesced_hits += from.coalesced_hits;
+  into.fill_fetches += from.fill_fetches;
+  into.shed_breaker_open += from.shed_breaker_open;
+  into.shed_admission += from.shed_admission;
+  into.breaker_trips += from.breaker_trips;
+  into.half_open_probes += from.half_open_probes;
+  into.shed_responses += from.shed_responses;
+}
+
+// ---------------------------------------------------------------------------
+// SBR campaign: shard block runner + ordered reduction.
+//
+// One block runs the exchanges [begin, end) of the campaign grid against its
+// OWN testbed (origin, cluster, recorder -- the per-shard ownership rule of
+// core/parallel.h), stamping each exchange with its *global* index so the
+// cache-busting keys, node pinning, and simulated clock are the same whether
+// the grid runs as one block or many.  The serial path is exactly the
+// single-block call [0, total) with the caller's tracer/metrics sinks, which
+// is what keeps every pre-sharding CSV byte-identical.
+// ---------------------------------------------------------------------------
+
+struct SbrBlockResult {
+  net::TrafficTotals attacker;
+  std::uint64_t attacker_truncated = 0;
+  std::uint64_t origin_response_bytes = 0;
+  std::vector<std::uint64_t> per_node_upstream_bytes;
+  std::vector<std::uint64_t> per_node_ingress_exchanges;
+  cdn::ShieldStats shield;
+  /// Per-exchange detector samples in global-index order; the campaign
+  /// replays the concatenation through one detector so the verdict is a
+  /// function of the merged sample stream, not of thread scheduling.
+  std::vector<DetectorSample> samples;
+};
+
+SbrBlockResult run_sbr_block(const SbrCampaignConfig& config,
+                             const SbrPlan& plan, std::uint64_t begin,
+                             std::uint64_t end, obs::Tracer* tracer,
+                             obs::MetricsRegistry* metrics) {
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/target.bin", config.file_size);
+
+  cdn::EdgeCluster cluster(
+      [&] {
+        cdn::VendorProfile profile = cdn::make_profile(config.vendor, config.options);
+        if (config.mitigation) {
+          profile = apply_mitigation(std::move(profile), *config.mitigation);
+        }
+        profile.traits.shield = config.shield;
+        return profile;
+      },
+      config.edge_nodes, origin, config.selection);
+
+  // Campaign time: request i is sent at i/m seconds.  The nodes' shielding
+  // layers (fill-lock windows, breaker open timers) key off this clock.
+  double sim_now = begin > 0 && config.requests_per_second > 0
+                       ? static_cast<double>(begin) /
+                             static_cast<double>(config.requests_per_second)
+                       : 0;
+  cluster.set_clock([&sim_now] { return sim_now; });
+
+  net::TrafficRecorder client_traffic("attacker");
+  client_traffic.set_keep_log(false);
+  net::Wire client_wire(client_traffic, cluster);
+
+  if (tracer) {
+    tracer->set_clock([&sim_now] { return sim_now; });
+    cluster.set_tracer(tracer);
+    client_wire.set_tracer(tracer);
+  }
+  obs::Histogram* af_histogram = nullptr;
+  if (metrics) {
+    cluster.set_metrics(metrics);
+    af_histogram = &metrics->histogram(
+        "sbr_amplification_factor{vendor=\"" +
+            std::string{cdn::vendor_name(config.vendor)} + "\"}",
+        obs::amplification_buckets(),
+        "per-request origin/client response byte ratio");
+  }
+
+  SbrBlockResult block;
+  block.samples.reserve(static_cast<std::size_t>(end - begin));
+  const std::uint64_t burst =
+      config.same_key_burst > 1 ? static_cast<std::uint64_t>(config.same_key_burst) : 1;
+  std::uint64_t origin_before = 0;
+  std::int64_t last_sampled_second = -1;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    if (config.requests_per_second > 0) {
+      sim_now = static_cast<double>(i) /
+                static_cast<double>(config.requests_per_second);
+    }
+    if (metrics) {
+      // One snapshot per simulated second, stamped on the sim clock.
+      const auto second = static_cast<std::int64_t>(sim_now);
+      if (second > last_sampled_second) {
+        metrics->sample(sim_now);
+        last_sampled_second = second;
+      }
+    }
+    // One amplification unit may need several sends (KeyCDN's pair); the
+    // attacker reuses its connection, so every send of a unit reaches the
+    // same ingress node.  Round-robin therefore rotates per *unit* -- or per
+    // key group, since a URL-hashing balancer maps same-key units together.
+    if (config.selection == cdn::NodeSelection::kRoundRobin) {
+      cluster.pin((i / burst) % config.edge_nodes);
+    }
+    http::Request request = http::make_get(
+        std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i / burst));
+    request.headers.add("Range", plan.range.to_string());
+    const net::TrafficTotals client_before = client_traffic.totals();
+    {
+      // One root span per amplification unit: the wire and CDN spans of this
+      // unit's sends nest under it.
+      obs::SpanScope unit(tracer, "sbr.request");
+      unit.note("index", std::to_string(i));
+      unit.note("target", request.target);
+      for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
+    }
+
+    const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
+    DetectorSample sample;
+    sample.selected_bytes = selected_bytes(plan.range, config.file_size);
+    sample.resource_bytes = config.file_size;
+    sample.client.request_bytes =
+        client_traffic.request_bytes() - client_before.request_bytes;
+    sample.client.response_bytes =
+        client_traffic.response_bytes() - client_before.response_bytes;
+    sample.origin.response_bytes = origin_after - origin_before;
+    sample.cache_hit = sample.origin.response_bytes == 0;
+    origin_before = origin_after;
+    if (af_histogram) {
+      af_histogram->observe(amplification_factor(sample.origin, sample.client));
+    }
+    block.samples.push_back(sample);
+  }
+  if (metrics) metrics->sample(sim_now);
+  if (tracer) tracer->set_clock(nullptr);
+
+  block.attacker = client_traffic.totals();
+  block.attacker_truncated = client_traffic.truncated_count();
+  block.origin_response_bytes = cluster.total_upstream_response_bytes();
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    block.per_node_upstream_bytes.push_back(
+        cluster.node(i).upstream_traffic().response_bytes());
+    block.per_node_ingress_exchanges.push_back(
+        cluster.ingress_traffic(i).exchange_count());
+  }
+  block.shield = cluster.total_shield_stats();
+  return block;
 }
 
 }  // namespace
@@ -40,124 +196,87 @@ SbrCampaignConfig SbrCampaignConfig::Builder::build() const {
     throw std::invalid_argument(
         "SbrCampaignConfig: same_key_burst must be >= 1");
   }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("SbrCampaignConfig: shards must be >= 1");
+  }
+  if (config_.threads < 1) {
+    throw std::invalid_argument("SbrCampaignConfig: threads must be >= 1");
+  }
   return config_;
 }
 
 SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
                                    const DetectorConfig& detector_config) {
-  origin::OriginServer origin;
-  origin.resources().add_synthetic("/target.bin", config.file_size);
-
-  cdn::EdgeCluster cluster(
-      [&] {
-        cdn::VendorProfile profile = cdn::make_profile(config.vendor, config.options);
-        if (config.mitigation) {
-          profile = apply_mitigation(std::move(profile), *config.mitigation);
-        }
-        profile.traits.shield = config.shield;
-        return profile;
-      },
-      config.edge_nodes, origin, config.selection);
-
-  // Campaign time: request i is sent at i/m seconds.  The nodes' shielding
-  // layers (fill-lock windows, breaker open timers) key off this clock.
-  double sim_now = 0;
-  cluster.set_clock([&sim_now] { return sim_now; });
-
-  net::TrafficRecorder client_traffic("attacker");
-  client_traffic.set_keep_log(false);
-  net::Wire client_wire(client_traffic, cluster);
-
-  if (config.tracer) {
-    config.tracer->set_clock([&sim_now] { return sim_now; });
-    cluster.set_tracer(config.tracer);
-    client_wire.set_tracer(config.tracer);
-  }
-  obs::Histogram* af_histogram = nullptr;
-  if (config.metrics) {
-    cluster.set_metrics(config.metrics);
-    af_histogram = &config.metrics->histogram(
-        "sbr_amplification_factor{vendor=\"" +
-            std::string{cdn::vendor_name(config.vendor)} + "\"}",
-        obs::amplification_buckets(),
-        "per-request origin/client response byte ratio");
-  }
-
-  RangeAmpDetector detector(detector_config);
   const SbrPlan plan = sbr_plan(config.vendor, config.file_size);
-
   const std::uint64_t total_requests =
       static_cast<std::uint64_t>(config.requests_per_second) *
       static_cast<std::uint64_t>(config.duration_s);
   const std::uint64_t burst =
       config.same_key_burst > 1 ? static_cast<std::uint64_t>(config.same_key_burst) : 1;
-  std::uint64_t origin_before = 0;
-  std::int64_t last_sampled_second = -1;
-  for (std::uint64_t i = 0; i < total_requests; ++i) {
-    if (config.requests_per_second > 0) {
-      sim_now = static_cast<double>(i) /
-                static_cast<double>(config.requests_per_second);
-    }
-    if (config.metrics) {
-      // One snapshot per simulated second, stamped on the sim clock.
-      const auto second = static_cast<std::int64_t>(sim_now);
-      if (second > last_sampled_second) {
-        config.metrics->sample(sim_now);
-        last_sampled_second = second;
-      }
-    }
-    // One amplification unit may need several sends (KeyCDN's pair); the
-    // attacker reuses its connection, so every send of a unit reaches the
-    // same ingress node.  Round-robin therefore rotates per *unit* -- or per
-    // key group, since a URL-hashing balancer maps same-key units together.
-    if (config.selection == cdn::NodeSelection::kRoundRobin) {
-      cluster.pin((i / burst) % config.edge_nodes);
-    }
-    http::Request request = http::make_get(
-        std::string{kDefaultHost}, "/target.bin?x=" + std::to_string(i / burst));
-    request.headers.add("Range", plan.range.to_string());
-    const net::TrafficTotals client_before = client_traffic.totals();
-    {
-      // One root span per amplification unit: the wire and CDN spans of this
-      // unit's sends nest under it.
-      obs::SpanScope unit(config.tracer, "sbr.request");
-      unit.note("index", std::to_string(i));
-      unit.note("target", request.target);
-      for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
-    }
 
-    const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
-    DetectorSample sample;
-    sample.selected_bytes = selected_bytes(plan.range, config.file_size);
-    sample.resource_bytes = config.file_size;
-    sample.client.request_bytes =
-        client_traffic.request_bytes() - client_before.request_bytes;
-    sample.client.response_bytes =
-        client_traffic.response_bytes() - client_before.response_bytes;
-    sample.origin.response_bytes = origin_after - origin_before;
-    sample.cache_hit = sample.origin.response_bytes == 0;
-    origin_before = origin_after;
-    detector.observe(sample);
-    if (af_histogram) {
-      af_histogram->observe(amplification_factor(sample.origin, sample.client));
+  SbrBlockResult merged;
+  if (config.shards <= 1) {
+    // Serial path: one block over the whole grid, writing straight into the
+    // caller's observability sinks -- bit-for-bit the pre-sharding campaign.
+    merged = run_sbr_block(config, plan, 0, total_requests, config.tracer,
+                           config.metrics);
+  } else {
+    // Sharded path: burst-aligned contiguous blocks, each against its own
+    // testbed and its own tracer/metrics sinks, merged in shard order.
+    struct ShardOut {
+      SbrBlockResult block;
+      obs::Tracer tracer;
+      obs::MetricsRegistry metrics;
+    };
+    const ShardPlan shard_plan(total_requests, config.shards, /*seed=*/0,
+                               burst);
+    std::vector<ShardOut> outs(shard_plan.size());
+    run_shards(shard_plan, static_cast<std::size_t>(config.threads),
+               [&](const Shard& shard) {
+                 ShardOut& out = outs[shard.index];
+                 out.block = run_sbr_block(
+                     config, plan, shard.begin, shard.end,
+                     config.tracer ? &out.tracer : nullptr,
+                     config.metrics ? &out.metrics : nullptr);
+               });
+    merged.per_node_upstream_bytes.assign(config.edge_nodes, 0);
+    merged.per_node_ingress_exchanges.assign(config.edge_nodes, 0);
+    for (ShardOut& out : outs) {
+      merged.attacker += out.block.attacker;
+      merged.attacker_truncated += out.block.attacker_truncated;
+      merged.origin_response_bytes += out.block.origin_response_bytes;
+      for (std::size_t i = 0; i < config.edge_nodes; ++i) {
+        merged.per_node_upstream_bytes[i] += out.block.per_node_upstream_bytes[i];
+        merged.per_node_ingress_exchanges[i] +=
+            out.block.per_node_ingress_exchanges[i];
+      }
+      add_shield_stats(merged.shield, out.block.shield);
+      merged.samples.insert(merged.samples.end(), out.block.samples.begin(),
+                            out.block.samples.end());
+      if (config.tracer) config.tracer->merge_from(out.tracer);
+      if (config.metrics) config.metrics->merge_from(out.metrics);
     }
   }
-  if (config.metrics) config.metrics->sample(sim_now);
-  if (config.tracer) config.tracer->set_clock(nullptr);
+
+  // Detector replay: the concatenated sample stream is in global exchange
+  // order regardless of how many shards produced it, so the sliding-window
+  // verdict matches the serial run's whenever the samples do.
+  RangeAmpDetector detector(detector_config);
+  for (const DetectorSample& sample : merged.samples) detector.observe(sample);
 
   SbrCampaignResult result;
-  result.attacker = client_traffic.totals();
-  result.attacker_truncated = client_traffic.truncated_count();
-  result.origin.response_bytes = cluster.total_upstream_response_bytes();
+  result.attacker = merged.attacker;
+  result.attacker_truncated = merged.attacker_truncated;
+  result.origin.response_bytes = merged.origin_response_bytes;
   result.amplification = net::amplification_factor(result.origin, result.attacker);
-  result.nodes_touched = cluster.nodes_touched();
-  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
-    result.per_node_upstream_bytes.push_back(
-        cluster.node(i).upstream_traffic().response_bytes());
+  result.per_node_upstream_bytes = merged.per_node_upstream_bytes;
+  result.nodes_touched = 0;
+  for (const std::uint64_t exchanges : merged.per_node_ingress_exchanges) {
+    if (exchanges > 0) ++result.nodes_touched;
   }
   result.detector_alarmed = detector.alarmed();
   result.detector_stats = detector.stats();
-  result.shield_stats = cluster.total_shield_stats();
+  result.shield_stats = merged.shield;
 
   // Project onto the fluid link for the time series: per-request byte costs
   // are the campaign averages.
@@ -195,6 +314,60 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// OBR node-exhaustion campaign.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ObrBlockResult {
+  std::uint64_t fcdn_bcdn_response_bytes = 0;
+  std::uint64_t bcdn_origin_response_bytes = 0;
+  std::uint64_t attacker_response_bytes = 0;
+  std::uint64_t attacker_truncated = 0;
+};
+
+ObrBlockResult run_obr_block(const ObrCampaignConfig& config,
+                             const std::string& range_value,
+                             std::uint64_t begin, std::uint64_t end) {
+  // One cascade per block: the BCDN caches the small entity after the first
+  // pull, exactly as a pinned-node attack would see.  Every campaign request
+  // busts both caches with a fresh query, so block totals are independent of
+  // where the block boundaries fall.
+  cdn::ProfileOptions fcdn_options;
+  if (config.fcdn == cdn::Vendor::kCloudflare) {
+    fcdn_options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
+  }
+  CascadeTestbed bed(cdn::make_profile(config.fcdn, fcdn_options),
+                     cdn::make_profile(config.bcdn), obr_origin_config());
+  bed.origin().resources().add_synthetic(std::string{kObrPath},
+                                         config.resource_size);
+
+  net::TransferOptions abort_early;
+  abort_early.abort_after_body_bytes = 4096;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    // Rotate the cache-busting query (fixed width keeps the request line --
+    // and with it the header-limit arithmetic -- constant): both CDNs must
+    // miss on every request, or the FCDN would answer from its own cache.
+    char query[32];
+    std::snprintf(query, sizeof(query), "?x=%06llu",
+                  static_cast<unsigned long long>(i));
+    http::Request request =
+        http::make_get(std::string{kObrHost}, std::string{kObrPath} + query);
+    request.headers.add("Range", range_value);
+    bed.send(request, abort_early);
+  }
+
+  ObrBlockResult block;
+  block.fcdn_bcdn_response_bytes = bed.fcdn_bcdn_traffic().response_bytes();
+  block.bcdn_origin_response_bytes = bed.bcdn_origin_traffic().response_bytes();
+  block.attacker_response_bytes = bed.client_traffic().response_bytes();
+  block.attacker_truncated = bed.client_traffic().truncated_count();
+  return block;
+}
+
+}  // namespace
+
 ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
   ObrCampaignResult result;
   // Plan: either the caller's n or the cascade's discovered maximum, less a
@@ -209,48 +382,32 @@ ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
     result.n = max_n > 4 ? max_n - 4 : max_n;
   }
 
-  // One persistent cascade: the BCDN caches the 1 KB entity after the first
-  // pull, exactly as a pinned-node attack would see.
-  cdn::ProfileOptions fcdn_options;
-  if (config.fcdn == cdn::Vendor::kCloudflare) {
-    fcdn_options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
-  }
-  CascadeTestbed bed(cdn::make_profile(config.fcdn, fcdn_options),
-                     cdn::make_profile(config.bcdn), obr_origin_config());
-  bed.origin().resources().add_synthetic(std::string{kObrPath},
-                                         config.resource_size);
-
   const std::uint64_t total_requests =
       static_cast<std::uint64_t>(config.requests_per_second) *
       static_cast<std::uint64_t>(config.duration_s);
-  net::TransferOptions abort_early;
-  abort_early.abort_after_body_bytes = 4096;
   const std::string range_value = obr_range_case(config.fcdn, result.n).to_string();
 
-  for (std::uint64_t i = 0; i < total_requests; ++i) {
-    // Rotate the cache-busting query (fixed width keeps the request line --
-    // and with it the header-limit arithmetic -- constant): both CDNs must
-    // miss on every request, or the FCDN would answer from its own cache.
-    char query[32];
-    std::snprintf(query, sizeof(query), "?x=%06llu",
-                  static_cast<unsigned long long>(i));
-    http::Request request =
-        http::make_get(std::string{kObrHost}, std::string{kObrPath} + query);
-    request.headers.add("Range", range_value);
-    bed.send(request, abort_early);
+  const ShardPlan shard_plan(total_requests,
+                             std::max<std::size_t>(1, config.shards));
+  std::vector<ObrBlockResult> blocks(shard_plan.size());
+  run_shards(shard_plan, static_cast<std::size_t>(std::max(1, config.threads)),
+             [&](const Shard& shard) {
+               blocks[shard.index] =
+                   run_obr_block(config, range_value, shard.begin, shard.end);
+             });
+  std::uint64_t fcdn_bcdn_response_bytes = 0;
+  for (const ObrBlockResult& block : blocks) {
+    fcdn_bcdn_response_bytes += block.fcdn_bcdn_response_bytes;
+    result.bcdn_origin_response_bytes += block.bcdn_origin_response_bytes;
+    result.attacker_response_bytes += block.attacker_response_bytes;
+    result.attacker_truncated += block.attacker_truncated;
   }
   result.fcdn_bcdn_bytes_per_request =
-      total_requests == 0
-          ? 0
-          : bed.fcdn_bcdn_traffic().response_bytes() / total_requests;
-  result.bcdn_origin_response_bytes =
-      bed.bcdn_origin_traffic().response_bytes();
-  result.attacker_response_bytes = bed.client_traffic().response_bytes();
-  result.attacker_truncated = bed.client_traffic().truncated_count();
+      total_requests == 0 ? 0 : fcdn_bcdn_response_bytes / total_requests;
   result.amplification =
       result.bcdn_origin_response_bytes == 0
           ? 0
-          : static_cast<double>(bed.fcdn_bcdn_traffic().response_bytes()) /
+          : static_cast<double>(fcdn_bcdn_response_bytes) /
                 static_cast<double>(result.bcdn_origin_response_bytes);
 
   // Project onto the targeted node's uplink.
@@ -271,8 +428,21 @@ ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
   return result;
 }
 
-LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
-                                       const DetectorConfig& detector_config) {
+// ---------------------------------------------------------------------------
+// Benign workload.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LegitBlockResult {
+  net::TrafficTotals client;
+  std::uint64_t origin_response_bytes = 0;
+  std::size_t hits = 0;
+  std::vector<DetectorSample> samples;
+};
+
+LegitBlockResult run_legit_block(const LegitWorkloadConfig& config,
+                                 std::uint64_t rng_seed, std::size_t requests) {
   origin::OriginServer origin;
   // A small site: a page, assets, one big download.
   origin.resources().add_literal("/index.html",
@@ -290,12 +460,12 @@ LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
   client_traffic.set_keep_log(false);
   net::Wire client_wire(client_traffic, cluster);
 
-  RangeAmpDetector detector(detector_config);
-  http::Rng rng{config.seed};
+  http::Rng rng{rng_seed};
 
+  LegitBlockResult block;
+  block.samples.reserve(requests);
   std::uint64_t origin_before = 0;
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < config.requests; ++i) {
+  for (std::size_t i = 0; i < requests; ++i) {
     http::Request request;
     std::optional<http::RangeSet> range;
     std::uint64_t resource_size = 0;
@@ -350,14 +520,46 @@ LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
         client_traffic.response_bytes() - client_before;
     sample.origin.response_bytes = origin_after - origin_before;
     sample.cache_hit = sample.origin.response_bytes == 0;
-    if (sample.cache_hit) ++hits;
+    if (sample.cache_hit) ++block.hits;
     origin_before = origin_after;
-    detector.observe(sample);
+    block.samples.push_back(sample);
   }
 
+  block.client = client_traffic.totals();
+  block.origin_response_bytes = cluster.total_upstream_response_bytes();
+  return block;
+}
+
+}  // namespace
+
+LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
+                                       const DetectorConfig& detector_config) {
+  std::vector<LegitBlockResult> blocks;
+  if (config.shards <= 1) {
+    // Serial path: the legacy single-stream run, seeded with config.seed
+    // directly (NOT a derived stream) so pre-sharding results replay
+    // byte-identically.
+    blocks.push_back(run_legit_block(config, config.seed, config.requests));
+  } else {
+    const ShardPlan shard_plan(config.requests, config.shards, config.seed);
+    blocks.resize(shard_plan.size());
+    run_shards(shard_plan, static_cast<std::size_t>(std::max(1, config.threads)),
+               [&](const Shard& shard) {
+                 blocks[shard.index] = run_legit_block(
+                     config, shard.seed,
+                     static_cast<std::size_t>(shard.size()));
+               });
+  }
+
+  RangeAmpDetector detector(detector_config);
   LegitWorkloadResult result;
-  result.client = client_traffic.totals();
-  result.origin.response_bytes = cluster.total_upstream_response_bytes();
+  std::size_t hits = 0;
+  for (const LegitBlockResult& block : blocks) {
+    result.client += block.client;
+    result.origin.response_bytes += block.origin_response_bytes;
+    hits += block.hits;
+    for (const DetectorSample& sample : block.samples) detector.observe(sample);
+  }
   result.cache_hit_rate =
       static_cast<double>(hits) / static_cast<double>(config.requests);
   result.detector_alarmed = detector.alarmed();

@@ -55,6 +55,18 @@ struct SbrCampaignConfig {
   /// collapse.  1 = every request busts the cache with a fresh key.
   int same_key_burst = 1;
 
+  /// Sharded execution (src/core/parallel.h, docs/parallel-model.md).
+  /// `shards` decomposes the exchange grid into contiguous, burst-aligned
+  /// blocks, each run against its own cluster/origin/recorder instances and
+  /// merged by a deterministic ordered reduction; `threads` workers execute
+  /// the shards.  Results depend only on `shards`, never on `threads` --
+  /// shards = 1 (the default) is the exact legacy serial path at any thread
+  /// count.  Campaigns whose defenses couple exchanges across key groups
+  /// (circuit breaker, overload watermarks) should keep shards = 1; see the
+  /// determinism contract in docs/parallel-model.md.
+  std::size_t shards = 1;
+  int threads = 1;
+
   /// Observability hooks (non-owning, both null by default so the campaign
   /// replays byte-identically).  With a tracer, every amplification unit
   /// yields an "sbr.request" span tree; with a registry, the cdn_* counters
@@ -105,6 +117,8 @@ class SbrCampaignConfig::Builder {
     config_.same_key_burst = burst;
     return *this;
   }
+  Builder& shards(std::size_t n) { config_.shards = n; return *this; }
+  Builder& threads(int n) { config_.threads = n; return *this; }
   Builder& tracer(obs::Tracer* t) { config_.tracer = t; return *this; }
   Builder& metrics(obs::MetricsRegistry* m) {
     config_.metrics = m;
@@ -171,6 +185,12 @@ struct ObrCampaignConfig {
   int duration_s = 10;
   /// Capacity of the targeted node's uplink toward the FCDN.
   double node_uplink_mbps = 1000.0;
+  /// Sharded execution: every OBR exchange is independent (each request
+  /// busts both caches), so shard blocks run against their own cascade
+  /// testbeds and merge to the serial byte totals exactly.  Results depend
+  /// only on `shards`, never on `threads`.
+  std::size_t shards = 1;
+  int threads = 1;
 };
 
 struct ObrCampaignResult {
@@ -197,6 +217,14 @@ struct LegitWorkloadConfig {
   std::size_t requests = 200;
   std::uint64_t seed = 2020;
   std::size_t edge_nodes = 4;
+  /// Sharded execution.  Each shard draws from its own RNG stream
+  /// (SplitMix64 of `seed ^ shard_index`, see core/parallel.h) and warms its
+  /// own cluster, so a sharded run is NOT sample-identical to the serial one
+  /// -- it is a different (equally valid) workload of the same mix, and it
+  /// is byte-identical across thread counts whenever `shards` is pinned.
+  /// shards = 1 (the default) preserves the legacy single-stream run.
+  std::size_t shards = 1;
+  int threads = 1;
 };
 
 struct LegitWorkloadResult {

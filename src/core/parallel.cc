@@ -1,0 +1,127 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rangeamp::core {
+
+ShardPlan::ShardPlan(std::uint64_t total, std::size_t shard_count,
+                     std::uint64_t seed, std::uint64_t group)
+    : total_(total) {
+  if (group == 0) throw std::invalid_argument("ShardPlan: group must be > 0");
+  if (total == 0) return;  // empty grid -> empty plan
+  // Decompose in whole groups so a same-key burst never straddles shards.
+  const std::uint64_t groups = (total + group - 1) / group;
+  const std::uint64_t count = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(shard_count, groups));
+  shards_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Balanced split of `groups` into `count` blocks (sizes differ by <= 1).
+    const std::uint64_t gbegin = groups * i / count;
+    const std::uint64_t gend = groups * (i + 1) / count;
+    Shard shard;
+    shard.index = static_cast<std::size_t>(i);
+    shard.begin = gbegin * group;
+    shard.end = std::min(gend * group, total);
+    shard.seed = shard_seed(seed, shard.index);
+    shards_.push_back(shard);
+  }
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   ///< workers wait here for tasks
+  std::condition_variable idle_cv;   ///< wait_idle() waits here
+  std::deque<std::function<void()>> queue;
+  std::size_t active = 0;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping with a drained queue
+        task = std::move(queue.front());
+        queue.pop_front();
+        ++active;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --active;
+        if (queue.empty() && active == 0) idle_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(new Impl), workers_count_(std::max<std::size_t>(1, threads)) {
+  impl_->workers.reserve(workers_count_);
+  for (std::size_t i = 0; i < workers_count_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle_cv.wait(
+      lock, [&] { return impl_->queue.empty() && impl_->active == 0; });
+}
+
+void run_shards(const ShardPlan& plan, std::size_t threads,
+                const std::function<void(const Shard&)>& fn) {
+  const std::vector<Shard>& shards = plan.shards();
+  if (threads <= 1 || shards.size() <= 1) {
+    for (const Shard& shard : shards) fn(shard);
+    return;
+  }
+  // One exception slot per shard; the first (by shard index, not by wall
+  // clock) is rethrown, so even failure reporting is thread-count-stable.
+  std::vector<std::exception_ptr> errors(shards.size());
+  {
+    ThreadPool pool(std::min(threads, shards.size()));
+    for (const Shard& shard : shards) {
+      pool.submit([&fn, &shard, &errors] {
+        try {
+          fn(shard);
+        } catch (...) {
+          errors[shard.index] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rangeamp::core

@@ -1,0 +1,139 @@
+// Sharded parallel execution for campaign-scale workloads.
+//
+// Every experiment in this reproduction is an aggregate over many
+// *independent* exchanges (the paper's amplification factors are byte ratios
+// summed across requests), which parallelizes without changing a single
+// result byte -- provided the decomposition is deterministic.  This module
+// supplies the two pieces the campaign drivers build on:
+//
+//   * ShardPlan -- splits an exchange grid [0, total) into contiguous,
+//     group-aligned shards, each with a deterministically derived RNG seed
+//     (SplitMix64 of `seed ^ shard_index`).  The plan is a pure function of
+//     (total, shard_count, seed, group): it never consults the thread count,
+//     the hardware, or a clock, so the same shard boundaries and seeds come
+//     out on every machine and at every parallelism level.
+//
+//   * ThreadPool / run_shards -- a fixed-size worker pool (MPSC task queue,
+//     mutex+condvar handoff) that executes one task per shard.  Threads only
+//     decide *when* a shard runs, never *what* it computes; reductions are
+//     performed by the caller in shard-index order after every shard
+//     completed, so the merged result is identical at any thread count.
+//
+// ## Per-shard ownership rule
+//
+// Workers share NOTHING mutable.  A shard task must own every piece of
+// state it touches:
+//
+//   * its own origin::OriginServer, cdn::CdnNode / EdgeCluster (and thus its
+//     own cdn::Cache maps, ShieldStats, ValidationStats, OverloadStats --
+//     all of which are plain per-instance members),
+//   * its own net::TrafficRecorder / ExchangeRecord log,
+//   * its own obs::Tracer and obs::MetricsRegistry sinks (merged afterwards
+//     with Tracer::merge_from / MetricsRegistry::merge_from, in shard
+//     order),
+//   * its own http::Rng, seeded from Shard::seed -- never a shared stream.
+//
+// The shard function may read the (const) campaign config and the shard
+// descriptor; everything it writes goes into a result slot indexed by
+// Shard::index that no other shard touches.  This was audited against the
+// library (src/ holds no mutable statics or thread_locals; recorders,
+// caches and stats structs are all instance members), and the rule is what
+// keeps the ThreadSanitizer CI tier clean.  Cross-shard coupling that the
+// decomposition cannot express -- breaker windows spanning key groups,
+// overload watermarks fed by global concurrency -- is exactly the state a
+// campaign must keep `shards = 1` for; see docs/parallel-model.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rangeamp::core {
+
+/// SplitMix64 (Steele et al.): the canonical seed-spreading finalizer.
+/// Adjacent inputs (seed ^ 0, seed ^ 1, ...) map to decorrelated outputs,
+/// which is what makes per-shard xorshift streams independent.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of shard `index` under campaign seed `seed`.  Depends only on the
+/// pair -- NOT on the shard count -- so pinning the shard count pins every
+/// stream, and growing a campaign appends new streams without perturbing
+/// the existing ones.
+constexpr std::uint64_t shard_seed(std::uint64_t seed,
+                                   std::size_t index) noexcept {
+  return splitmix64(seed ^ static_cast<std::uint64_t>(index));
+}
+
+/// One shard of an exchange grid: the contiguous global-index block
+/// [begin, end) plus this shard's derived RNG seed.
+struct Shard {
+  std::size_t index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;    ///< past-the-end global exchange index
+  std::uint64_t seed = 0;   ///< shard_seed(campaign_seed, index)
+
+  std::uint64_t size() const noexcept { return end - begin; }
+};
+
+/// Deterministic decomposition of [0, total) into at most `shard_count`
+/// contiguous shards.  Boundaries fall on multiples of `group` (a key-burst
+/// group must never straddle a shard: splitting it would turn one shard's
+/// cache hit into another shard's miss), block sizes differ by at most one
+/// group, and empty shards are never emitted -- the plan clamps the shard
+/// count to the group count.
+class ShardPlan {
+ public:
+  ShardPlan(std::uint64_t total, std::size_t shard_count,
+            std::uint64_t seed = 0, std::uint64_t group = 1);
+
+  const std::vector<Shard>& shards() const noexcept { return shards_; }
+  std::size_t size() const noexcept { return shards_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::uint64_t total_;
+  std::vector<Shard> shards_;
+};
+
+/// Fixed-size worker pool over an MPSC task queue.  Tasks are opaque
+/// thunks; submission is cheap and never blocks on task execution.  The
+/// pool is a scheduling device only -- determinism is the shard plan's job.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by any worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_count_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t workers_count_;
+};
+
+/// Runs `fn(shard)` for every shard of `plan` on up to `threads` workers
+/// and returns once all shards completed.  With `threads <= 1` (or a
+/// single-shard plan) the shards run inline on the calling thread, in shard
+/// order, with no pool ever created -- the serial path stays allocation-
+/// and syscall-identical to a plain loop.  If any shard throws, the first
+/// exception (in shard-index order) is rethrown after all shards finished.
+void run_shards(const ShardPlan& plan, std::size_t threads,
+                const std::function<void(const Shard&)>& fn);
+
+}  // namespace rangeamp::core

@@ -28,6 +28,7 @@
 #include "core/detector.h"
 #include "core/mitigations.h"
 #include "core/obr.h"
+#include "core/parallel.h"
 #include "core/report.h"
 #include "core/sbr.h"
 #include "core/scanner.h"

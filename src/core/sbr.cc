@@ -1,5 +1,6 @@
 #include "core/sbr.h"
 
+#include "core/parallel.h"
 #include "core/testbed.h"
 
 namespace rangeamp::core {
@@ -153,11 +154,29 @@ SbrMeasurement measure_sbr_h2(Vendor vendor, std::uint64_t file_size,
 std::vector<SbrMeasurement> sweep_sbr(Vendor vendor,
                                       const std::vector<std::uint64_t>& file_sizes,
                                       const cdn::ProfileOptions& options,
-                                      obs::Tracer* tracer) {
+                                      obs::Tracer* tracer, int threads) {
   std::vector<SbrMeasurement> out;
-  out.reserve(file_sizes.size());
-  for (const std::uint64_t size : file_sizes) {
-    out.push_back(measure_sbr(vendor, size, options, tracer));
+  if (threads <= 1 || file_sizes.size() <= 1) {
+    out.reserve(file_sizes.size());
+    for (const std::uint64_t size : file_sizes) {
+      out.push_back(measure_sbr(vendor, size, options, tracer));
+    }
+    return out;
+  }
+  // One shard per size; each measurement traces into its own sink, merged
+  // in size order so the sweep's trace reads exactly like the serial one.
+  out.resize(file_sizes.size());
+  std::vector<obs::Tracer> shard_tracers(tracer ? file_sizes.size() : 0);
+  const ShardPlan plan(file_sizes.size(), file_sizes.size());
+  run_shards(plan, static_cast<std::size_t>(threads), [&](const Shard& shard) {
+    out[shard.index] =
+        measure_sbr(vendor, file_sizes[shard.index], options,
+                    tracer ? &shard_tracers[shard.index] : nullptr);
+  });
+  if (tracer) {
+    for (const obs::Tracer& shard_tracer : shard_tracers) {
+      tracer->merge_from(shard_tracer);
+    }
   }
   return out;
 }

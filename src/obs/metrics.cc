@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace rangeamp::obs {
 
@@ -47,6 +48,19 @@ void Histogram::observe(double value) noexcept {
     }
   }
   ++overflow_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge_from: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 std::vector<std::uint64_t> Histogram::cumulative_counts() const {
@@ -133,6 +147,29 @@ std::string MetricsRegistry::to_prometheus() const {
     out += base + "_count" + suffix + " " + std::to_string(h.count()) + "\n";
   }
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, help] : other.help_) help_.emplace(name, help);
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].add(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge_from(h);
+    }
+  }
+  series_.insert(series_.end(), other.series_.begin(), other.series_.end());
+  std::stable_sort(series_.begin(), series_.end(),
+                   [](const SeriesPoint& a, const SeriesPoint& b) {
+                     return a.t < b.t;
+                   });
 }
 
 std::string MetricsRegistry::series_csv() const {

@@ -45,6 +45,11 @@ class Histogram {
 
   void observe(double value) noexcept;
 
+  /// Adds `other`'s observations bucket-wise (sharded campaigns merge
+  /// per-shard histograms this way).  Throws std::invalid_argument when the
+  /// bucket bounds differ -- merging those would misbucket observations.
+  void merge_from(const Histogram& other);
+
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// counts()[i] = observations <= bounds()[i]; counts().back() = all.
   std::vector<std::uint64_t> cumulative_counts() const;
@@ -84,6 +89,15 @@ class MetricsRegistry {
   /// The sampled time series as CSV: `t_s,metric,value` rows in sample
   /// order.
   std::string series_csv() const;
+
+  /// Deterministic ordered reduction of a per-shard registry into this one:
+  /// counters and histograms add, gauges add (per-shard gauges are partial
+  /// sums of a deployment-wide quantity), help strings are adopted on first
+  /// sight, and `other`'s time series is appended then the whole series is
+  /// stable-sorted by timestamp -- per-shard samples interleave into one
+  /// time-ordered stream whose order depends only on merge order, never on
+  /// thread scheduling.  Merge shards in shard-index order.
+  void merge_from(const MetricsRegistry& other);
 
   std::size_t metric_count() const noexcept;
   std::size_t sample_count() const noexcept { return series_.size(); }

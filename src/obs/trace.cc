@@ -133,6 +133,19 @@ std::string Tracer::to_jsonl() const {
   return out;
 }
 
+void Tracer::merge_from(const Tracer& other) {
+  const SpanId id_offset = spans_.size();
+  const std::uint64_t trace_offset = traces_;
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (Span span : other.spans_) {
+    span.id += id_offset;
+    if (span.parent != 0) span.parent += id_offset;
+    span.trace += trace_offset;
+    spans_.push_back(std::move(span));
+  }
+  traces_ += other.traces_;
+}
+
 void Tracer::clear() {
   spans_.clear();
   open_.clear();

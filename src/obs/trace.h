@@ -87,6 +87,15 @@ class Tracer {
   /// One JSON object per span, one per line (see scripts/trace_schema.json).
   std::string to_jsonl() const;
 
+  /// Deterministic ordered reduction of a per-shard tracer into this one:
+  /// `other`'s spans are appended with span and trace ids rebased past this
+  /// tracer's, preserving parentage, segments, bytes, and notes -- so
+  /// segment_totals() of the merged tracer is the sum of the parts and the
+  /// check_trace.py invariants keep holding.  `other` must have no open
+  /// spans (a shard merges its tracer after its last exchange completed).
+  /// Merge shards in shard-index order.
+  void merge_from(const Tracer& other);
+
   void clear();
 
  private:
