@@ -127,14 +127,14 @@ void check_byte_conservation(const obs::Tracer& tracer,
 // Marker entries (negative-cache sentinels, Vary markers) carry no entity.
 int poisoned_entries(const cdn::Cache& cache, const std::string& honest) {
   int poisoned = 0;
-  for (const auto& [key, entry] : cache.entries()) {
-    if (entry.content_type == "#negative") continue;
-    if (entry.entity.empty() && !entry.vary.empty()) continue;  // Vary marker
+  cache.for_each([&](const std::string&, const cdn::CachedEntity& entry) {
+    if (entry.content_type == "#negative") return;
+    if (entry.entity.empty() && !entry.vary.empty()) return;  // Vary marker
     if (entry.entity.size() != honest.size() ||
         entry.entity.materialize() != honest) {
       ++poisoned;
     }
-  }
+  });
   return poisoned;
 }
 

@@ -104,11 +104,11 @@ struct RunResult {
 
 std::uint64_t real_entries(const cdn::Cache& cache) {
   std::uint64_t n = 0;
-  for (const auto& [key, entry] : cache.entries()) {
-    if (entry.content_type == "#negative") continue;           // negative cache
-    if (entry.entity.empty() && !entry.vary.empty()) continue;  // Vary marker
+  cache.for_each([&](const std::string&, const cdn::CachedEntity& entry) {
+    if (entry.content_type == "#negative") return;             // negative cache
+    if (entry.entity.empty() && !entry.vary.empty()) return;   // Vary marker
     ++n;
-  }
+  });
   return n;
 }
 

@@ -25,6 +25,9 @@ import sys
 # The metric catalogue of docs/observability.md.  Kept flat and sorted so a
 # drift shows as a one-line diff here and in the doc.
 KNOWN_METRICS = {
+    "cdn_cache_admission_rejects_total",
+    "cdn_cache_bytes",
+    "cdn_cache_evictions_total",
     "cdn_cache_hits_total",
     "cdn_cache_misses_total",
     "cdn_coalesced_hits_total",

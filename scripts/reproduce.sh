@@ -46,6 +46,7 @@ fi
 expected_csvs=(
   ablation_mitigations.csv
   byzantine_origin_ablation.csv
+  cache_pollution.csv
   collateral_damage.csv
   fault_mitigation_ablation.csv
   fault_retry_amplification.csv
@@ -105,6 +106,20 @@ python3 scripts/check_metrics.py overload_metrics.prom \
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   if ! git diff --exit-code -- '*.csv'; then
     echo "Reproduction FAILED: the overload metrics re-run perturbed committed CSVs (diff above)" >&2
+    exit 1
+  fi
+fi
+
+# Cache metrics gate: the pollution bench re-runs one budgeted cell with
+# metrics on; the cdn_cache_* catalogue must validate and the committed
+# CSVs must stay byte-identical.
+echo "==================== cache pollution metrics re-run ====================" | tee -a bench_output.txt
+RANGEAMP_METRICS=1 ./build/bench/bench_cache_pollution 2>&1 | tee -a bench_output.txt
+python3 scripts/check_metrics.py cache_pollution_metrics.prom \
+  --require cdn_cache_evictions_total,cdn_cache_admission_rejects_total,cdn_cache_bytes
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: the cache metrics re-run perturbed committed CSVs (diff above)" >&2
     exit 1
   fi
 fi

@@ -84,6 +84,7 @@ CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
       upstream_traffic_(std::move(upstream_segment)),
       upstream_wire_(
           make_upstream_wire(upstream_framing, upstream_traffic_, upstream)),
+      cache_(traits_.cache),
       loop_token_(traits_.shield.loop.token.empty()
                       ? default_cdn_loop_token(traits_.name)
                       : traits_.shield.loop.token),
@@ -131,8 +132,38 @@ Response CdnNode::handle(const Request& request) {
   }
   if (m_requests_) m_requests_->inc();
   Response response = handle_request(request, span);
+  sync_cache_stats(span);
   span.set_status(response.status);
   return response;
+}
+
+void CdnNode::sync_cache_stats(obs::SpanScope& span) {
+  if (!metrics_ && !span) return;
+  const Cache::Stats st = cache_.stats();
+  // cache_.clear() resets the engine's monotonic counters; restart the
+  // deltas instead of underflowing (the Prometheus counters stay monotonic).
+  if (st.evictions < cache_evictions_seen_) cache_evictions_seen_ = 0;
+  if (st.admission_rejects < cache_rejects_seen_) cache_rejects_seen_ = 0;
+  const std::uint64_t ev_delta = st.evictions - cache_evictions_seen_;
+  const std::uint64_t rej_delta = st.admission_rejects - cache_rejects_seen_;
+  cache_evictions_seen_ = st.evictions;
+  cache_rejects_seen_ = st.admission_rejects;
+  if (span && ev_delta != 0) {
+    span.note("cache_evictions", std::to_string(ev_delta));
+  }
+  if (span && rej_delta != 0) {
+    span.note("cache_admission_rejects", std::to_string(rej_delta));
+  }
+  if (!metrics_) return;
+  if (ev_delta != 0) m_cache_evictions_->inc(ev_delta);
+  if (rej_delta != 0) m_cache_rejects_->inc(rej_delta);
+  // The gauge is shared across this vendor's nodes, so report the *change*
+  // in this node's resident bytes: the gauge then reads the deployment-wide
+  // total (and per-shard registries merge additively, see metrics.h).
+  const double bytes_delta =
+      static_cast<double>(st.bytes) - cache_bytes_reported_;
+  if (bytes_delta != 0) m_cache_bytes_->add(bytes_delta);
+  cache_bytes_reported_ = static_cast<double>(st.bytes);
 }
 
 Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
@@ -206,8 +237,12 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
       }
       if (check.ok()) {
         if (check.response.status == 304) {
-          cache_.touch(key, now + traits_.cache_ttl_seconds);
-          return respond_entity(*hit, range);
+          // Build the reply before touching: a purge-on-touch (stale entry
+          // whose new horizon is not in the future) frees the slot `hit`
+          // points into.
+          Response resp = respond_entity(*hit, range);
+          cache_.touch(key, now + traits_.cache_ttl_seconds, now);
+          return resp;
         }
         if (auto entity = entity_from_response(check.response)) {
           store(request, *entity);
@@ -346,7 +381,9 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
     m_requests_ = m_cache_hits_ = m_cache_misses_ = m_coalesced_hits_ =
         m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = m_budget_overflows_ =
             m_overload_shed_ = m_overload_degraded_ = m_deadline_expired_ =
-                m_retry_budget_denied_ = nullptr;
+                m_retry_budget_denied_ = m_cache_evictions_ = m_cache_rejects_ =
+                    nullptr;
+    m_cache_bytes_ = nullptr;
     return;
   }
   const std::string label = "{vendor=\"" + traits_.name + "\"}";
@@ -383,6 +420,25 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   m_retry_budget_denied_ = &metrics->counter(
       "cdn_retry_budget_denied_total" + label,
       "upstream retries refused by the cross-hop retry budget");
+  m_cache_evictions_ = &metrics->counter(
+      "cdn_cache_evictions_total" + label,
+      "cache entries evicted under the byte budget (markers' stranded "
+      "variants included)");
+  m_cache_rejects_ = &metrics->counter(
+      "cdn_cache_admission_rejects_total" + label,
+      "cache inserts shed because eviction could not make room");
+  m_cache_bytes_ = &metrics->gauge(
+      "cdn_cache_bytes" + label,
+      "charged bytes resident in this vendor's caches (key + entity + "
+      "per-entry overhead)");
+  // Fresh registry handles: re-baseline the deltas so a registry attached
+  // mid-life starts from the cache's current state.
+  cache_evictions_seen_ = cache_.evictions();
+  cache_rejects_seen_ = cache_.admission_rejects();
+  cache_bytes_reported_ = 0;
+  const double bytes_now = static_cast<double>(cache_.bytes());
+  if (bytes_now != 0) m_cache_bytes_->add(bytes_now);
+  cache_bytes_reported_ = bytes_now;
 }
 
 Request CdnNode::build_upstream_request(const Request& client_request,

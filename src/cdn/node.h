@@ -249,6 +249,10 @@ class CdnNode final : public net::HttpHandler {
  private:
   http::Response handle_request(const http::Request& request,
                                 obs::SpanScope& span);
+  /// Publishes the cache engine's eviction/reject/bytes deltas to the
+  /// attached registry (and notes evictions on the handle span).  Runs once
+  /// per handled request; tolerant of cache_.clear() counter resets.
+  void sync_cache_stats(obs::SpanScope& span);
   std::string cache_key(const http::Request& request) const;
   std::string resolve_cache_key(const http::Request& request) const;
   http::Request build_upstream_request(const http::Request& client_request,
@@ -335,6 +339,14 @@ class CdnNode final : public net::HttpHandler {
   obs::Counter* m_overload_degraded_ = nullptr;
   obs::Counter* m_deadline_expired_ = nullptr;
   obs::Counter* m_retry_budget_denied_ = nullptr;
+  obs::Counter* m_cache_evictions_ = nullptr;
+  obs::Counter* m_cache_rejects_ = nullptr;
+  obs::Gauge* m_cache_bytes_ = nullptr;
+  // Last cache-engine stats published to the registry (delta reporting, so
+  // the shared per-vendor counters/gauge aggregate across nodes).
+  std::uint64_t cache_evictions_seen_ = 0;
+  std::uint64_t cache_rejects_seen_ = 0;
+  double cache_bytes_reported_ = 0;
   mutable std::uint64_t response_serial_ = 0;  ///< varies the trace pad
 };
 

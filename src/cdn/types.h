@@ -309,6 +309,60 @@ struct ValidationStats {
   std::uint64_t assembly_overflows = 0;   ///< client-facing assembly over budget
 };
 
+// ---------------------------------------------------------------------------
+// Cache engine configuration (src/cdn/cache.h, docs/cache-model.md).
+// Every knob defaults to "unbounded, single shard" so a profile without
+// explicit cache configuration behaves exactly like the historic unbounded
+// map and every committed CSV regenerates byte-identically.
+// ---------------------------------------------------------------------------
+
+/// Eviction policy of the byte-budgeted cache engine.
+enum class CacheEvictionPolicy {
+  /// Single FIFO queue: evict strictly in insertion order.  The naive
+  /// baseline a random-query pollution flood flushes trivially.
+  kFifoNaive,
+  /// S3-FIFO (Yang et al., SOSP'23 shape): a small probationary queue
+  /// absorbs new inserts, one-hit wonders are evicted from it without ever
+  /// touching the main queue, re-accessed entries are promoted, and a ghost
+  /// list of recently evicted key hashes readmits returning keys straight
+  /// to main.  This is what keeps a 1-byte-range random-query flood from
+  /// displacing the legit working set.
+  kS3Fifo,
+};
+
+std::string_view cache_policy_name(CacheEvictionPolicy p) noexcept;
+
+/// Byte-budgeted sharded cache knobs.  All entries -- full entities,
+/// `#vary` variant markers, per-variant copies, `#neg` negative entries,
+/// slice parts -- are charged against the budget.
+struct CacheTraits {
+  /// Total byte budget across all shards (key + entity bytes + fixed
+  /// per-entry overhead).  0 = unbounded: no eviction, no admission
+  /// control, identical behaviour to the historic unbounded cache.
+  std::uint64_t max_bytes = 0;
+
+  /// Independent shards (each with its own lock, queues and budget slice
+  /// max_bytes / shards).  Entries shard by the hash of the *base* key
+  /// (everything before the first '#'), so a URL's entity, variants,
+  /// negative entry and slices always land in the same shard.
+  std::size_t shards = 1;
+
+  CacheEvictionPolicy policy = CacheEvictionPolicy::kS3Fifo;
+
+  /// Fraction of a shard's budget given to the S3-FIFO small queue.
+  double small_fraction = 0.10;
+
+  /// Ghost list length per shard (recently evicted key hashes).
+  std::size_t ghost_entries = 4096;
+
+  /// Memory-pressure watermarks, as fractions of a shard's budget.  An
+  /// insert that would push the shard past the high watermark first evicts
+  /// down to the low watermark; if eviction cannot make room the insert is
+  /// shed (admission reject) before the budget is ever exceeded.
+  double low_watermark = 0.90;
+  double high_watermark = 0.98;
+};
+
 /// Ingress request-header limits (section V-C: these bound the OBR n).
 struct RequestHeaderLimits {
   /// Max total size of all header fields, counted as the serialized header
@@ -392,6 +446,10 @@ struct VendorTraits {
   /// Overload control: watermark shedding, deadline propagation, retry
   /// budgets.  All off by default (no byte or behaviour change).
   OverloadPolicy overload;
+
+  /// Cache engine: byte budget, sharding, eviction policy.  Defaults to
+  /// unbounded / single shard (no byte or behaviour change).
+  CacheTraits cache;
 
   /// Emit "Via: 1.1 <node_id>" on forwarded upstream requests AND on every
   /// client-facing response (RFC 7230 section 5.7.1).  Off by default: the

@@ -567,4 +567,176 @@ LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Cache-pollution campaign: shard block runner + ordered reduction.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PollutionBlockResult {
+  std::size_t legit_requests = 0;
+  std::size_t attack_requests = 0;
+  std::size_t legit_hits = 0;
+  net::TrafficTotals attacker;
+  std::uint64_t origin_response_bytes = 0;
+  std::uint64_t attack_origin_response_bytes = 0;
+  std::uint64_t cache_bytes_peak = 0;
+  std::uint64_t cache_bytes_end = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_admission_rejects = 0;
+};
+
+// One block runs `requests` interleaved exchanges against its OWN origin +
+// single edge node (per-shard cache ownership, docs/parallel-model.md).
+// Attack keys are stamped with the *global* request index so no two shards
+// ever reuse a cache-busting query.
+PollutionBlockResult run_pollution_block(const CachePollutionConfig& config,
+                                         std::uint64_t rng_seed,
+                                         std::uint64_t global_begin,
+                                         std::size_t requests,
+                                         obs::MetricsRegistry* metrics) {
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/target.bin", config.attack_object_bytes,
+                                   "application/octet-stream");
+  for (std::size_t i = 0; i < config.catalog_objects; ++i) {
+    origin.resources().add_synthetic("/obj/" + std::to_string(i),
+                                     config.object_bytes,
+                                     "application/octet-stream");
+  }
+
+  cdn::VendorProfile profile = cdn::make_profile(config.vendor);
+  profile.traits.cache = config.cache;
+  cdn::CdnNode node(std::move(profile), origin);
+  if (metrics) node.set_metrics(metrics);
+
+  net::TrafficRecorder attacker_traffic("attacker");
+  attacker_traffic.set_keep_log(false);
+  net::Wire attacker_wire(attacker_traffic, node);
+  net::TrafficRecorder legit_traffic("legit-clients");
+  legit_traffic.set_keep_log(false);
+  net::Wire legit_wire(legit_traffic, node);
+
+  // Zipf(1) popularity CDF over object ranks (rank-k weight 1/k), built
+  // with divisions only -- std::pow is not bit-stable across libms and the
+  // committed CSV must regenerate byte-identically everywhere.
+  std::vector<double> cdf(config.catalog_objects);
+  double total_weight = 0;
+  for (std::size_t i = 0; i < config.catalog_objects; ++i) {
+    total_weight += 1.0 / static_cast<double>(i + 1);
+    cdf[i] = total_weight;
+  }
+
+  http::Rng rng{rng_seed};
+  const auto zipf_rank = [&]() -> std::size_t {
+    // 53 uniform bits -> [0, 1) -> CDF inversion by binary search.
+    const double u =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53 * total_weight;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return std::min<std::size_t>(it - cdf.begin(), config.catalog_objects - 1);
+  };
+
+  PollutionBlockResult block;
+  const auto legit_request = [&](bool measured) {
+    http::Request request = http::make_get(
+        "shop.example.com", "/obj/" + std::to_string(zipf_rank()));
+    const std::uint64_t before = node.upstream_traffic().response_bytes();
+    legit_wire.transfer(request);
+    if (!measured) return;
+    ++block.legit_requests;
+    if (node.upstream_traffic().response_bytes() == before) ++block.legit_hits;
+  };
+
+  // Warmup: legit-only traffic populates the cache before the flood.
+  for (std::size_t i = 0; i < config.warmup_requests; ++i) {
+    legit_request(/*measured=*/false);
+  }
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (rng.chance(config.attack_fraction)) {
+      // The paper's SBR shape: fresh random query (here: the globally
+      // unique request index) + a 1-byte range.  On a Deletion-policy
+      // vendor this both pulls the full entity from the origin and inserts
+      // it into the cache under a never-to-be-seen-again key.
+      http::Request request = http::make_get(
+          "shop.example.com",
+          "/target.bin?x=" + std::to_string(global_begin + i));
+      request.headers.add("Range", "bytes=0-0");
+      const std::uint64_t before = node.upstream_traffic().response_bytes();
+      attacker_wire.transfer(request);
+      block.attack_origin_response_bytes +=
+          node.upstream_traffic().response_bytes() - before;
+      ++block.attack_requests;
+    } else {
+      legit_request(/*measured=*/true);
+    }
+    block.cache_bytes_peak =
+        std::max(block.cache_bytes_peak, node.cache().bytes());
+  }
+
+  block.attacker = attacker_traffic.totals();
+  block.origin_response_bytes = node.upstream_traffic().response_bytes();
+  const cdn::Cache::Stats stats = node.cache().stats();
+  block.cache_bytes_end = stats.bytes;
+  block.cache_evictions = stats.evictions;
+  block.cache_admission_rejects = stats.admission_rejects;
+  return block;
+}
+
+}  // namespace
+
+CachePollutionResult run_cache_pollution_campaign(
+    const CachePollutionConfig& config) {
+  std::vector<PollutionBlockResult> blocks;
+  if (config.shards <= 1) {
+    // Serial path: seeded with config.seed directly (NOT a derived stream)
+    // so the canonical single-shard rows replay byte-identically.
+    blocks.push_back(run_pollution_block(config, config.seed, 0,
+                                         config.requests, config.metrics));
+  } else {
+    const ShardPlan shard_plan(config.requests, config.shards, config.seed);
+    blocks.resize(shard_plan.size());
+    std::vector<obs::MetricsRegistry> shard_metrics(
+        config.metrics ? shard_plan.size() : 0);
+    run_shards(shard_plan,
+               static_cast<std::size_t>(std::max(1, config.threads)),
+               [&](const Shard& shard) {
+                 blocks[shard.index] = run_pollution_block(
+                     config, shard.seed, shard.begin,
+                     static_cast<std::size_t>(shard.size()),
+                     config.metrics ? &shard_metrics[shard.index] : nullptr);
+               });
+    if (config.metrics) {
+      for (const obs::MetricsRegistry& m : shard_metrics) {
+        config.metrics->merge_from(m);
+      }
+    }
+  }
+
+  CachePollutionResult result;
+  for (const PollutionBlockResult& block : blocks) {
+    result.legit_requests += block.legit_requests;
+    result.attack_requests += block.attack_requests;
+    result.legit_hits += block.legit_hits;
+    result.attacker += block.attacker;
+    result.origin_response_bytes += block.origin_response_bytes;
+    result.attack_origin_response_bytes += block.attack_origin_response_bytes;
+    result.cache_bytes_peak =
+        std::max(result.cache_bytes_peak, block.cache_bytes_peak);
+    result.cache_bytes_end =
+        std::max(result.cache_bytes_end, block.cache_bytes_end);
+    result.cache_evictions += block.cache_evictions;
+    result.cache_admission_rejects += block.cache_admission_rejects;
+  }
+  if (result.legit_requests != 0) {
+    result.legit_hit_rate = static_cast<double>(result.legit_hits) /
+                            static_cast<double>(result.legit_requests);
+  }
+  if (result.attacker.response_bytes != 0) {
+    result.attack_amplification =
+        static_cast<double>(result.attack_origin_response_bytes) /
+        static_cast<double>(result.attacker.response_bytes);
+  }
+  return result;
+}
+
 }  // namespace rangeamp::core

@@ -242,4 +242,88 @@ struct LegitWorkloadResult {
 LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
                                        const DetectorConfig& detector_config = {});
 
+// ---------------------------------------------------------------------------
+// Cache-pollution campaign (docs/cache-model.md).
+//
+// The SBR random-query trick does not only bust the cache -- on a vendor
+// with a Deletion forward policy every junk request also *inserts* the full
+// entity under a fresh key.  This campaign interleaves such a flood with a
+// Zipf-distributed legit workload against a byte-budgeted edge node and
+// measures what the pollution costs the legit clients (hit-rate collapse)
+// and the origin (amplified fill traffic) under each eviction policy.
+// ---------------------------------------------------------------------------
+
+struct CachePollutionConfig {
+  /// Akamai by default: closed-range requests use the Deletion policy, so
+  /// every attack request pulls and caches the full entity (section III-B).
+  cdn::Vendor vendor = cdn::Vendor::kAkamai;
+
+  /// Cache engine under test (budget, shards, eviction policy).  The
+  /// default -- unbounded -- is the historic edge and the baseline rows.
+  cdn::CacheTraits cache;
+
+  /// Legit catalog: `catalog_objects` resources of `object_bytes` each,
+  /// requested with Zipf(1) popularity (rank-k weight 1/k).
+  std::size_t catalog_objects = 256;
+  std::uint64_t object_bytes = 16 * 1024;
+
+  /// The resource the attacker sprays 1-byte ranges at.  Larger than a
+  /// catalog object, so every junk insert displaces several legit entries.
+  std::uint64_t attack_object_bytes = 256 * 1024;
+
+  /// Legit-only warmup requests (not measured) that populate the cache
+  /// before the flood starts, per shard.
+  std::size_t warmup_requests = 512;
+
+  /// Measured phase: total interleaved requests across all shards; each is
+  /// an attack request with probability `attack_fraction`.
+  std::size_t requests = 2048;
+  double attack_fraction = 0.5;
+
+  std::uint64_t seed = 2020;
+
+  /// Sharded execution (docs/parallel-model.md): each shard runs its own
+  /// origin + node (per-shard cache ownership) over a contiguous block of
+  /// the request grid, seeded from SplitMix64(seed ^ shard index).  As with
+  /// the legit workload, a sharded run is a different-but-equivalent
+  /// workload of the same mix; results depend only on `shards`, never on
+  /// `threads`.  shards = 1 (default) is the canonical serial run.
+  std::size_t shards = 1;
+  int threads = 1;
+
+  /// Optional registry: per-shard registries are merged in shard order, so
+  /// the cdn_cache_* metrics of the run land in one place (null = off, no
+  /// behaviour change).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct CachePollutionResult {
+  std::size_t legit_requests = 0;
+  std::size_t attack_requests = 0;
+  std::size_t legit_hits = 0;  ///< measured-phase legit requests, zero origin bytes
+  double legit_hit_rate = 0;
+
+  /// Attacker-facing traffic of the measured phase (request + 1-byte 206s).
+  net::TrafficTotals attacker;
+  /// Origin response bytes: whole run, and the slice pulled by attack
+  /// requests alone (full-entity fills forced by the Deletion policy).
+  std::uint64_t origin_response_bytes = 0;
+  std::uint64_t attack_origin_response_bytes = 0;
+  /// Origin-traffic amplification of the flood: attack-driven origin
+  /// response bytes over attacker-received response bytes.
+  double attack_amplification = 0;
+
+  /// Peak and final resident cache bytes (max across shards -- each shard's
+  /// node must respect its own budget).
+  std::uint64_t cache_bytes_peak = 0;
+  std::uint64_t cache_bytes_end = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_admission_rejects = 0;
+};
+
+/// Runs the interleaved pollution campaign against a fresh per-shard
+/// single-node testbed.
+CachePollutionResult run_cache_pollution_campaign(
+    const CachePollutionConfig& config);
+
 }  // namespace rangeamp::core

@@ -6,6 +6,7 @@
 #include "core/testbed.h"
 #include "http/multipart.h"
 #include "http/serialize.h"
+#include "obs/metrics.h"
 
 namespace rangeamp::cdn {
 namespace {
@@ -470,6 +471,83 @@ TEST(Calibration, ZeroTargetMeansNoPad) {
   EXPECT_EQ(calibrate_response_pad(traits), 0u);
   traits.client_response_target_bytes = 10;  // below base size
   EXPECT_EQ(calibrate_response_pad(traits), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted cache through the node
+// ---------------------------------------------------------------------------
+
+namespace {
+
+core::SingleCdnTestbed budgeted_bed(std::uint64_t max_bytes,
+                                    CacheEvictionPolicy policy, int objects,
+                                    std::uint64_t object_bytes) {
+  VendorProfile profile;
+  profile.traits.name = "BudgetCdn";
+  profile.traits.cache.max_bytes = max_bytes;
+  profile.traits.cache.policy = policy;
+  profile.logic = std::make_unique<DeletionLogic>();
+  core::SingleCdnTestbed bed(std::move(profile));
+  for (int i = 0; i < objects; ++i) {
+    bed.origin().resources().add_synthetic("/o" + std::to_string(i) + ".bin",
+                                           object_bytes);
+  }
+  return bed;
+}
+
+}  // namespace
+
+TEST(BudgetedNode, CacheStaysWithinBudgetAndEvictedEntriesRefetch) {
+  auto bed = budgeted_bed(64 * 1024, CacheEvictionPolicy::kFifoNaive,
+                          /*objects=*/32, /*object_bytes=*/4096);
+  for (int i = 0; i < 32; ++i) {
+    bed.send(http::make_get("h.example", "/o" + std::to_string(i) + ".bin"));
+    EXPECT_LE(bed.cdn().cache().bytes(), 64u * 1024u);
+  }
+  EXPECT_GT(bed.cdn().cache().evictions(), 0u);
+
+  // An evicted object is simply a miss again: refetched from the origin,
+  // byte-for-byte correct.
+  const auto origin_before = bed.origin_traffic().response_bytes();
+  const Response again = bed.send(http::make_get("h.example", "/o0.bin"));
+  EXPECT_EQ(again.status, 200);
+  EXPECT_EQ(again.body.size(), 4096u);
+  EXPECT_GT(bed.origin_traffic().response_bytes(), origin_before);
+}
+
+TEST(BudgetedNode, PublishesCacheMetricsAsDeltas) {
+  auto bed = budgeted_bed(64 * 1024, CacheEvictionPolicy::kFifoNaive,
+                          /*objects=*/32, /*object_bytes=*/4096);
+  obs::MetricsRegistry metrics;
+  bed.cdn().set_metrics(&metrics);
+  for (int i = 0; i < 32; ++i) {
+    bed.send(http::make_get("h.example", "/o" + std::to_string(i) + ".bin"));
+  }
+  const auto labelled = [](std::string base) {
+    return base + "{vendor=\"BudgetCdn\"}";
+  };
+  EXPECT_EQ(metrics.counter(labelled("cdn_cache_evictions_total")).value(),
+            bed.cdn().cache().evictions());
+  // The gauge tracks resident bytes exactly (delta-published per request).
+  EXPECT_EQ(metrics.gauge(labelled("cdn_cache_bytes")).value(),
+            static_cast<double>(bed.cdn().cache().bytes()));
+  EXPECT_LE(metrics.gauge(labelled("cdn_cache_bytes")).value(), 64.0 * 1024.0);
+}
+
+TEST(BudgetedNode, AttachingMetricsMidLifeBaselinesResidentBytes) {
+  auto bed = budgeted_bed(0, CacheEvictionPolicy::kS3Fifo, /*objects=*/4,
+                          /*object_bytes=*/1024);
+  bed.send(http::make_get("h.example", "/o0.bin"));
+  bed.send(http::make_get("h.example", "/o1.bin"));
+  ASSERT_GT(bed.cdn().cache().bytes(), 0u);
+
+  // Attach late: the gauge must start from the bytes already resident, not
+  // drift by publishing the full residency as a fresh delta on top of zero.
+  obs::MetricsRegistry metrics;
+  bed.cdn().set_metrics(&metrics);
+  bed.send(http::make_get("h.example", "/o2.bin"));
+  EXPECT_EQ(metrics.gauge("cdn_cache_bytes{vendor=\"BudgetCdn\"}").value(),
+            static_cast<double>(bed.cdn().cache().bytes()));
 }
 
 }  // namespace

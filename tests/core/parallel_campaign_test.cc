@@ -372,5 +372,84 @@ TEST(ObsMergeTest, TracerMergeRebasesIdsAndTraces) {
   EXPECT_NE(a.spans()[0].trace, a.spans()[1].trace);
 }
 
+// ---------------------------------------------------------------------------
+// Cache-pollution campaign
+// ---------------------------------------------------------------------------
+
+core::CachePollutionConfig small_pollution() {
+  core::CachePollutionConfig config;
+  config.cache.max_bytes = 2ull << 20;
+  config.cache.policy = cdn::CacheEvictionPolicy::kS3Fifo;
+  config.catalog_objects = 64;
+  config.object_bytes = 8 * 1024;
+  config.attack_object_bytes = 64 * 1024;
+  config.warmup_requests = 128;
+  config.requests = 512;
+  config.seed = 2020;
+  return config;
+}
+
+void expect_same_pollution(const core::CachePollutionResult& a,
+                           const core::CachePollutionResult& b) {
+  EXPECT_EQ(a.legit_requests, b.legit_requests);
+  EXPECT_EQ(a.attack_requests, b.attack_requests);
+  EXPECT_EQ(a.legit_hits, b.legit_hits);
+  EXPECT_EQ(a.attacker.request_bytes, b.attacker.request_bytes);
+  EXPECT_EQ(a.attacker.response_bytes, b.attacker.response_bytes);
+  EXPECT_EQ(a.origin_response_bytes, b.origin_response_bytes);
+  EXPECT_EQ(a.attack_origin_response_bytes, b.attack_origin_response_bytes);
+  EXPECT_EQ(a.cache_bytes_peak, b.cache_bytes_peak);
+  EXPECT_EQ(a.cache_bytes_end, b.cache_bytes_end);
+  EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+  EXPECT_EQ(a.cache_admission_rejects, b.cache_admission_rejects);
+}
+
+TEST(CachePollutionCampaignTest, ReplaysByteIdentically) {
+  const core::CachePollutionConfig config = small_pollution();
+  expect_same_pollution(core::run_cache_pollution_campaign(config),
+                        core::run_cache_pollution_campaign(config));
+}
+
+TEST(CachePollutionCampaignTest, ShardedResultIndependentOfThreadCount) {
+  core::CachePollutionConfig config = small_pollution();
+  config.shards = 2;
+  config.threads = 1;
+  const core::CachePollutionResult serial_threads =
+      core::run_cache_pollution_campaign(config);
+  config.threads = 4;
+  const core::CachePollutionResult parallel_threads =
+      core::run_cache_pollution_campaign(config);
+  expect_same_pollution(serial_threads, parallel_threads);
+}
+
+TEST(CachePollutionCampaignTest, MixesBothWorkloadsAndRespectsBudget) {
+  const core::CachePollutionConfig config = small_pollution();
+  const core::CachePollutionResult r =
+      core::run_cache_pollution_campaign(config);
+  EXPECT_EQ(r.legit_requests + r.attack_requests, config.requests);
+  EXPECT_GT(r.legit_requests, 0u);
+  EXPECT_GT(r.attack_requests, 0u);
+  EXPECT_LE(r.cache_bytes_peak, config.cache.max_bytes);
+  EXPECT_GT(r.cache_evictions, 0u);
+  // Every 1-byte attack range pulls the full entity upstream (Deletion
+  // policy): amplification well above 1.
+  EXPECT_GT(r.attack_amplification, 10.0);
+}
+
+TEST(CachePollutionCampaignTest, ShardedMergesMetricsInShardOrder) {
+  core::CachePollutionConfig config = small_pollution();
+  config.shards = 2;
+  config.threads = 2;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const core::CachePollutionResult r =
+      core::run_cache_pollution_campaign(config);
+  EXPECT_EQ(
+      metrics.counter("cdn_cache_evictions_total{vendor=\"Akamai\"}").value(),
+      r.cache_evictions);
+  EXPECT_GT(metrics.counter("cdn_requests_total{vendor=\"Akamai\"}").value(),
+            0u);
+}
+
 }  // namespace
 }  // namespace rangeamp

@@ -43,14 +43,14 @@ origin::MaliciousOriginConfig malicious_config(std::uint64_t seed) {
 
 int poisoned_entries(const cdn::Cache& cache, const std::string& honest) {
   int poisoned = 0;
-  for (const auto& [key, entry] : cache.entries()) {
-    if (entry.content_type == "#negative") continue;
-    if (entry.entity.empty() && !entry.vary.empty()) continue;
+  cache.for_each([&](const std::string&, const cdn::CachedEntity& entry) {
+    if (entry.content_type == "#negative") return;
+    if (entry.entity.empty() && !entry.vary.empty()) return;
     if (entry.entity.size() != honest.size() ||
         entry.entity.materialize() != honest) {
       ++poisoned;
     }
-  }
+  });
   return poisoned;
 }
 
