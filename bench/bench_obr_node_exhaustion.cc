@@ -23,12 +23,14 @@ int main() {
         std::pair{cdn::Vendor::kCdn77, cdn::Vendor::kStackPath},
         std::pair{cdn::Vendor::kCloudflare, cdn::Vendor::kAzure}}) {
     for (const double uplink_mbps : {1000.0, 10000.0}) {
-      core::ObrCampaignConfig config;
-      config.fcdn = fcdn;
-      config.bcdn = bcdn;
-      config.requests_per_second = 20;  // one laptop, modest rate
-      config.duration_s = 15;
-      config.node_uplink_mbps = uplink_mbps;
+      const core::ObrCampaignConfig config =
+          core::ObrCampaignConfig::Builder{}
+              .fcdn(fcdn)
+              .bcdn(bcdn)
+              .requests_per_second(20)  // one laptop, modest rate
+              .duration_s(15)
+              .node_uplink_mbps(uplink_mbps)
+              .build();
       const auto result = core::run_obr_campaign(config);
       if (result.n == 0) continue;
       table.add_row(

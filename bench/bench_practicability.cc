@@ -52,8 +52,8 @@ int main() {
               campaigns.to_markdown().c_str());
 
   // --- Detector: benign baseline -------------------------------------------
-  core::LegitWorkloadConfig legit;
-  legit.requests = 400;
+  const core::LegitWorkloadConfig legit =
+      core::LegitWorkloadConfig::Builder{}.requests(400).build();
   const auto benign = core::run_legit_workload(legit);
   std::printf("Benign workload (400 mixed requests): cache hit rate %.2f, "
               "asymmetry %.1f, detector %s\n\n",

@@ -19,6 +19,11 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 : > bench_output.txt
 status=0
 failed=()
+# The glob includes bench_socket_fig6, the loopback-TCP smoke: it re-measures
+# the Fig 6a 10 MB row on the socket transport backend and exits non-zero if
+# any vendor's amplification diverges >20% from the in-memory reference (see
+# docs/transport-model.md).  It writes no CSV -- wall-clock numbers must
+# never feed the drift gate below.
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "==================== $b ====================" | tee -a bench_output.txt

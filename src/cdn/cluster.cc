@@ -4,7 +4,8 @@ namespace rangeamp::cdn {
 
 EdgeCluster::EdgeCluster(std::function<VendorProfile()> profile_factory,
                          std::size_t node_count, net::HttpHandler& upstream,
-                         NodeSelection selection)
+                         NodeSelection selection,
+                         const net::TransportSpec& transport)
     : selection_(selection) {
   // A cluster with zero ingress nodes cannot route anything; the selection
   // arithmetic (and any pin) would divide by zero.  Clamp to one node.
@@ -19,12 +20,13 @@ EdgeCluster::EdgeCluster(std::function<VendorProfile()> profile_factory,
     }
     profile.traits.node_id += "-n" + std::to_string(i);
     nodes_.push_back(std::make_unique<CdnNode>(
-        std::move(profile), upstream, "cdn-origin[" + std::to_string(i) + "]"));
+        std::move(profile), upstream, "cdn-origin[" + std::to_string(i) + "]",
+        SegmentFraming::kHttp11, transport));
     ingress_recorders_.push_back(std::make_unique<net::TrafficRecorder>(
         "client-cdn[" + std::to_string(i) + "]"));
     ingress_recorders_.back()->set_keep_log(false);
-    ingress_wires_.push_back(
-        std::make_unique<net::Wire>(*ingress_recorders_.back(), *nodes_.back()));
+    ingress_wires_.push_back(net::make_transport(
+        transport, *ingress_recorders_.back(), *nodes_.back()));
   }
 }
 

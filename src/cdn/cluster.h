@@ -27,10 +27,13 @@ class EdgeCluster final : public net::HttpHandler {
  public:
   /// Builds `node_count` nodes from `profile_factory` (profiles own their
   /// logic, so each node needs a fresh one).  `upstream` must outlive the
-  /// cluster.
+  /// cluster.  `transport` picks the backend of every segment the cluster
+  /// owns (each node's ingress wire and its upstream wire); the default
+  /// keeps everything on the deterministic in-memory pipe.
   EdgeCluster(std::function<VendorProfile()> profile_factory,
               std::size_t node_count, net::HttpHandler& upstream,
-              NodeSelection selection = NodeSelection::kRoundRobin);
+              NodeSelection selection = NodeSelection::kRoundRobin,
+              const net::TransportSpec& transport = {});
 
   /// Routes one request through the selected ingress node, counting its
   /// ingress traffic.
@@ -84,7 +87,7 @@ class EdgeCluster final : public net::HttpHandler {
 
   std::vector<std::unique_ptr<CdnNode>> nodes_;
   std::vector<std::unique_ptr<net::TrafficRecorder>> ingress_recorders_;
-  std::vector<std::unique_ptr<net::Wire>> ingress_wires_;
+  std::vector<std::unique_ptr<net::Transport>> ingress_wires_;
   NodeSelection selection_;
   std::size_t pinned_ = 0;
   std::size_t next_ = 0;

@@ -64,26 +64,28 @@ Response styled_response(const VendorTraits& traits, int status,
 
 namespace {
 
-std::variant<net::Wire, http2::Http2Wire> make_upstream_wire(
-    SegmentFraming framing, net::TrafficRecorder& recorder,
-    net::HttpHandler& upstream) {
+// h2 framing is a property of the segment, not a factory backend (the
+// net layer cannot depend on http2), so the node selects it here; the
+// HTTP/1.1 backends go through net::make_transport.
+std::unique_ptr<net::Transport> make_upstream_transport(
+    SegmentFraming framing, const net::TransportSpec& spec,
+    net::TrafficRecorder& recorder, net::HttpHandler& upstream) {
   if (framing == SegmentFraming::kHttp2) {
-    return std::variant<net::Wire, http2::Http2Wire>{
-        std::in_place_type<http2::Http2Wire>, recorder, upstream};
+    return std::make_unique<http2::Http2Wire>(recorder, upstream);
   }
-  return std::variant<net::Wire, http2::Http2Wire>{
-      std::in_place_type<net::Wire>, recorder, upstream};
+  return net::make_transport(spec, recorder, upstream);
 }
 
 }  // namespace
 
 CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
-                 std::string upstream_segment, SegmentFraming upstream_framing)
+                 std::string upstream_segment, SegmentFraming upstream_framing,
+                 const net::TransportSpec& upstream_transport)
     : traits_(std::move(profile.traits)),
       logic_(std::move(profile.logic)),
       upstream_traffic_(std::move(upstream_segment)),
-      upstream_wire_(
-          make_upstream_wire(upstream_framing, upstream_traffic_, upstream)),
+      upstream_(make_upstream_transport(upstream_framing, upstream_transport,
+                                        upstream_traffic_, upstream)),
       cache_(traits_.cache),
       loop_token_(traits_.shield.loop.token.empty()
                       ? default_cdn_loop_token(traits_.name)
@@ -366,13 +368,12 @@ std::optional<Response> CdnNode::check_overload(
 }
 
 void CdnNode::set_upstream_fault_injector(net::FaultInjector* injector) {
-  std::visit([&](auto& wire) { wire.set_fault_injector(injector); },
-             upstream_wire_);
+  upstream_->set_fault_injector(injector);
 }
 
 void CdnNode::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
-  std::visit([&](auto& wire) { wire.set_tracer(tracer); }, upstream_wire_);
+  upstream_->set_tracer(tracer);
 }
 
 void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
@@ -486,9 +487,7 @@ Request CdnNode::build_upstream_request(const Request& client_request,
 
 net::TransferOutcome CdnNode::upstream_transfer(
     const Request& upstream_request, const net::TransferOptions& options) {
-  return std::visit(
-      [&](auto& wire) { return wire.transfer_outcome(upstream_request, options); },
-      upstream_wire_);
+  return upstream_->transfer_outcome(upstream_request, options);
 }
 
 Response CdnNode::shed_response(ShedCause cause) {

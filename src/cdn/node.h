@@ -20,7 +20,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <variant>
 
 #include "cdn/cache.h"
 #include "cdn/overload.h"
@@ -29,6 +28,7 @@
 #include "http/range.h"
 #include "http/validate.h"
 #include "http2/wire.h"
+#include "net/transport_factory.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -68,11 +68,9 @@ struct EntityWindow {
   std::string last_modified;
 };
 
-/// Wire protocol of a connection segment.
-enum class SegmentFraming {
-  kHttp11,  ///< plain HTTP/1.1 serialization (net::Wire)
-  kHttp2,   ///< h2 frames + HPACK (http2::Http2Wire)
-};
+/// Wire protocol of a connection segment (the enum lives with the transport
+/// contract; the historical cdn:: spelling is kept for call sites).
+using SegmentFraming = net::SegmentFraming;
 
 /// Outcome of a resilient upstream fetch (retries applied).
 struct FetchResult {
@@ -112,10 +110,13 @@ class CdnNode final : public net::HttpHandler {
   /// `upstream` must outlive the node.  Upstream traffic is recorded in the
   /// node-owned recorder named `upstream_segment`, framed per
   /// `upstream_framing` (most CDNs pull from origins over HTTP/1.1; some
-  /// support h2 back-to-origin).
+  /// support h2 back-to-origin).  `upstream_transport` picks the HTTP/1.1
+  /// backend (in-memory by default; loopback sockets for wall-clock runs);
+  /// it is ignored for kHttp2 framing, which is in-memory only.
   CdnNode(VendorProfile profile, net::HttpHandler& upstream,
           std::string upstream_segment = "cdn-origin",
-          SegmentFraming upstream_framing = SegmentFraming::kHttp11);
+          SegmentFraming upstream_framing = SegmentFraming::kHttp11,
+          const net::TransportSpec& upstream_transport = {});
 
   http::Response handle(const http::Request& request) override;
 
@@ -300,7 +301,7 @@ class CdnNode final : public net::HttpHandler {
   VendorTraits traits_;
   std::unique_ptr<VendorLogic> logic_;
   net::TrafficRecorder upstream_traffic_;
-  std::variant<net::Wire, http2::Http2Wire> upstream_wire_;
+  std::unique_ptr<net::Transport> upstream_;
   Cache cache_;
   std::function<double()> clock_;
   std::string loop_token_;

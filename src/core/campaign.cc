@@ -72,7 +72,7 @@ SbrBlockResult run_sbr_block(const SbrCampaignConfig& config,
         profile.traits.shield = config.shield;
         return profile;
       },
-      config.edge_nodes, origin, config.selection);
+      config.edge_nodes, origin, config.selection, config.transport);
 
   // Campaign time: request i is sent at i/m seconds.  The nodes' shielding
   // layers (fill-lock windows, breaker open timers) key off this clock.
@@ -84,12 +84,13 @@ SbrBlockResult run_sbr_block(const SbrCampaignConfig& config,
 
   net::TrafficRecorder client_traffic("attacker");
   client_traffic.set_keep_log(false);
-  net::Wire client_wire(client_traffic, cluster);
+  const std::unique_ptr<net::Transport> client_wire =
+      net::make_transport(config.transport, client_traffic, cluster);
 
   if (tracer) {
     tracer->set_clock([&sim_now] { return sim_now; });
     cluster.set_tracer(tracer);
-    client_wire.set_tracer(tracer);
+    client_wire->set_tracer(tracer);
   }
   obs::Histogram* af_histogram = nullptr;
   if (metrics) {
@@ -137,7 +138,7 @@ SbrBlockResult run_sbr_block(const SbrCampaignConfig& config,
       obs::SpanScope unit(tracer, "sbr.request");
       unit.note("index", std::to_string(i));
       unit.note("target", request.target);
-      for (int s = 0; s < plan.sends; ++s) client_wire.transfer(request);
+      for (int s = 0; s < plan.sends; ++s) client_wire->transfer(request);
     }
 
     const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
@@ -339,7 +340,8 @@ ObrBlockResult run_obr_block(const ObrCampaignConfig& config,
     fcdn_options.cloudflare_mode = cdn::ProfileOptions::CloudflareMode::kBypass;
   }
   CascadeTestbed bed(cdn::make_profile(config.fcdn, fcdn_options),
-                     cdn::make_profile(config.bcdn), obr_origin_config());
+                     cdn::make_profile(config.bcdn), obr_origin_config(),
+                     config.transport);
   bed.origin().resources().add_synthetic(std::string{kObrPath},
                                          config.resource_size);
 
@@ -367,6 +369,30 @@ ObrBlockResult run_obr_block(const ObrCampaignConfig& config,
 }
 
 }  // namespace
+
+ObrCampaignConfig ObrCampaignConfig::Builder::build() const {
+  if (config_.resource_size == 0) {
+    throw std::invalid_argument("ObrCampaignConfig: resource_size must be > 0");
+  }
+  if (config_.requests_per_second <= 0) {
+    throw std::invalid_argument(
+        "ObrCampaignConfig: requests_per_second must be > 0");
+  }
+  if (config_.duration_s <= 0) {
+    throw std::invalid_argument("ObrCampaignConfig: duration_s must be > 0");
+  }
+  if (config_.node_uplink_mbps <= 0) {
+    throw std::invalid_argument(
+        "ObrCampaignConfig: node_uplink_mbps must be > 0");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ObrCampaignConfig: shards must be >= 1");
+  }
+  if (config_.threads < 1) {
+    throw std::invalid_argument("ObrCampaignConfig: threads must be >= 1");
+  }
+  return config_;
+}
 
 ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config) {
   ObrCampaignResult result;
@@ -454,11 +480,12 @@ LegitBlockResult run_legit_block(const LegitWorkloadConfig& config,
 
   cdn::EdgeCluster cluster(
       [&] { return cdn::make_profile(config.vendor); }, config.edge_nodes,
-      origin, cdn::NodeSelection::kHashByHost);
+      origin, cdn::NodeSelection::kHashByHost, config.transport);
 
   net::TrafficRecorder client_traffic("clients");
   client_traffic.set_keep_log(false);
-  net::Wire client_wire(client_traffic, cluster);
+  const std::unique_ptr<net::Transport> client_wire =
+      net::make_transport(config.transport, client_traffic, cluster);
 
   http::Rng rng{rng_seed};
 
@@ -508,7 +535,7 @@ LegitBlockResult run_legit_block(const LegitWorkloadConfig& config,
     if (range) request.headers.add("Range", range->to_string());
 
     const std::uint64_t client_before = client_traffic.response_bytes();
-    client_wire.transfer(request);
+    client_wire->transfer(request);
     const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
 
     DetectorSample sample;
@@ -531,6 +558,22 @@ LegitBlockResult run_legit_block(const LegitWorkloadConfig& config,
 }
 
 }  // namespace
+
+LegitWorkloadConfig LegitWorkloadConfig::Builder::build() const {
+  if (config_.requests == 0) {
+    throw std::invalid_argument("LegitWorkloadConfig: requests must be > 0");
+  }
+  if (config_.edge_nodes == 0) {
+    throw std::invalid_argument("LegitWorkloadConfig: edge_nodes must be > 0");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("LegitWorkloadConfig: shards must be >= 1");
+  }
+  if (config_.threads < 1) {
+    throw std::invalid_argument("LegitWorkloadConfig: threads must be >= 1");
+  }
+  return config_;
+}
 
 LegitWorkloadResult run_legit_workload(const LegitWorkloadConfig& config,
                                        const DetectorConfig& detector_config) {

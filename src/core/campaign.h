@@ -22,6 +22,7 @@
 #include "cdn/profiles.h"
 #include "core/detector.h"
 #include "core/mitigations.h"
+#include "net/transport_factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/attack_load.h"
@@ -75,6 +76,11 @@ struct SbrCampaignConfig {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Backend of every HTTP/1.1 segment the campaign builds (attacker wire,
+  /// cluster ingress and upstream wires).  In-memory by default; committed
+  /// CSVs must never be generated with anything else.
+  net::TransportSpec transport;
+
   /// Fluent constructor with build-time validation (defined below, once the
   /// enclosing struct is complete).
   class Builder;
@@ -122,6 +128,10 @@ class SbrCampaignConfig::Builder {
   Builder& tracer(obs::Tracer* t) { config_.tracer = t; return *this; }
   Builder& metrics(obs::MetricsRegistry* m) {
     config_.metrics = m;
+    return *this;
+  }
+  Builder& transport(const net::TransportSpec& spec) {
+    config_.transport = spec;
     return *this;
   }
 
@@ -176,6 +186,9 @@ SbrCampaignResult run_sbr_campaign(const SbrCampaignConfig& config,
 // capacity-limited inter-CDN link.
 // ---------------------------------------------------------------------------
 
+/// OBR campaign parameters.  Construct via ObrCampaignConfig::Builder(),
+/// which validates at build() time; direct field poking is deprecated for
+/// the same reason as SbrCampaignConfig.
 struct ObrCampaignConfig {
   cdn::Vendor fcdn = cdn::Vendor::kCloudflare;
   cdn::Vendor bcdn = cdn::Vendor::kAkamai;
@@ -191,6 +204,49 @@ struct ObrCampaignConfig {
   /// only on `shards`, never on `threads`.
   std::size_t shards = 1;
   int threads = 1;
+  /// Backend of the cascade's HTTP/1.1 segments (in-memory by default).
+  net::TransportSpec transport;
+
+  class Builder;
+};
+
+class ObrCampaignConfig::Builder {
+ public:
+  Builder& fcdn(cdn::Vendor v) { config_.fcdn = v; return *this; }
+  Builder& bcdn(cdn::Vendor v) { config_.bcdn = v; return *this; }
+  Builder& resource_size(std::uint64_t bytes) {
+    config_.resource_size = bytes;
+    return *this;
+  }
+  Builder& overlapping_ranges(std::size_t n) {
+    config_.overlapping_ranges = n;
+    return *this;
+  }
+  Builder& requests_per_second(int m) {
+    config_.requests_per_second = m;
+    return *this;
+  }
+  Builder& duration_s(int seconds) {
+    config_.duration_s = seconds;
+    return *this;
+  }
+  Builder& node_uplink_mbps(double mbps) {
+    config_.node_uplink_mbps = mbps;
+    return *this;
+  }
+  Builder& shards(std::size_t n) { config_.shards = n; return *this; }
+  Builder& threads(int n) { config_.threads = n; return *this; }
+  Builder& transport(const net::TransportSpec& spec) {
+    config_.transport = spec;
+    return *this;
+  }
+
+  /// Validates and returns the config; throws std::invalid_argument on an
+  /// unrunnable combination.
+  ObrCampaignConfig build() const;
+
+ private:
+  ObrCampaignConfig config_;
 };
 
 struct ObrCampaignResult {
@@ -212,6 +268,8 @@ struct ObrCampaignResult {
 
 ObrCampaignResult run_obr_campaign(const ObrCampaignConfig& config);
 
+/// Benign-workload parameters.  Construct via
+/// LegitWorkloadConfig::Builder(); direct field poking is deprecated.
 struct LegitWorkloadConfig {
   cdn::Vendor vendor = cdn::Vendor::kCloudflare;
   std::size_t requests = 200;
@@ -225,6 +283,34 @@ struct LegitWorkloadConfig {
   /// shards = 1 (the default) preserves the legacy single-stream run.
   std::size_t shards = 1;
   int threads = 1;
+  /// Backend of the cluster's HTTP/1.1 segments (in-memory by default).
+  net::TransportSpec transport;
+
+  class Builder;
+};
+
+class LegitWorkloadConfig::Builder {
+ public:
+  Builder& vendor(cdn::Vendor v) { config_.vendor = v; return *this; }
+  Builder& requests(std::size_t n) { config_.requests = n; return *this; }
+  Builder& seed(std::uint64_t s) { config_.seed = s; return *this; }
+  Builder& edge_nodes(std::size_t n) {
+    config_.edge_nodes = n;
+    return *this;
+  }
+  Builder& shards(std::size_t n) { config_.shards = n; return *this; }
+  Builder& threads(int n) { config_.threads = n; return *this; }
+  Builder& transport(const net::TransportSpec& spec) {
+    config_.transport = spec;
+    return *this;
+  }
+
+  /// Validates and returns the config; throws std::invalid_argument on an
+  /// unrunnable combination.
+  LegitWorkloadConfig build() const;
+
+ private:
+  LegitWorkloadConfig config_;
 };
 
 struct LegitWorkloadResult {

@@ -6,7 +6,10 @@
 //                      BCDN --(bcdn-origin)--> origin
 //
 // The testbeds own every component; wires and recorders are reachable by
-// the segment names the paper uses.
+// the segment names the paper uses.  Every HTTP/1.1 segment honors a
+// net::TransportSpec, so the same topology can run on the deterministic
+// in-memory pipe (default; committed CSVs) or on real loopback sockets
+// (bench_socket_fig6's wall-clock runs).
 #pragma once
 
 #include <string>
@@ -14,6 +17,7 @@
 #include "cdn/node.h"
 #include "cdn/profiles.h"
 #include "http2/wire.h"
+#include "net/transport_factory.h"
 #include "net/wire.h"
 #include "origin/origin_server.h"
 
@@ -25,11 +29,13 @@ inline constexpr std::string_view kDefaultHost = "victim-site.example.com";
 class SingleCdnTestbed {
  public:
   explicit SingleCdnTestbed(cdn::VendorProfile profile,
-                            origin::OriginConfig origin_config = {})
+                            origin::OriginConfig origin_config = {},
+                            const net::TransportSpec& transport = {})
       : origin_(std::move(origin_config)),
-        cdn_(std::move(profile), origin_, "cdn-origin"),
+        cdn_(std::move(profile), origin_, "cdn-origin",
+             cdn::SegmentFraming::kHttp11, transport),
         client_traffic_("client-cdn"),
-        client_wire_(client_traffic_, cdn_) {}
+        client_wire_(net::make_transport(transport, client_traffic_, cdn_)) {}
 
   origin::OriginServer& origin() noexcept { return origin_; }
   cdn::CdnNode& cdn() noexcept { return cdn_; }
@@ -38,7 +44,7 @@ class SingleCdnTestbed {
   /// response.
   http::Response send(const http::Request& request,
                       const net::TransferOptions& options = {}) {
-    return client_wire_.transfer(request, options);
+    return client_wire_->transfer(request, options);
   }
 
   net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
@@ -54,7 +60,7 @@ class SingleCdnTestbed {
   /// Installs one tracer across the whole path (both wires and the node);
   /// non-owning, nullptr detaches.
   void set_tracer(obs::Tracer* tracer) {
-    client_wire_.set_tracer(tracer);
+    client_wire_->set_tracer(tracer);
     cdn_.set_tracer(tracer);
   }
 
@@ -62,19 +68,23 @@ class SingleCdnTestbed {
   origin::OriginServer origin_;
   cdn::CdnNode cdn_;
   net::TrafficRecorder client_traffic_;
-  net::Wire client_wire_;
+  std::unique_ptr<net::Transport> client_wire_;
 };
 
 /// Like SingleCdnTestbed, but the client-cdn segment is HTTP/2-framed --
 /// the deployment the paper's section VI-B covers (browsers speak h2 to the
 /// edge; CDNs speak HTTP/1.1 to the origin).  Range semantics are identical
 /// (RFC 7540 section 8.1 defers to RFC 7233), so the attacks carry over.
+/// The h2 client leg is in-memory only; `transport` applies to the
+/// HTTP/1.1 cdn-origin segment.
 class SingleCdnTestbedH2 {
  public:
   explicit SingleCdnTestbedH2(cdn::VendorProfile profile,
-                              origin::OriginConfig origin_config = {})
+                              origin::OriginConfig origin_config = {},
+                              const net::TransportSpec& transport = {})
       : origin_(std::move(origin_config)),
-        cdn_(std::move(profile), origin_, "cdn-origin"),
+        cdn_(std::move(profile), origin_, "cdn-origin",
+             cdn::SegmentFraming::kHttp11, transport),
         client_traffic_("client-cdn (h2)"),
         client_wire_(client_traffic_, cdn_) {}
 
@@ -108,12 +118,15 @@ class SingleCdnTestbedH2 {
 class CascadeTestbed {
  public:
   CascadeTestbed(cdn::VendorProfile fcdn_profile, cdn::VendorProfile bcdn_profile,
-                 origin::OriginConfig origin_config = {})
+                 origin::OriginConfig origin_config = {},
+                 const net::TransportSpec& transport = {})
       : origin_(std::move(origin_config)),
-        bcdn_(std::move(bcdn_profile), origin_, "bcdn-origin"),
-        fcdn_(std::move(fcdn_profile), bcdn_, "fcdn-bcdn"),
+        bcdn_(std::move(bcdn_profile), origin_, "bcdn-origin",
+              cdn::SegmentFraming::kHttp11, transport),
+        fcdn_(std::move(fcdn_profile), bcdn_, "fcdn-bcdn",
+              cdn::SegmentFraming::kHttp11, transport),
         client_traffic_("client-fcdn"),
-        client_wire_(client_traffic_, fcdn_) {}
+        client_wire_(net::make_transport(transport, client_traffic_, fcdn_)) {}
 
   origin::OriginServer& origin() noexcept { return origin_; }
   cdn::CdnNode& fcdn() noexcept { return fcdn_; }
@@ -121,7 +134,7 @@ class CascadeTestbed {
 
   http::Response send(const http::Request& request,
                       const net::TransferOptions& options = {}) {
-    return client_wire_.transfer(request, options);
+    return client_wire_->transfer(request, options);
   }
 
   net::TrafficRecorder& client_traffic() noexcept { return client_traffic_; }
@@ -143,7 +156,7 @@ class CascadeTestbed {
   /// Installs one tracer across the whole cascade: a traced send yields the
   /// client-fcdn -> fcdn-bcdn -> bcdn-origin span chain of Fig 3.
   void set_tracer(obs::Tracer* tracer) {
-    client_wire_.set_tracer(tracer);
+    client_wire_->set_tracer(tracer);
     fcdn_.set_tracer(tracer);
     bcdn_.set_tracer(tracer);
   }
@@ -159,7 +172,7 @@ class CascadeTestbed {
   cdn::CdnNode bcdn_;
   cdn::CdnNode fcdn_;
   net::TrafficRecorder client_traffic_;
-  net::Wire client_wire_;
+  std::unique_ptr<net::Transport> client_wire_;
 };
 
 }  // namespace rangeamp::core

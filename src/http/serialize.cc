@@ -94,7 +94,7 @@ std::string to_bytes(const Response& resp) {
   return out;
 }
 
-std::optional<Request> parse_request(std::string_view bytes) {
+std::optional<RequestHead> parse_request_head(std::string_view bytes) {
   const auto eol = bytes.find("\r\n");
   if (eol == std::string_view::npos) return std::nullopt;
   const std::string_view line = bytes.substr(0, eol);
@@ -103,7 +103,8 @@ std::optional<Request> parse_request(std::string_view bytes) {
   const auto sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string_view::npos) return std::nullopt;
 
-  Request req;
+  RequestHead head;
+  Request& req = head.request;
   const std::string_view method = line.substr(0, sp1);
   bool known = false;
   for (Method m : {Method::GET, Method::HEAD, Method::POST, Method::PUT,
@@ -121,19 +122,17 @@ std::optional<Request> parse_request(std::string_view bytes) {
 
   std::size_t cursor = eol + 2;
   if (!parse_header_block(bytes, cursor, req.headers)) return std::nullopt;
+  head.header_bytes = cursor;
 
-  std::uint64_t content_length = 0;
   if (auto cl = req.headers.get("Content-Length")) {
     auto v = parse_u64(*cl);
     if (!v) return std::nullopt;
-    content_length = *v;
+    head.content_length = *v;
   }
-  if (bytes.size() - cursor < content_length) return std::nullopt;
-  req.body = Body::literal(std::string{bytes.substr(cursor, content_length)});
-  return req;
+  return head;
 }
 
-std::optional<Response> parse_response(std::string_view bytes) {
+std::optional<ResponseHead> parse_response_head(std::string_view bytes) {
   const auto eol = bytes.find("\r\n");
   if (eol == std::string_view::npos) return std::nullopt;
   const std::string_view line = bytes.substr(0, eol);
@@ -142,7 +141,8 @@ std::optional<Response> parse_response(std::string_view bytes) {
   const auto sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string_view::npos) return std::nullopt;
 
-  Response resp;
+  ResponseHead head;
+  Response& resp = head.response;
   resp.version = std::string{line.substr(0, sp1)};
   if (!resp.version.starts_with("HTTP/")) return std::nullopt;
   const auto status = parse_u64(line.substr(sp1 + 1, sp2 - sp1 - 1));
@@ -151,13 +151,41 @@ std::optional<Response> parse_response(std::string_view bytes) {
 
   std::size_t cursor = eol + 2;
   if (!parse_header_block(bytes, cursor, resp.headers)) return std::nullopt;
+  head.header_bytes = cursor;
 
   if (auto cl = resp.headers.get("Content-Length")) {
     auto v = parse_u64(*cl);
-    if (!v || bytes.size() - cursor < *v) return std::nullopt;
-    resp.body = Body::literal(std::string{bytes.substr(cursor, *v)});
+    if (!v) return std::nullopt;
+    head.content_length = *v;
+  }
+  return head;
+}
+
+std::optional<Request> parse_request(std::string_view bytes) {
+  auto head = parse_request_head(bytes);
+  if (!head) return std::nullopt;
+  const std::uint64_t cursor = head->header_bytes;
+  if (bytes.size() - cursor < head->content_length) return std::nullopt;
+  Request req = std::move(head->request);
+  req.body = Body::literal(std::string{bytes.substr(
+      static_cast<std::size_t>(cursor),
+      static_cast<std::size_t>(head->content_length))});
+  return req;
+}
+
+std::optional<Response> parse_response(std::string_view bytes) {
+  auto head = parse_response_head(bytes);
+  if (!head) return std::nullopt;
+  const std::uint64_t cursor = head->header_bytes;
+  Response resp = std::move(head->response);
+  if (head->content_length) {
+    if (bytes.size() - cursor < *head->content_length) return std::nullopt;
+    resp.body = Body::literal(std::string{bytes.substr(
+        static_cast<std::size_t>(cursor),
+        static_cast<std::size_t>(*head->content_length))});
   } else {
-    resp.body = Body::literal(std::string{bytes.substr(cursor)});
+    resp.body = Body::literal(
+        std::string{bytes.substr(static_cast<std::size_t>(cursor))});
   }
   return resp;
 }

@@ -42,4 +42,32 @@ std::optional<Request> parse_request(std::string_view bytes);
 /// `bytes` is the body (connection-close framing).
 std::optional<Response> parse_response(std::string_view bytes);
 
+/// A parsed message head: everything up to and including the blank line,
+/// with the body left empty.  `header_bytes` is the exact wire size of the
+/// head -- the incremental socket reader uses it to know where the body
+/// starts, and the declared content length to know when (or whether) to stop
+/// reading.  Unlike parse_request/parse_response, the head parsers succeed
+/// on buffers whose body is missing or truncated, which is exactly the state
+/// a receiver that aborts mid-body is in.
+struct RequestHead {
+  Request request;  ///< body empty
+  std::uint64_t header_bytes = 0;
+  std::uint64_t content_length = 0;  ///< declared body size (0 when absent)
+};
+
+struct ResponseHead {
+  Response response;  ///< body empty
+  std::uint64_t header_bytes = 0;
+  /// Declared body size; nullopt = connection-close framing (read to EOF).
+  std::optional<std::uint64_t> content_length;
+};
+
+/// Parses a request head from a buffer that contains at least the blank
+/// line.  Returns nullopt on malformed input or when the head is incomplete
+/// (callers typically wait for "\r\n\r\n" before calling).
+std::optional<RequestHead> parse_request_head(std::string_view bytes);
+
+/// Parses a response head; same contract as parse_request_head.
+std::optional<ResponseHead> parse_response_head(std::string_view bytes);
+
 }  // namespace rangeamp::http

@@ -19,40 +19,12 @@ std::uint64_t Http2Wire::connection_setup_response_bytes() noexcept {
   return kSettingsFrame + kSettingsFrame;
 }
 
-http::Response Http2Wire::transfer(const http::Request& request,
-                                   const net::TransferOptions& options) {
-  net::TransferOutcome outcome = transfer_outcome(request, options);
-  if (outcome.ok()) return std::move(outcome.response);
-  return net::response_for_failed_outcome(outcome);
-}
-
-net::TransferOutcome Http2Wire::transfer_outcome(
+net::TransferOutcome Http2Wire::do_transfer_outcome(
     const http::Request& request, const net::TransferOptions& options) {
-  const std::optional<net::FaultSpec> fault =
-      injector_ ? injector_->decide(request) : std::nullopt;
+  const std::optional<net::FaultSpec> fault = decide_fault(request);
 
-  obs::SpanScope span(tracer_, "net.transfer", recorder_->segment());
-  if (span) {
-    span.note("proto", "h2");
-    span.note("target", request.target);
-    if (const auto range = request.headers.get("Range")) {
-      span.note("range", *range);
-    }
-  }
-  const auto finish = [&](net::ExchangeRecord record) {
-    if (span) {
-      span.add_bytes(record.bytes);
-      span.set_status(record.status);
-      if (record.response_truncated) span.note("truncated", "true");
-      if (record.faulted) span.note("fault", "hit");
-    }
-    recorder_->record(std::move(record));
-  };
-
+  net::ExchangeScope exchange(*this, request, "h2");
   net::TransferOutcome outcome;
-  net::ExchangeRecord record;
-  record.target = request.target;
-  record.range_header = std::string{request.headers.get_or("Range", "")};
 
   std::uint64_t request_bytes = 0;
   std::uint64_t response_bytes = 0;
@@ -68,10 +40,10 @@ net::TransferOutcome Http2Wire::transfer_outcome(
   request_bytes += frames_size(session_.encode_request(request, stream_id));
 
   const auto fail_without_response = [&](net::TransferErrorKind kind) {
-    record.faulted = true;
-    record.bytes.request_bytes = request_bytes;
-    record.bytes.response_bytes = response_bytes;
-    finish(std::move(record));
+    exchange.record.faulted = true;
+    exchange.record.bytes.request_bytes = request_bytes;
+    exchange.record.bytes.response_bytes = response_bytes;
+    exchange.finish();
     outcome.error = net::TransferError{kind, 0};
     return std::move(outcome);
   };
@@ -94,7 +66,7 @@ net::TransferOutcome Http2Wire::transfer_outcome(
       fault && fault->action == net::FaultAction::kStatus
           ? net::synthesized_fault_response(fault->status)
           : callee_->handle(request);
-  record.status = response.status;
+  exchange.record.status = response.status;
 
   std::optional<std::uint64_t> body_cap;
   if (options.head_only) {
@@ -132,13 +104,13 @@ net::TransferOutcome Http2Wire::transfer_outcome(
       // The sender died mid-stream: its RST_STREAM travels in the response
       // direction, and the receiver is left with an incomplete message.
       response_bytes += kRstStreamFrame;
-      record.faulted = true;
+      exchange.record.faulted = true;
       outcome.error = net::TransferError{net::TransferErrorKind::kTruncatedBody,
                                          body_seen};
     } else {
       request_bytes += kRstStreamFrame;  // the receiver's deliberate abort
     }
-    record.response_truncated = true;
+    exchange.record.response_truncated = true;
     response.body.truncate(*body_cap);
   } else {
     response_bytes += frames_size(frames);
@@ -149,9 +121,9 @@ net::TransferOutcome Http2Wire::transfer_outcome(
   // aborting receiver stops granting credit past its cap.
   request_bytes += (body_received / kInitialWindow) * (9 + 4);
 
-  record.bytes.request_bytes = request_bytes;
-  record.bytes.response_bytes = response_bytes;
-  finish(std::move(record));
+  exchange.record.bytes.request_bytes = request_bytes;
+  exchange.record.bytes.response_bytes = response_bytes;
+  exchange.finish();
   outcome.response = std::move(response);
   return outcome;
 }

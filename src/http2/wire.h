@@ -1,50 +1,24 @@
 // An HTTP/2-framed connection segment with exact byte accounting.
 //
-// Drop-in analogue of net::Wire: the request and response cross the segment
-// as h2 frame sequences (preface + SETTINGS exchange on first use, then
-// HEADERS/CONTINUATION/DATA per exchange), and the TrafficRecorder sees the
-// exact framed sizes.  Receiver-side aborts are modelled as reading DATA
-// frames until the cap and answering with RST_STREAM, per RFC 7540.
+// The h2 implementation of net::Transport: the request and response cross
+// the segment as h2 frame sequences (preface + SETTINGS exchange on first
+// use, then HEADERS/CONTINUATION/DATA per exchange), and the TrafficRecorder
+// sees the exact framed sizes.  Receiver-side aborts are modelled as reading
+// DATA frames until the cap and answering with RST_STREAM, per RFC 7540.
+// In-memory and deterministic, like net::InMemoryTransport; there is no h2
+// socket backend (see the matrix in docs/transport-model.md).
 #pragma once
 
 #include "http2/session.h"
-#include "net/handler.h"
-#include "net/traffic.h"
-#include "net/wire.h"
+#include "net/transport.h"
 
 namespace rangeamp::http2 {
 
-class Http2Wire {
+class Http2Wire final : public net::Transport {
  public:
   Http2Wire(net::TrafficRecorder& recorder, net::HttpHandler& callee,
             std::uint32_t max_frame_size = kDefaultMaxFrameSize)
-      : recorder_(&recorder), callee_(&callee), session_(max_frame_size) {}
-
-  /// Performs one exchange, HTTP/2-framed.  Stream ids follow the client
-  /// convention (odd, increasing).  The returned response body is truncated
-  /// to what the receiver accepted.  Injected transfer failures are folded
-  /// into a response via net::response_for_failed_outcome().
-  http::Response transfer(const http::Request& request,
-                          const net::TransferOptions& options = {});
-
-  /// Failure-aware exchange (see net::Wire::transfer_outcome): injected
-  /// faults surface as typed TransferErrors; a reset mid-stream is framed as
-  /// an RST_STREAM from the peer, partial DATA still counted.
-  net::TransferOutcome transfer_outcome(const http::Request& request,
-                                        const net::TransferOptions& options = {});
-
-  /// Attaches a fault schedule to this segment (non-owning; nullptr
-  /// detaches).  The injector must outlive the wire.
-  void set_fault_injector(net::FaultInjector* injector) { injector_ = injector; }
-  net::FaultInjector* fault_injector() const noexcept { return injector_; }
-
-  /// Attaches a tracer (non-owning; nullptr detaches): every transfer opens
-  /// a "net.transfer" span with this segment's id and the exact framed byte
-  /// counts, annotated proto=h2.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  obs::Tracer* tracer() const noexcept { return tracer_; }
-
-  net::TrafficRecorder& recorder() noexcept { return *recorder_; }
+      : net::Transport(recorder), callee_(&callee), session_(max_frame_size) {}
 
   /// Frames the connection setup would add (preface + SETTINGS exchange);
   /// exposed so tests can assert the first-transfer overhead.
@@ -58,12 +32,17 @@ class Http2Wire {
   /// receiver simply stops granting credit.
   static constexpr std::uint32_t kInitialWindow = 65535;
 
+ protected:
+  /// One h2-framed exchange.  Stream ids follow the client convention (odd,
+  /// increasing); a reset mid-stream is framed as an RST_STREAM from the
+  /// peer, partial DATA still counted.
+  net::TransferOutcome do_transfer_outcome(
+      const http::Request& request,
+      const net::TransferOptions& options) override;
+
  private:
-  net::TrafficRecorder* recorder_;
   net::HttpHandler* callee_;
   Http2Session session_;
-  net::FaultInjector* injector_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
   std::uint32_t next_stream_id_ = 1;
   bool connected_ = false;
 };

@@ -88,9 +88,9 @@ struct TransferOutcome {
   bool ok() const noexcept { return !error.has_value(); }
 };
 
-/// Deterministic per-wire fault scheduler.  Attach with
-/// Wire::set_fault_injector / Http2Wire::set_fault_injector; the wire calls
-/// decide() exactly once per transfer attempt.
+/// Deterministic per-segment fault scheduler.  Attach with
+/// net::Transport::set_fault_injector (any backend: in-memory, socket, h2);
+/// the transport calls decide() exactly once per transfer attempt.
 class FaultInjector {
  public:
   using RequestPredicate = std::function<bool(const http::Request&)>;

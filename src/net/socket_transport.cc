@@ -1,0 +1,312 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "http/serialize.h"
+
+namespace rangeamp::net {
+namespace {
+
+// Guard against an unframed peer streaming forever into the head search.
+constexpr std::size_t kMaxHeadBytes = 4 * 1024 * 1024;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;  // peer closed (an aborting receiver) or error
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_receive_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+enum class ReadStatus { kOk, kEof, kTimeout, kError };
+
+ReadStatus read_some(int fd, std::string& buf) {
+  char chunk[kReadChunk];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    buf.append(chunk, static_cast<std::size_t>(n));
+    return ReadStatus::kOk;
+  }
+  if (n == 0) return ReadStatus::kEof;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimeout;
+  return ReadStatus::kError;
+}
+
+/// Reads until `buf` contains the blank line ending the head.  Returns the
+/// head end offset (one past "\r\n\r\n"), or a status on failure.
+struct HeadRead {
+  ReadStatus status = ReadStatus::kOk;
+  std::size_t head_end = 0;
+};
+
+HeadRead read_head(int fd, std::string& buf) {
+  std::size_t scanned = 0;
+  while (true) {
+    const std::size_t from = scanned > 3 ? scanned - 3 : 0;
+    const auto pos = buf.find("\r\n\r\n", from);
+    if (pos != std::string::npos) return {ReadStatus::kOk, pos + 4};
+    scanned = buf.size();
+    if (buf.size() > kMaxHeadBytes) return {ReadStatus::kError, 0};
+    const ReadStatus st = read_some(fd, buf);
+    if (st != ReadStatus::kOk) return {st, 0};
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+SocketServer::SocketServer(HttpHandler& handler) : handler_(&handler) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("SocketServer: socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("SocketServer: bind/listen on loopback failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("SocketServer: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() {
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  // A connected-but-silent client must not wedge the accept loop.
+  set_receive_timeout(fd, 5.0);
+
+  std::string buf;
+  const HeadRead head_read = read_head(fd, buf);
+  if (head_read.status != ReadStatus::kOk) return;
+  const auto head = http::parse_request_head(
+      std::string_view{buf}.substr(0, head_read.head_end));
+  if (!head) return;
+  const std::size_t total =
+      head_read.head_end + static_cast<std::size_t>(head->content_length);
+  while (buf.size() < total) {
+    if (read_some(fd, buf) != ReadStatus::kOk) return;
+  }
+  const auto request = http::parse_request(std::string_view{buf}.substr(0, total));
+  if (!request) return;
+
+  http::Response response;
+  {
+    // The wrapped handler chains (CdnNode and friends) are single-threaded
+    // objects; exchanges are serialized even if connections are not.
+    std::lock_guard<std::mutex> lock(handler_mutex_);
+    response = handler_->handle(*request);
+  }
+  // An aborting client (head_only / abort_after_body_bytes) closes early;
+  // the resulting EPIPE just ends the write, as a real sender would see.
+  send_all(fd, http::to_bytes(response));
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(TrafficRecorder& recorder, HttpHandler& callee)
+    : Transport(recorder),
+      server_(std::make_unique<SocketServer>(callee)),
+      port_(server_->port()) {}
+
+TransferOutcome SocketTransport::do_transfer_outcome(
+    const http::Request& request, const TransferOptions& options) {
+  const std::optional<FaultSpec> fault = decide_fault(request);
+
+  ExchangeScope exchange(*this, request);
+  TransferOutcome outcome;
+  exchange.record.bytes.request_bytes = http::serialized_size(request);
+
+  // Faults that replace the exchange are decided before any connection is
+  // made, mirroring the in-memory short-circuits so both backends record the
+  // same bytes for the same fault schedule.
+  if (fault && fault->action == FaultAction::kConnectionReset) {
+    exchange.record.faulted = true;
+    exchange.finish();
+    outcome.error = TransferError{TransferErrorKind::kConnectionReset, 0};
+    return outcome;
+  }
+  if (fault && fault->action == FaultAction::kLatency) {
+    outcome.latency_seconds = fault->latency_seconds;
+    if (options.timeout_seconds &&
+        fault->latency_seconds > *options.timeout_seconds) {
+      exchange.record.faulted = true;
+      exchange.finish();
+      outcome.error = TransferError{TransferErrorKind::kTimeout, 0};
+      outcome.latency_seconds = *options.timeout_seconds;
+      return outcome;
+    }
+  }
+  if (fault && fault->action == FaultAction::kStatus) {
+    // Synthesized responses have empty bodies: receiver caps and sender
+    // truncation are no-ops, exactly as on the in-memory path.
+    http::Response response = synthesized_fault_response(fault->status);
+    exchange.record.status = response.status;
+    exchange.record.bytes.response_bytes = http::serialized_size(response);
+    exchange.finish();
+    outcome.response = std::move(response);
+    return outcome;
+  }
+
+  const auto fail = [&](TransferErrorKind kind, std::uint64_t response_bytes) {
+    exchange.record.faulted = true;
+    exchange.record.bytes.response_bytes = response_bytes;
+    exchange.finish();
+    outcome.error = TransferError{kind, 0};
+    return std::move(outcome);
+  };
+
+  FdCloser conn{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (conn.fd < 0) return fail(TransferErrorKind::kConnectionReset, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return fail(TransferErrorKind::kConnectionReset, 0);
+  }
+  const int one = 1;
+  ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.timeout_seconds) set_receive_timeout(conn.fd, *options.timeout_seconds);
+
+  if (!send_all(conn.fd, http::to_bytes(request))) {
+    return fail(TransferErrorKind::kConnectionReset, 0);
+  }
+
+  std::string buf;
+  const HeadRead head_read = read_head(conn.fd, buf);
+  if (head_read.status == ReadStatus::kTimeout) {
+    return fail(TransferErrorKind::kTimeout, 0);
+  }
+  if (head_read.status != ReadStatus::kOk) {
+    return fail(TransferErrorKind::kConnectionReset, 0);
+  }
+  const auto head = http::parse_response_head(
+      std::string_view{buf}.substr(0, head_read.head_end));
+  if (!head) return fail(TransferErrorKind::kConnectionReset, 0);
+  exchange.record.status = head->response.status;
+  const std::uint64_t head_bytes = head_read.head_end;
+
+  // Receiver-side caps compose with sender-side fault truncation, exactly as
+  // on the in-memory path.  The declared Content-Length stands in for the
+  // sender's body size; every handler in this codebase frames honestly, and
+  // a lying peer merely ends the read at EOF early.
+  std::optional<std::uint64_t> body_cap;
+  if (options.head_only) {
+    body_cap = 0;
+  } else if (options.abort_after_body_bytes) {
+    body_cap = *options.abort_after_body_bytes;
+  }
+  bool fault_cut = false;
+  if (fault && fault->action == FaultAction::kTruncateBody &&
+      head->content_length && fault->truncate_body_at < *head->content_length &&
+      (!body_cap || fault->truncate_body_at < *body_cap)) {
+    body_cap = fault->truncate_body_at;
+    fault_cut = true;
+  }
+
+  // Accept body bytes until the cap (deliberate abort: stop reading, close)
+  // or the framed end / EOF.
+  constexpr std::uint64_t kToEof = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t framed = head->content_length.value_or(kToEof);
+  const std::uint64_t wanted = body_cap ? std::min(*body_cap, framed) : framed;
+  std::string body{buf.substr(head_read.head_end)};
+  bool hit_eof = false;
+  while (body.size() < wanted) {
+    const ReadStatus st = read_some(conn.fd, body);
+    if (st == ReadStatus::kTimeout) {
+      return fail(TransferErrorKind::kTimeout, head_bytes + body.size());
+    }
+    if (st != ReadStatus::kOk) {
+      hit_eof = true;
+      break;
+    }
+  }
+
+  const std::uint64_t declared = head->content_length.value_or(body.size());
+  std::uint64_t accepted = body.size();
+  bool truncated = false;
+  if (body_cap && *body_cap < declared && !hit_eof) {
+    accepted = std::min<std::uint64_t>(accepted, *body_cap);
+    truncated = true;
+  }
+  body.resize(static_cast<std::size_t>(accepted));
+
+  exchange.record.bytes.response_bytes = head_bytes + accepted;
+  exchange.record.response_truncated = truncated;
+  if (fault_cut && truncated) {
+    exchange.record.faulted = true;
+    outcome.error = TransferError{TransferErrorKind::kTruncatedBody, accepted};
+  }
+  exchange.finish();
+
+  http::Response response = std::move(head->response);
+  response.body = http::Body::literal(std::move(body));
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace rangeamp::net

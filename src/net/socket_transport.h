@@ -1,0 +1,88 @@
+// The loopback-socket transport backend.
+//
+// The same exchange contract as net::InMemoryTransport, but the bytes are
+// real: each transfer serializes the http::Request over a loopback TCP
+// connection to a SocketServer wrapping the callee, and reads the serialized
+// response back.  One blocking connection per exchange (connection-close
+// framing), so an aborting receiver really does stop reading and close --
+// the paper's section IV-C abort, enacted by the kernel instead of modelled.
+//
+// What this buys: wall-clock measurement (bench_socket_fig6 times real
+// syscall/scheduling cost per amplified byte).  What it costs: timing noise,
+// so socket runs never feed committed CSVs -- the in-memory backend stays
+// the default everywhere (see docs/transport-model.md).
+//
+// Byte accounting matches the in-memory backend exactly, by construction:
+// the server writes http::to_bytes(response) (whose size is
+// http::serialized_size(response)), and the client counts the head plus the
+// body prefix it accepted before closing (http::serialized_size_truncated).
+// Injected faults that replace the exchange (reset, latency, status) are
+// decided client-side before any connection is made, mirroring the
+// in-memory short-circuits, so fault scenarios agree too.  The conformance
+// suite (tests/net/transport_conformance_test.cc) holds both backends to
+// this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace rangeamp::net {
+
+/// A minimal loopback HTTP/1.1 server wrapping an HttpHandler: binds
+/// 127.0.0.1 on an ephemeral port, accepts in a background thread, and
+/// serves one exchange per connection (read request, call handler, write
+/// response, close).  Handler calls are serialized behind a mutex -- the
+/// in-memory handlers (CdnNode chains) are single-threaded objects.
+class SocketServer {
+ public:
+  /// Binds and starts accepting.  Throws std::runtime_error when the socket
+  /// layer refuses (no loopback available).  `handler` must outlive the
+  /// server.
+  explicit SocketServer(HttpHandler& handler);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The ephemeral port the server listens on.
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  HttpHandler* handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex handler_mutex_;
+  std::thread accept_thread_;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Owns a SocketServer wrapped around `callee`; every transfer crosses
+  /// loopback to it.  `recorder` and `callee` must outlive the transport.
+  SocketTransport(TrafficRecorder& recorder, HttpHandler& callee);
+
+  /// Connects to an already-running server on 127.0.0.1:`port`.
+  SocketTransport(TrafficRecorder& recorder, std::uint16_t port)
+      : Transport(recorder), port_(port) {}
+
+  std::uint16_t port() const noexcept { return port_; }
+
+ protected:
+  TransferOutcome do_transfer_outcome(const http::Request& request,
+                                      const TransferOptions& options) override;
+
+ private:
+  std::unique_ptr<SocketServer> server_;  ///< null when attached to a port
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace rangeamp::net

@@ -1,0 +1,169 @@
+// The exchange contract of one connection segment.
+//
+// Every measurement in the paper is per *segment* of the Fig 1/3 topology
+// (client-cdn, cdn-origin, fcdn-bcdn, bcdn-origin).  A Transport is one such
+// segment: it carries one request/response exchange toward its peer, adds
+// the exact byte counts to the segment's TrafficRecorder, consults an
+// optional FaultInjector once per attempt, and stamps an optional
+// "net.transfer" span with the outcome.  Implementations differ only in how
+// the bytes cross the segment:
+//
+//   * InMemoryTransport (net/wire.h) -- synchronous in-memory pipe; byte
+//     counts are computed from serialized sizes without materializing
+//     payloads.  Deterministic, and the default backend everywhere, so
+//     every committed experiment replays byte-identically.
+//   * Http2Wire (http2/wire.h) -- h2 frame sequences with per-connection
+//     HPACK state; in-memory and deterministic.
+//   * SocketTransport (net/socket_transport.h) -- the same http::Request/
+//     http::Response serialized over a real loopback TCP connection per
+//     exchange; unlocks wall-clock measurement at the cost of real
+//     scheduling noise.
+//
+// The contract every backend must honor (tests/net/
+// transport_conformance_test.cc runs the suite over all of them; see
+// docs/transport-model.md for the backend matrix):
+//
+//   * transfer_outcome() performs exactly one exchange and records exactly
+//     one ExchangeRecord whose byte pair equals the serialized bytes that
+//     crossed the segment (partial bytes still counted on truncation);
+//   * receiver-side caps (head_only, abort_after_body_bytes) bound the
+//     received body, and sender-side fault truncation composes with them:
+//     whichever cut happens first bounds what is received and counted;
+//   * injected faults are decided once per attempt through the attached
+//     FaultInjector and surface as typed TransferErrors;
+//   * transfer() -- the legacy folding adapter -- is implemented here, once:
+//     failed outcomes become responses via response_for_failed_outcome() in
+//     exactly one place, never per backend.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+#include "net/fault.h"
+#include "net/handler.h"
+#include "net/traffic.h"
+#include "obs/trace.h"
+
+namespace rangeamp::net {
+
+struct TransferOptions {
+  /// Abort the transfer once this many response *body* bytes were received.
+  std::optional<std::uint64_t> abort_after_body_bytes;
+  /// Receive only the response head (headers), no body bytes.
+  bool head_only = false;
+  /// Give up when the response's first byte takes longer than this (injected
+  /// latency on in-memory backends, wall-clock receive patience on socket
+  /// backends; absent = wait forever).
+  std::optional<double> timeout_seconds;
+};
+
+/// Wire protocol of a connection segment.
+enum class SegmentFraming {
+  kHttp11,  ///< plain HTTP/1.1 serialization (InMemoryTransport / SocketTransport)
+  kHttp2,   ///< h2 frames + HPACK (http2::Http2Wire)
+};
+
+/// One connection segment toward a fixed peer.  Non-copyable: a transport is
+/// identified with its segment (recorder), like the TCP connection it models.
+class Transport {
+ public:
+  /// `recorder` must outlive the transport.
+  explicit Transport(TrafficRecorder& recorder) : recorder_(&recorder) {}
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Failure-aware exchange: one attempt across the segment, its bytes
+  /// recorded, injected faults surfaced as typed TransferErrors.  Fault-free
+  /// segments always return ok() outcomes.
+  TransferOutcome transfer_outcome(const http::Request& request,
+                                   const TransferOptions& options = {}) {
+    return do_transfer_outcome(request, options);
+  }
+
+  /// Legacy exchange: like transfer_outcome(), but a failed outcome is
+  /// folded into a response via response_for_failed_outcome().  This is the
+  /// only place that folding happens.
+  http::Response transfer(const http::Request& request,
+                          const TransferOptions& options = {});
+
+  /// Attaches a fault schedule to this segment (non-owning; nullptr
+  /// detaches).  The injector must outlive the transport.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// Attaches a tracer (non-owning; nullptr detaches): every transfer then
+  /// opens a "net.transfer" span carrying this segment's id and the exact
+  /// exchange byte counts; the peer's processing nests under it.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  TrafficRecorder& recorder() noexcept { return *recorder_; }
+
+ protected:
+  /// Backend hook behind the public NVI entry points; `options` always
+  /// arrives resolved (no defaulting left to the backend).
+  virtual TransferOutcome do_transfer_outcome(const http::Request& request,
+                                              const TransferOptions& options) = 0;
+
+  /// Consults the attached injector, once per attempt.
+  std::optional<FaultSpec> decide_fault(const http::Request& request) {
+    return injector_ ? injector_->decide(request) : std::nullopt;
+  }
+
+ private:
+  TrafficRecorder* recorder_;
+  FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+/// The span-and-recorder epilogue shared by every backend: opens the
+/// "net.transfer" span of one exchange (target/range/proto notes), exposes
+/// the ExchangeRecord the backend fills in, and guarantees that stamping the
+/// span and handing the record to the segment's recorder happen exactly once
+/// -- the span mirrors exactly what the recorder counts.
+class ExchangeScope {
+ public:
+  /// `proto` annotates non-default framings ("h2"); empty emits no note.
+  ExchangeScope(Transport& transport, const http::Request& request,
+                std::string_view proto = {});
+  ~ExchangeScope() { finish(); }
+  ExchangeScope(const ExchangeScope&) = delete;
+  ExchangeScope& operator=(const ExchangeScope&) = delete;
+
+  /// Filled by the backend as the exchange progresses.
+  ExchangeRecord record;
+
+  /// Stamps the span from `record` and hands it to the recorder.  Runs at
+  /// most once; the destructor covers any return path that forgot.
+  void finish();
+
+ private:
+  Transport* transport_;
+  obs::SpanScope span_;
+  bool finished_ = false;
+};
+
+/// Adapter presenting an owned Transport as an HttpHandler, so a whole
+/// counted path can itself serve as someone's upstream.
+class TransportHandler final : public HttpHandler {
+ public:
+  explicit TransportHandler(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  http::Response handle(const http::Request& request) override {
+    return transport_->transfer(request);
+  }
+
+  Transport& transport() noexcept { return *transport_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace rangeamp::net

@@ -1,0 +1,20 @@
+#include "net/transport_factory.h"
+
+#include "net/socket_transport.h"
+#include "net/wire.h"
+
+namespace rangeamp::net {
+
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          TrafficRecorder& recorder,
+                                          HttpHandler& callee) {
+  switch (spec.backend) {
+    case TransportBackend::kSocket:
+      return std::make_unique<SocketTransport>(recorder, callee);
+    case TransportBackend::kInMemory:
+      break;
+  }
+  return std::make_unique<InMemoryTransport>(recorder, callee);
+}
+
+}  // namespace rangeamp::net

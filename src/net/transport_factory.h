@@ -1,0 +1,43 @@
+// Backend selection for HTTP/1.1 connection segments.
+//
+// One knob -- TransportSpec -- travels from experiment configs down through
+// EdgeCluster / CdnNode / testbed constructors, so a whole topology (or one
+// segment of it) can be lifted from the in-memory pipe onto real loopback
+// sockets without touching any call site.  The default spec is the in-memory
+// backend, which keeps every committed experiment byte-identical; socket
+// runs are opt-in per invocation (bench_socket_fig6, the conformance suite).
+//
+// The factory covers the HTTP/1.1 backends only: h2 framing is a property
+// of the segment (cdn::SegmentFraming::kHttp2), selected by CdnNode itself,
+// and has no socket analogue (see docs/transport-model.md).
+#pragma once
+
+#include <memory>
+
+#include "net/transport.h"
+
+namespace rangeamp::net {
+
+enum class TransportBackend {
+  kInMemory,  ///< synchronous in-memory pipe (the default; deterministic)
+  kSocket,    ///< real loopback TCP per exchange (wall-clock measurement)
+};
+
+struct TransportSpec {
+  TransportBackend backend = TransportBackend::kInMemory;
+};
+
+/// Spells for readability at call sites.
+inline constexpr TransportSpec kInMemoryTransportSpec{
+    TransportBackend::kInMemory};
+inline constexpr TransportSpec kSocketTransportSpec{TransportBackend::kSocket};
+
+/// Builds the segment `spec` asks for: bytes recorded into `recorder`,
+/// requests delivered to `callee` (directly, or through a loopback
+/// SocketServer the transport owns).  `recorder` and `callee` must outlive
+/// the transport.
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          TrafficRecorder& recorder,
+                                          HttpHandler& callee);
+
+}  // namespace rangeamp::net

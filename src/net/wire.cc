@@ -2,48 +2,19 @@
 
 namespace rangeamp::net {
 
-http::Response Wire::transfer(const http::Request& request,
-                              const TransferOptions& options) {
-  TransferOutcome outcome = transfer_outcome(request, options);
-  if (outcome.ok()) return std::move(outcome.response);
-  return response_for_failed_outcome(outcome);
-}
+TransferOutcome InMemoryTransport::do_transfer_outcome(
+    const http::Request& request, const TransferOptions& options) {
+  const std::optional<FaultSpec> fault = decide_fault(request);
 
-TransferOutcome Wire::transfer_outcome(const http::Request& request,
-                                       const TransferOptions& options) {
-  const std::optional<FaultSpec> fault =
-      injector_ ? injector_->decide(request) : std::nullopt;
-
-  obs::SpanScope span(tracer_, "net.transfer", recorder_->segment());
-  if (span) {
-    span.note("target", request.target);
-    if (const auto range = request.headers.get("Range")) {
-      span.note("range", *range);
-    }
-  }
-  // Stamps the span with the exchange's outcome and hands the record to the
-  // segment's recorder (the span mirrors exactly what the recorder counts).
-  const auto finish = [&](ExchangeRecord record) {
-    if (span) {
-      span.add_bytes(record.bytes);
-      span.set_status(record.status);
-      if (record.response_truncated) span.note("truncated", "true");
-      if (record.faulted) span.note("fault", "hit");
-    }
-    recorder_->record(std::move(record));
-  };
-
+  ExchangeScope exchange(*this, request);
   TransferOutcome outcome;
-  ExchangeRecord record;
-  record.target = request.target;
-  record.range_header = std::string{request.headers.get_or("Range", "")};
-  record.bytes.request_bytes = http::serialized_size(request);
+  exchange.record.bytes.request_bytes = http::serialized_size(request);
 
   // Connection reset before the first response byte: the request crossed the
   // segment, nothing came back.
   if (fault && fault->action == FaultAction::kConnectionReset) {
-    record.faulted = true;
-    finish(std::move(record));
+    exchange.record.faulted = true;
+    exchange.finish();
     outcome.error = TransferError{TransferErrorKind::kConnectionReset, 0};
     return outcome;
   }
@@ -54,8 +25,8 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
         fault->latency_seconds > *options.timeout_seconds) {
       // The receiver hung up before the first byte; the upstream's response
       // never crossed the segment.
-      record.faulted = true;
-      finish(std::move(record));
+      exchange.record.faulted = true;
+      exchange.finish();
       outcome.error = TransferError{TransferErrorKind::kTimeout, 0};
       outcome.latency_seconds = *options.timeout_seconds;
       return outcome;
@@ -65,7 +36,7 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
   http::Response response = fault && fault->action == FaultAction::kStatus
                                 ? synthesized_fault_response(fault->status)
                                 : callee_->handle(request);
-  record.status = response.status;
+  exchange.record.status = response.status;
 
   // Receiver-side caps (deliberate aborts) compose with sender-side fault
   // truncation: whichever cut happens first bounds the received body.
@@ -84,21 +55,21 @@ TransferOutcome Wire::transfer_outcome(const http::Request& request,
   }
 
   if (body_cap && *body_cap < response.body.size()) {
-    record.bytes.response_bytes =
+    exchange.record.bytes.response_bytes =
         http::serialized_size_truncated(response, *body_cap);
-    record.response_truncated = true;
+    exchange.record.response_truncated = true;
     response.body.truncate(*body_cap);
   } else {
-    record.bytes.response_bytes = http::serialized_size(response);
+    exchange.record.bytes.response_bytes = http::serialized_size(response);
   }
   if (fault_cut) {
     // The sender died mid-entity: the prefix arrived (and was counted), but
     // the message is incomplete -- a typed error, not a deliberate abort.
-    record.faulted = true;
+    exchange.record.faulted = true;
     outcome.error =
         TransferError{TransferErrorKind::kTruncatedBody, response.body.size()};
   }
-  finish(std::move(record));
+  exchange.finish();
   outcome.response = std::move(response);
   return outcome;
 }

@@ -1,9 +1,14 @@
-// A Wire joins two hops and counts every byte that crosses it.
+// The in-memory transport backend (the historical `Wire`).
 //
-// Wires model the TCP connection segments of Fig 1/3 in the paper
-// (client-cdn, cdn-origin, fcdn-bcdn, bcdn-origin).  A transfer serializes
-// the request toward the callee and the response back; the exact serialized
-// sizes are added to the segment's TrafficRecorder.
+// InMemoryTransport joins two hops through a synchronous in-memory byte pipe
+// and counts every byte that would cross the TCP connection segments of
+// Fig 1/3 in the paper (client-cdn, cdn-origin, fcdn-bcdn, bcdn-origin).  A
+// transfer serializes the request toward the callee and the response back;
+// the exact serialized sizes are added to the segment's TrafficRecorder
+// without materializing synthetic payloads -- which is what keeps every
+// committed experiment deterministic and fast.  The exchange contract
+// (options, faults, tracing, accounting) lives in net/transport.h; the
+// loopback-socket analogue is net/socket_transport.h.
 //
 // TransferOptions model the two receiver-side tricks the paper describes:
 //   * abort_after_body_bytes -- the receiver closes the connection once that
@@ -15,72 +20,30 @@
 //     (models the attacker's tiny TCP receive window degenerate case).
 //   * timeout_seconds -- the receiver's per-attempt patience; an injected
 //     latency beyond it fails the attempt before any response byte arrives.
-//
-// A segment can carry a FaultInjector (see net/fault.h); transfer_outcome()
-// is the failure-aware variant of transfer(): it returns a TransferOutcome
-// whose typed error distinguishes resets, mid-body truncation and timeouts,
-// with partial bytes still counted by the TrafficRecorder.
 #pragma once
 
-#include <optional>
-#include <string>
-
 #include "http/serialize.h"
-#include "net/fault.h"
-#include "net/handler.h"
-#include "net/traffic.h"
-#include "obs/trace.h"
+#include "net/transport.h"
 
 namespace rangeamp::net {
 
-struct TransferOptions {
-  /// Abort the transfer once this many response *body* bytes were received.
-  std::optional<std::uint64_t> abort_after_body_bytes;
-  /// Receive only the response head (headers), no body bytes.
-  bool head_only = false;
-  /// Give up when the response's first byte takes longer than this (injected
-  /// latency only; absent = wait forever).
-  std::optional<double> timeout_seconds;
-};
-
-class Wire {
+class InMemoryTransport final : public Transport {
  public:
-  /// `recorder` and `callee` must outlive the wire.
-  Wire(TrafficRecorder& recorder, HttpHandler& callee)
-      : recorder_(&recorder), callee_(&callee) {}
+  /// `recorder` and `callee` must outlive the transport.
+  InMemoryTransport(TrafficRecorder& recorder, HttpHandler& callee)
+      : Transport(recorder), callee_(&callee) {}
 
-  /// Performs one exchange across this segment.  The returned response body
-  /// is truncated to what the receiver actually accepted.  On a transfer
-  /// failure (injected fault) the failed outcome is folded into a response
-  /// via response_for_failed_outcome().
-  http::Response transfer(const http::Request& request,
-                          const TransferOptions& options = {});
-
-  /// Failure-aware exchange: like transfer(), but the caller sees the typed
-  /// TransferError instead of a folded response.  Fault-free wires always
-  /// return ok() outcomes, byte-identical to transfer().
-  TransferOutcome transfer_outcome(const http::Request& request,
-                                   const TransferOptions& options = {});
-
-  /// Attaches a fault schedule to this segment (non-owning; nullptr
-  /// detaches).  The injector must outlive the wire.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  FaultInjector* fault_injector() const noexcept { return injector_; }
-
-  /// Attaches a tracer (non-owning; nullptr detaches): every transfer then
-  /// opens a "net.transfer" span carrying this segment's id and the exact
-  /// exchange byte counts; the callee's processing nests under it.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  obs::Tracer* tracer() const noexcept { return tracer_; }
-
-  TrafficRecorder& recorder() noexcept { return *recorder_; }
+ protected:
+  TransferOutcome do_transfer_outcome(const http::Request& request,
+                                      const TransferOptions& options) override;
 
  private:
-  TrafficRecorder* recorder_;
   HttpHandler* callee_;
-  FaultInjector* injector_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
 };
+
+/// The historical name: every hop of the original reproduction crossed a
+/// `Wire`.  Kept as the spelling of the default backend.
+using Wire = InMemoryTransport;
 
 /// Adapter: presents a Wire (a counted segment toward `callee`) as an
 /// HttpHandler, so a whole path can itself serve as someone's upstream.

@@ -70,8 +70,8 @@ struct OriginConfig {
   ///     entity -- for chunked responses the cut lands mid-chunk, so
   ///     downstream de-framing fails exactly as it would on a died socket.
   /// kConnectionReset and kLatency are transport-level concerns; schedule
-  /// them on the Wire (Wire::set_fault_injector) instead -- this layer
-  /// ignores them.
+  /// them on the segment's transport (net::Transport::set_fault_injector)
+  /// instead -- this layer ignores them.
   net::FaultInjector* fault_injector = nullptr;
 };
 

@@ -220,8 +220,7 @@ TEST(Campaign, SliceMitigatedClusterCostsOneFillPerNode) {
 }
 
 TEST(Campaign, LegitWorkloadDoesNotAlarm) {
-  LegitWorkloadConfig config;
-  config.requests = 300;
+  const auto config = LegitWorkloadConfig::Builder{}.requests(300).build();
   const auto result = run_legit_workload(config);
   EXPECT_FALSE(result.detector_alarmed);
   // A healthy cache: hit rate well above zero.
@@ -232,8 +231,7 @@ TEST(Campaign, LegitWorkloadDoesNotAlarm) {
 }
 
 TEST(Campaign, LegitWorkloadIsSeedDeterministic) {
-  LegitWorkloadConfig config;
-  config.requests = 100;
+  const auto config = LegitWorkloadConfig::Builder{}.requests(100).build();
   const auto a = run_legit_workload(config);
   const auto b = run_legit_workload(config);
   EXPECT_EQ(a.client, b.client);
@@ -245,9 +243,8 @@ TEST(Campaign, LegitWorkloadIsSeedDeterministic) {
 // ---------------------------------------------------------------------------
 
 TEST(ObrCampaign, SustainedCascadeKeepsFullPerRequestTraffic) {
-  ObrCampaignConfig config;
-  config.requests_per_second = 2;
-  config.duration_s = 5;
+  const auto config =
+      ObrCampaignConfig::Builder{}.requests_per_second(2).duration_s(5).build();
   const auto result = run_obr_campaign(config);
   ASSERT_GT(result.n, 10000u);
   // Every request moves ~n * 1KB across fcdn-bcdn: the FCDN cache must not
@@ -264,10 +261,11 @@ TEST(ObrCampaign, SustainedCascadeKeepsFullPerRequestTraffic) {
 }
 
 TEST(ObrCampaign, SaturatesAGigabitNodeUplinkInSeconds) {
-  ObrCampaignConfig config;
-  config.requests_per_second = 20;
-  config.duration_s = 10;
-  config.node_uplink_mbps = 1000.0;
+  const auto config = ObrCampaignConfig::Builder{}
+                          .requests_per_second(20)
+                          .duration_s(10)
+                          .node_uplink_mbps(1000.0)
+                          .build();
   const auto result = run_obr_campaign(config);
   EXPECT_TRUE(result.bandwidth.saturated);
   EXPECT_GE(result.seconds_to_saturation, 0.0);
@@ -275,10 +273,11 @@ TEST(ObrCampaign, SaturatesAGigabitNodeUplinkInSeconds) {
 }
 
 TEST(ObrCampaign, AzureCapPreventsSaturation) {
-  ObrCampaignConfig config;
-  config.bcdn = cdn::Vendor::kAzure;
-  config.requests_per_second = 20;
-  config.duration_s = 5;
+  const auto config = ObrCampaignConfig::Builder{}
+                          .bcdn(cdn::Vendor::kAzure)
+                          .requests_per_second(20)
+                          .duration_s(5)
+                          .build();
   const auto result = run_obr_campaign(config);
   EXPECT_LE(result.n, 64u);
   EXPECT_FALSE(result.bandwidth.saturated);
@@ -286,18 +285,20 @@ TEST(ObrCampaign, AzureCapPreventsSaturation) {
 }
 
 TEST(ObrCampaign, InfeasibleCascadeReportsZero) {
-  ObrCampaignConfig config;
-  config.fcdn = cdn::Vendor::kStackPath;
-  config.bcdn = cdn::Vendor::kStackPath;
+  const auto config = ObrCampaignConfig::Builder{}
+                          .fcdn(cdn::Vendor::kStackPath)
+                          .bcdn(cdn::Vendor::kStackPath)
+                          .build();
   const auto result = run_obr_campaign(config);
   EXPECT_EQ(result.n, 0u);
 }
 
 TEST(ObrCampaign, ExplicitNOverridesPlanner) {
-  ObrCampaignConfig config;
-  config.overlapping_ranges = 100;
-  config.requests_per_second = 1;
-  config.duration_s = 3;
+  const auto config = ObrCampaignConfig::Builder{}
+                          .overlapping_ranges(100)
+                          .requests_per_second(1)
+                          .duration_s(3)
+                          .build();
   const auto result = run_obr_campaign(config);
   EXPECT_EQ(result.n, 100u);
   EXPECT_GT(result.fcdn_bcdn_bytes_per_request, 100u * 1024);

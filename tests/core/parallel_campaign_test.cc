@@ -228,16 +228,15 @@ TEST(ParallelSbrCampaignTest, MergedTraceKeepsParentageAndByteTotals) {
 // ---------------------------------------------------------------------------
 
 TEST(ParallelObrCampaignTest, ShardedEqualsSerialAndStableAcrossThreads) {
-  core::ObrCampaignConfig config;
-  config.requests_per_second = 2;
-  config.duration_s = 6;
+  const auto base =
+      core::ObrCampaignConfig::Builder{}.requests_per_second(2).duration_s(6);
 
-  const auto serial = core::run_obr_campaign(config);
+  const auto serial = core::run_obr_campaign(base.build());
   ASSERT_GT(serial.n, 0u);
 
-  config.shards = 4;
   for (const int threads : {1, 8}) {
-    config.threads = threads;
+    const auto config =
+        core::ObrCampaignConfig::Builder{base}.shards(4).threads(threads).build();
     const auto sharded = core::run_obr_campaign(config);
     EXPECT_EQ(sharded.n, serial.n);
     EXPECT_EQ(sharded.fcdn_bcdn_bytes_per_request,
@@ -258,16 +257,16 @@ TEST(ParallelLegitWorkloadTest, ShardedStableAcrossThreadCounts) {
   // The sharded workload draws different streams than the serial one (each
   // shard owns SplitMix64(seed ^ index)), but with `shards` pinned the run
   // must be byte-identical at every thread count.
-  core::LegitWorkloadConfig config;
-  config.requests = 300;
-  config.shards = 3;
-
-  config.threads = 1;
-  const auto t1 = core::run_legit_workload(config);
-  config.threads = 2;
-  const auto t2 = core::run_legit_workload(config);
-  config.threads = 8;
-  const auto t8 = core::run_legit_workload(config);
+  const auto with_threads = [](int threads) {
+    return core::LegitWorkloadConfig::Builder{}
+        .requests(300)
+        .shards(3)
+        .threads(threads)
+        .build();
+  };
+  const auto t1 = core::run_legit_workload(with_threads(1));
+  const auto t2 = core::run_legit_workload(with_threads(2));
+  const auto t8 = core::run_legit_workload(with_threads(8));
 
   for (const auto* other : {&t2, &t8}) {
     EXPECT_EQ(t1.client.request_bytes, other->client.request_bytes);
@@ -286,10 +285,11 @@ TEST(ParallelLegitWorkloadTest, SerialPathUnchangedByDefault) {
   // shards = 1 must keep using config.seed directly (the legacy stream):
   // two default-config runs agree with each other and with a shards=1,
   // threads=8 run.
-  core::LegitWorkloadConfig config;
-  const auto a = core::run_legit_workload(config);
-  config.threads = 8;  // threads without shards must change nothing
-  const auto b = core::run_legit_workload(config);
+  const auto a =
+      core::run_legit_workload(core::LegitWorkloadConfig::Builder{}.build());
+  // threads without shards must change nothing
+  const auto b = core::run_legit_workload(
+      core::LegitWorkloadConfig::Builder{}.threads(8).build());
   EXPECT_EQ(a.client.request_bytes, b.client.request_bytes);
   EXPECT_EQ(a.client.response_bytes, b.client.response_bytes);
   EXPECT_EQ(a.origin.response_bytes, b.origin.response_bytes);

@@ -1,0 +1,345 @@
+// Conformance suite for the net::Transport exchange contract
+// (src/net/transport.h): every backend must record the same bytes, surface
+// the same typed errors, and deliver the same (possibly truncated) response
+// for the same scenario.  Parameterized over the HTTP/1.1 backends; the
+// cross-backend tests at the bottom run the identical scenario against both
+// and compare recorder totals directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "http/serialize.h"
+#include "net/socket_transport.h"
+#include "net/transport_factory.h"
+#include "net/wire.h"
+
+namespace rangeamp::net {
+namespace {
+
+using http::Body;
+using http::Request;
+using http::Response;
+
+// A handler returning a canned, honestly-framed response (Content-Length
+// present -- the framing every handler in this codebase emits, and what the
+// socket backend's exact byte parity is specified against).  The counter is
+// atomic: the socket backend calls handle() from the server's accept thread.
+class StubHandler final : public HttpHandler {
+ public:
+  explicit StubHandler(Response response) : response_(std::move(response)) {}
+
+  Response handle(const Request&) override {
+    seen.fetch_add(1);
+    return response_;
+  }
+
+  std::atomic<int> seen{0};
+
+ private:
+  Response response_;
+};
+
+Response canned(std::uint64_t body_size) {
+  Response resp =
+      http::make_response(http::kOk, Body::synthetic(3, 0, body_size));
+  resp.headers.add("Content-Length", std::to_string(body_size));
+  return resp;
+}
+
+Request request_for(const char* target) {
+  return http::make_get("conformance.example", target);
+}
+
+class TransportConformanceTest
+    : public ::testing::TestWithParam<TransportBackend> {
+ protected:
+  TransportSpec spec() const { return TransportSpec{GetParam()}; }
+};
+
+TEST_P(TransportConformanceTest, FullExchangeCountsSerializedBytes) {
+  StubHandler stub(canned(512));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+
+  Request req = request_for("/full");
+  req.headers.add("Range", "bytes=0-0");
+  const TransferOutcome outcome = transport->transfer_outcome(req);
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.status, 200);
+  EXPECT_EQ(outcome.response.body.size(), 512u);
+  EXPECT_EQ(rec.request_bytes(), http::serialized_size(req));
+  EXPECT_EQ(rec.response_bytes(), http::serialized_size(canned(512)));
+  EXPECT_EQ(rec.exchange_count(), 1u);
+  ASSERT_EQ(rec.log().size(), 1u);
+  EXPECT_EQ(rec.log()[0].target, "/full");
+  EXPECT_EQ(rec.log()[0].range_header, "bytes=0-0");
+  EXPECT_EQ(rec.log()[0].status, 200);
+  EXPECT_FALSE(rec.log()[0].response_truncated);
+  EXPECT_EQ(stub.seen.load(), 1);
+}
+
+TEST_P(TransportConformanceTest, HeadOnlyReceivesNoBodyBytes) {
+  StubHandler stub(canned(777));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+
+  TransferOptions options;
+  options.head_only = true;
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/head"), options);
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.body.size(), 0u);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size_truncated(canned(777), 0));
+  EXPECT_EQ(rec.truncated_count(), 1u);
+}
+
+TEST_P(TransportConformanceTest, AbortAfterBodyBytesCountsAcceptedPrefix) {
+  StubHandler stub(canned(4096));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+
+  TransferOptions options;
+  options.abort_after_body_bytes = 100;
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/abort"), options);
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.body.size(), 100u);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size_truncated(canned(4096), 100));
+  EXPECT_EQ(rec.truncated_count(), 1u);
+  EXPECT_EQ(rec.faulted_count(), 0u);  // a deliberate abort is not a fault
+}
+
+TEST_P(TransportConformanceTest, AbortBeyondBodyIsNoop) {
+  StubHandler stub(canned(50));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+
+  TransferOptions options;
+  options.abort_after_body_bytes = 5000;
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/noop"), options);
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.body.size(), 50u);
+  EXPECT_EQ(rec.response_bytes(), http::serialized_size(canned(50)));
+  EXPECT_EQ(rec.truncated_count(), 0u);
+}
+
+TEST_P(TransportConformanceTest, InjectedLatencyBeyondTimeoutFails) {
+  StubHandler stub(canned(64));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::latency(9.0));
+  transport->set_fault_injector(&injector);
+
+  TransferOptions options;
+  options.timeout_seconds = 0.5;
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/slow"), options);
+
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kTimeout);
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 0.5);
+  // The request crossed the segment; no response byte did.
+  EXPECT_EQ(rec.request_bytes(),
+            http::serialized_size(request_for("/slow")));
+  EXPECT_EQ(rec.response_bytes(), 0u);
+  EXPECT_EQ(rec.faulted_count(), 1u);
+  EXPECT_EQ(stub.seen.load(), 0);
+}
+
+TEST_P(TransportConformanceTest, InjectedTruncationIsATypedError) {
+  StubHandler stub(canned(1000));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::truncate(40));
+  transport->set_fault_injector(&injector);
+
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/cut"));
+
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kTruncatedBody);
+  EXPECT_EQ(outcome.error->body_bytes_received, 40u);
+  EXPECT_EQ(outcome.response.body.size(), 40u);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size_truncated(canned(1000), 40));
+  EXPECT_EQ(rec.truncated_count(), 1u);
+  EXPECT_EQ(rec.faulted_count(), 1u);
+}
+
+TEST_P(TransportConformanceTest, ReceiverCapComposesWithInjectedTruncation) {
+  // The receiver aborts at 100, the sender dies at 40: the earlier cut wins
+  // and it is the sender's, so the outcome is an error.
+  StubHandler stub(canned(1000));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::truncate(40));
+  transport->set_fault_injector(&injector);
+
+  TransferOptions options;
+  options.abort_after_body_bytes = 100;
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/race"), options);
+
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kTruncatedBody);
+  EXPECT_EQ(outcome.response.body.size(), 40u);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size_truncated(canned(1000), 40));
+}
+
+TEST_P(TransportConformanceTest, ConnectionResetFaultYieldsNoResponseBytes) {
+  StubHandler stub(canned(64));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::reset());
+  transport->set_fault_injector(&injector);
+
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/reset"));
+
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, TransferErrorKind::kConnectionReset);
+  EXPECT_EQ(rec.request_bytes(),
+            http::serialized_size(request_for("/reset")));
+  EXPECT_EQ(rec.response_bytes(), 0u);
+  EXPECT_EQ(rec.faulted_count(), 1u);
+  EXPECT_EQ(stub.seen.load(), 0);
+}
+
+TEST_P(TransportConformanceTest, StatusFaultSynthesizesUpstreamAnswer) {
+  StubHandler stub(canned(64));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::status_code(503));
+  transport->set_fault_injector(&injector);
+
+  const TransferOutcome outcome =
+      transport->transfer_outcome(request_for("/5xx"));
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.response.status, 503);
+  EXPECT_EQ(rec.response_bytes(),
+            http::serialized_size(synthesized_fault_response(503)));
+  EXPECT_EQ(stub.seen.load(), 0);  // the fault pre-empts the peer
+}
+
+TEST_P(TransportConformanceTest, TransferFoldsFailedOutcomes) {
+  // transfer() is implemented once, in the base: a reset becomes the
+  // synthesized 502 on every backend.
+  StubHandler stub(canned(64));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+  FaultInjector injector;
+  injector.fail_always(FaultSpec::reset());
+  transport->set_fault_injector(&injector);
+
+  const Response resp = transport->transfer(request_for("/fold"));
+  EXPECT_EQ(resp.status, 502);
+  EXPECT_TRUE(resp.headers.get("X-Transfer-Error").has_value());
+}
+
+TEST_P(TransportConformanceTest, ByteConservationAcrossMixedSequence) {
+  // Recorder totals must equal the sum of per-exchange serialized sizes,
+  // whatever mix of full reads and aborts crossed the segment.
+  StubHandler stub(canned(2048));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(spec(), rec, stub);
+
+  std::uint64_t expected_request = 0;
+  std::uint64_t expected_response = 0;
+  const Response full = canned(2048);
+  for (int i = 0; i < 8; ++i) {
+    Request req = request_for("/mixed");
+    TransferOptions options;
+    if (i % 2 == 1) options.abort_after_body_bytes = 64 * i;
+    const TransferOutcome outcome = transport->transfer_outcome(req, options);
+    ASSERT_TRUE(outcome.ok());
+    expected_request += http::serialized_size(req);
+    expected_response +=
+        i % 2 == 1 ? http::serialized_size_truncated(full, 64 * i)
+                   : http::serialized_size(full);
+  }
+  EXPECT_EQ(rec.request_bytes(), expected_request);
+  EXPECT_EQ(rec.response_bytes(), expected_response);
+  EXPECT_EQ(rec.exchange_count(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TransportConformanceTest,
+    ::testing::Values(TransportBackend::kInMemory, TransportBackend::kSocket),
+    [](const ::testing::TestParamInfo<TransportBackend>& info) {
+      return info.param == TransportBackend::kSocket ? "Socket" : "InMemory";
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-backend agreement: the same scenario, both backends, equal recorders.
+// ---------------------------------------------------------------------------
+
+struct ScenarioTotals {
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t faulted = 0;
+};
+
+ScenarioTotals run_scenario(TransportBackend backend) {
+  StubHandler stub(canned(4096));
+  TrafficRecorder rec("seg");
+  auto transport = make_transport(TransportSpec{backend}, rec, stub);
+  FaultInjector injector;
+  injector.fail_nth(3, FaultSpec::truncate(13));
+  injector.fail_nth(5, FaultSpec::reset());
+  transport->set_fault_injector(&injector);
+
+  for (int i = 0; i < 6; ++i) {
+    Request req = request_for("/agree");
+    req.headers.add("Range", "bytes=0-1023");
+    TransferOptions options;
+    if (i == 1) options.head_only = true;
+    if (i == 2) options.abort_after_body_bytes = 512;
+    transport->transfer_outcome(req, options);
+  }
+  return {rec.request_bytes(), rec.response_bytes(), rec.truncated_count(),
+          rec.faulted_count()};
+}
+
+TEST(TransportCrossBackend, RecordersAgreeOnIdenticalScenario) {
+  const ScenarioTotals in_memory = run_scenario(TransportBackend::kInMemory);
+  const ScenarioTotals socket = run_scenario(TransportBackend::kSocket);
+  EXPECT_EQ(in_memory.request_bytes, socket.request_bytes);
+  EXPECT_EQ(in_memory.response_bytes, socket.response_bytes);
+  EXPECT_EQ(in_memory.truncated, socket.truncated);
+  EXPECT_EQ(in_memory.faulted, socket.faulted);
+}
+
+TEST(TransportCrossBackend, SocketServerSurvivesManyExchanges) {
+  // One server, many sequential connections -- the accept loop must not
+  // wedge after aborted exchanges.
+  StubHandler stub(canned(100));
+  TrafficRecorder rec("seg");
+  SocketTransport transport(rec, stub);
+  for (int i = 0; i < 32; ++i) {
+    TransferOptions options;
+    if (i % 3 == 0) options.head_only = true;
+    const TransferOutcome outcome =
+        transport.transfer_outcome(request_for("/many"), options);
+    ASSERT_TRUE(outcome.ok()) << "exchange " << i;
+  }
+  EXPECT_EQ(rec.exchange_count(), 32u);
+  EXPECT_EQ(stub.seen.load(), 32);
+}
+
+}  // namespace
+}  // namespace rangeamp::net
