@@ -32,6 +32,14 @@ KNOWN_METRICS = {
     "cdn_cache_misses_total",
     "cdn_coalesced_hits_total",
     "cdn_deadline_expired_total",
+    "cdn_detection_alarms_total",
+    "cdn_detection_quarantined_total",
+    "cdn_gossip_detection_latency_seconds",
+    "cdn_gossip_messages_dropped_total",
+    "cdn_gossip_messages_sent_total",
+    "cdn_gossip_signatures_expired_total",
+    "cdn_gossip_signatures_held",
+    "cdn_gossip_signatures_sent_total",
     "cdn_loop_rejected_total",
     "cdn_origin_fetch_attempts_total",
     "cdn_overload_degraded_total",

@@ -61,6 +61,7 @@ expected_csvs=(
   fig6c_origin_traffic.csv
   fig7a_client_in_kbps.csv
   fig7b_origin_out_mbps.csv
+  gossip_detection.csv
   http2_rangeamp.csv
   obr_node_exhaustion.csv
   origin_shield_ablation.csv
@@ -129,6 +130,20 @@ if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   fi
 fi
 
+# Gossip-detection metrics gate: the distributed-detection bench re-runs the
+# fanout-2 cell with metrics on; the cdn_gossip_*/cdn_detection_* catalogue
+# must validate and the committed CSVs must stay byte-identical.
+echo "==================== gossip detection metrics re-run ====================" | tee -a bench_output.txt
+RANGEAMP_METRICS=1 ./build/bench/bench_gossip_detection 2>&1 | tee -a bench_output.txt
+python3 scripts/check_metrics.py gossip_detection_metrics.prom \
+  --require cdn_detection_alarms_total,cdn_detection_quarantined_total,cdn_gossip_messages_sent_total,cdn_gossip_signatures_held
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- '*.csv'; then
+    echo "Reproduction FAILED: the gossip metrics re-run perturbed committed CSVs (diff above)" >&2
+    exit 1
+  fi
+fi
+
 # Campaign-throughput gate: the bench glob above already ran
 # bench_campaign_throughput (which exits non-zero if any sharded campaign
 # diverges from the serial baseline); validate the JSON it wrote.  No
@@ -144,6 +159,7 @@ echo "==================== 8-thread drift re-run ====================" | tee -a 
 RANGEAMP_THREADS=8 \
   ./build/bench/bench_table4_fig6_sbr_amplification 2>&1 | tee -a bench_output.txt
 RANGEAMP_THREADS=8 ./build/bench/bench_practicability 2>&1 | tee -a bench_output.txt
+RANGEAMP_THREADS=8 ./build/bench/bench_gossip_detection 2>&1 | tee -a bench_output.txt
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   if ! git diff --exit-code -- '*.csv'; then
     echo "Reproduction FAILED: the 8-thread re-run perturbed committed CSVs (diff above)" >&2

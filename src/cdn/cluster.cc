@@ -28,6 +28,22 @@ EdgeCluster::EdgeCluster(std::function<VendorProfile()> profile_factory,
     ingress_wires_.push_back(net::make_transport(
         transport, *ingress_recorders_.back(), *nodes_.back()));
   }
+  // Wire the per-node detection layers into one gossip fabric when the
+  // profile enables both.  Node indices are stamped here -- the cluster is
+  // the only scope that knows them.
+  std::vector<NodeDetection*> detections;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeDetection* detection = nodes_[i]->detection();
+    if (detection == nullptr) continue;
+    detection->set_node_index(i);
+    detections.push_back(detection);
+  }
+  if (!detections.empty() && detections.size() == nodes_.size() &&
+      detections.front()->policy().gossip.enabled) {
+    const GossipPolicy policy = detections.front()->policy().gossip;
+    gossip_ = std::make_unique<GossipFabric>(std::move(detections), policy);
+    for (const auto& n : nodes_) n->set_gossip_fabric(gossip_.get());
+  }
 }
 
 std::size_t EdgeCluster::select(const http::Request& request) noexcept {
@@ -51,6 +67,10 @@ std::size_t EdgeCluster::select(const http::Request& request) noexcept {
 }
 
 http::Response EdgeCluster::handle(const http::Request& request) {
+  // Gossip rounds are driven by the simulation clock at ingress: every due
+  // round runs before the request is routed, so a signature gossiped "at"
+  // t is visible to any exchange at t' >= round time.
+  if (gossip_ && clock_) gossip_->advance(clock_());
   return ingress_wires_[select(request)]->transfer(request);
 }
 
@@ -92,7 +112,13 @@ ShieldStats EdgeCluster::total_shield_stats() const noexcept {
 }
 
 void EdgeCluster::set_clock(std::function<double()> clock) {
+  clock_ = clock;
   for (const auto& n : nodes_) n->set_clock(clock);
+}
+
+void EdgeCluster::restart_node_detection(std::size_t i) {
+  if (i >= nodes_.size()) return;
+  if (NodeDetection* detection = nodes_[i]->detection()) detection->restart();
 }
 
 void EdgeCluster::set_tracer(obs::Tracer* tracer) {
@@ -102,6 +128,10 @@ void EdgeCluster::set_tracer(obs::Tracer* tracer) {
 
 void EdgeCluster::set_metrics(obs::MetricsRegistry* metrics) {
   for (const auto& n : nodes_) n->set_metrics(metrics);
+  if (gossip_) {
+    gossip_->set_metrics(metrics,
+                         nodes_.empty() ? "" : nodes_.front()->traits().name);
+  }
 }
 
 }  // namespace rangeamp::cdn

@@ -79,8 +79,20 @@ class EdgeCluster final : public net::HttpHandler {
   void set_tracer(obs::Tracer* tracer);
 
   /// Installs one metrics registry on every node (non-owning; nullptr
-  /// detaches).
+  /// detaches) and on the gossip fabric, when one exists.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// The cluster's gossip fabric, or nullptr while the profile's
+  /// detection/gossip knobs are off.  Fabric rounds are driven by the
+  /// cluster clock on every handled request; tests may also advance() it
+  /// directly.
+  GossipFabric* gossip() noexcept { return gossip_.get(); }
+  const GossipFabric* gossip() const noexcept { return gossip_.get(); }
+
+  /// Churn hook: node `i`'s detection layer restarts (detector windows and
+  /// signature table lost; the caches and recorders survive -- it models a
+  /// detection-process restart, not a cold box).  No-op without detection.
+  void restart_node_detection(std::size_t i);
 
  private:
   std::size_t select(const http::Request& request) noexcept;
@@ -88,6 +100,8 @@ class EdgeCluster final : public net::HttpHandler {
   std::vector<std::unique_ptr<CdnNode>> nodes_;
   std::vector<std::unique_ptr<net::TrafficRecorder>> ingress_recorders_;
   std::vector<std::unique_ptr<net::Transport>> ingress_wires_;
+  std::unique_ptr<GossipFabric> gossip_;
+  std::function<double()> clock_;
   NodeSelection selection_;
   std::size_t pinned_ = 0;
   std::size_t next_ = 0;

@@ -1,0 +1,384 @@
+#include "cdn/gossip.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/parallel.h"
+#include "http/generator.h"
+#include "http/message.h"
+#include "http/range.h"
+
+namespace rangeamp::cdn {
+
+std::string detection_base_key(const http::Request& request) {
+  std::string key(request.headers.get_or("Host", ""));
+  key += '|';
+  key += request.path();
+  return key;
+}
+
+std::uint64_t resource_bytes_from_response(const http::Response& response) {
+  if (response.status == http::kPartialContent) {
+    if (auto value = response.headers.get("Content-Range")) {
+      if (auto cr = http::parse_content_range(*value)) return cr->resource_size;
+    }
+    return 0;  // multipart 206: no top-level Content-Range
+  }
+  if (response.status == http::kOk) return response.body.size();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// SignatureTable
+// ---------------------------------------------------------------------------
+
+bool SignatureTable::upsert(const AttackSignature& sig, double now) {
+  if (sig.expires_at <= now) return false;  // dead on arrival
+  auto it = by_client_.find(sig.client_key);
+  if (it != by_client_.end()) {
+    ++duplicates_suppressed;
+    AttackSignature& held = it->second;
+    held.detected_at = std::min(held.detected_at, sig.detected_at);
+    held.expires_at = std::max(held.expires_at, sig.expires_at);
+    return false;
+  }
+  if (max_signatures_ != 0 && order_.size() >= max_signatures_) {
+    expire(now);
+    if (order_.size() >= max_signatures_) {
+      ++rejected_full;
+      return false;
+    }
+  }
+  by_client_.emplace(sig.client_key, sig);
+  order_.push_back(sig.client_key);
+  return true;
+}
+
+std::size_t SignatureTable::expire(double now) {
+  std::size_t dropped = 0;
+  std::deque<std::string> survivors;
+  for (auto& key : order_) {
+    auto it = by_client_.find(key);
+    if (it == by_client_.end()) continue;
+    if (it->second.expires_at <= now) {
+      by_client_.erase(it);
+      ++dropped;
+    } else {
+      survivors.push_back(std::move(key));
+    }
+  }
+  order_ = std::move(survivors);
+  expired_total += dropped;
+  return dropped;
+}
+
+const AttackSignature* SignatureTable::find_client(
+    const std::string& client_key, double now) const {
+  auto it = by_client_.find(client_key);
+  if (it == by_client_.end() || it->second.expires_at <= now) return nullptr;
+  return &it->second;
+}
+
+const AttackSignature* SignatureTable::find_pattern(const std::string& base_key,
+                                                    core::RangeClass shape,
+                                                    double now) const {
+  // Scan in insertion order so the returned signature is deterministic.
+  for (const auto& key : order_) {
+    auto it = by_client_.find(key);
+    if (it == by_client_.end()) continue;
+    const AttackSignature& sig = it->second;
+    if (sig.expires_at > now && sig.shape == shape && sig.base_key == base_key)
+      return &sig;
+  }
+  return nullptr;
+}
+
+bool SignatureTable::refresh(const std::string& client_key,
+                             double expires_at) {
+  auto it = by_client_.find(client_key);
+  if (it == by_client_.end()) return false;
+  it->second.expires_at = std::max(it->second.expires_at, expires_at);
+  return true;
+}
+
+std::vector<AttackSignature> SignatureTable::active(double now) const {
+  std::vector<AttackSignature> out;
+  out.reserve(order_.size());
+  for (const auto& key : order_) {
+    auto it = by_client_.find(key);
+    if (it != by_client_.end() && it->second.expires_at > now)
+      out.push_back(it->second);
+  }
+  return out;
+}
+
+void SignatureTable::clear() {
+  // Entries are soft state and vanish on restart; the counters are
+  // observer-side accounting and survive (delta-published metrics must
+  // never run backwards).
+  by_client_.clear();
+  order_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// NodeDetection
+// ---------------------------------------------------------------------------
+
+namespace {
+const std::string kAnonymousClient = "(anonymous)";
+}  // namespace
+
+NodeDetection::NodeDetection(const DetectionPolicy& policy,
+                             std::size_t node_index)
+    : policy_(policy),
+      node_index_(node_index),
+      table_(policy.max_signatures) {}
+
+const AttackSignature* NodeDetection::observe(
+    const core::DetectorSample& sample, double now) {
+  ++stats_.samples;
+  const std::string& key =
+      sample.client_key.empty() ? kAnonymousClient : sample.client_key;
+  auto [it, inserted] =
+      detectors_.try_emplace(key, core::RangeAmpDetector(policy_.detector));
+  if (inserted) {
+    detector_order_.push_back(key);
+    evict_excess_clients();
+  }
+  core::RangeAmpDetector& detector = it->second;
+  const bool was_alarmed = detector.alarmed();
+  detector.observe(sample);
+  if (!detector.alarmed()) return nullptr;
+  if (!was_alarmed) ++stats_.alarms;
+
+  // Signature presence follows alarm state: mint on the transition, extend
+  // while the detector stays hot, and *re-mint* when an earlier signature
+  // TTL-expired during a quiet spell but the client came back still
+  // attacking -- without this a rotating attacker is quarantined exactly
+  // once per node, ever.
+  if (table_.find_client(key, now) != nullptr) {
+    table_.refresh(key, now + policy_.signature_ttl_seconds);
+    return nullptr;
+  }
+  AttackSignature sig;
+  sig.client_key = key;
+  sig.base_key = sample.base_key;
+  sig.shape = sample.shape;
+  sig.detected_at = now;
+  sig.expires_at = now + policy_.signature_ttl_seconds;
+  sig.origin_node = node_index_;
+  if (!table_.upsert(sig, now)) return nullptr;
+  return table_.find_client(key, now);
+}
+
+NodeDetection::Match NodeDetection::match(const std::string& client_key,
+                                          const std::string& base_key,
+                                          core::RangeClass shape,
+                                          double now) const {
+  const std::string& key = client_key.empty() ? kAnonymousClient : client_key;
+  if (table_.find_client(key, now) != nullptr) return Match::kClient;
+  if (policy_.pattern_quarantine && shape == core::RangeClass::kTinyClosed &&
+      table_.find_pattern(base_key, shape, now) != nullptr) {
+    return Match::kPattern;
+  }
+  return Match::kNone;
+}
+
+void NodeDetection::refresh_client(const std::string& client_key, double now) {
+  const std::string& key = client_key.empty() ? kAnonymousClient : client_key;
+  table_.refresh(key, now + policy_.signature_ttl_seconds);
+}
+
+void NodeDetection::restart() {
+  detectors_.clear();
+  detector_order_.clear();
+  table_.clear();
+}
+
+void NodeDetection::evict_excess_clients() {
+  if (policy_.max_tracked_clients == 0) return;
+  while (detectors_.size() > policy_.max_tracked_clients &&
+         !detector_order_.empty()) {
+    // Prefer the oldest non-alarmed client; an alarmed detector is exactly
+    // the state worth keeping.  If everything is alarmed, evict the oldest.
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < detector_order_.size(); ++i) {
+      auto it = detectors_.find(detector_order_[i]);
+      if (it == detectors_.end() || !it->second.alarmed()) {
+        victim = i;
+        break;
+      }
+    }
+    detectors_.erase(detector_order_[victim]);
+    detector_order_.erase(detector_order_.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+    ++stats_.clients_evicted;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GossipFabric
+// ---------------------------------------------------------------------------
+
+namespace {
+/// The loss injector's rate rule draws per decide(); the request content is
+/// irrelevant, but decide() wants one.
+const http::Request& loss_probe() {
+  static const http::Request probe;
+  return probe;
+}
+constexpr std::uint64_t kLossStreamSalt = 0x676f73736970ULL;  // "gossip"
+}  // namespace
+
+GossipFabric::GossipFabric(std::vector<NodeDetection*> nodes,
+                           const GossipPolicy& policy)
+    : nodes_(std::move(nodes)), policy_(policy) {
+  if (policy_.message_loss_rate > 0) {
+    loss_ = std::make_unique<net::FaultInjector>();
+    loss_->fail_rate(policy_.message_loss_rate,
+                     core::splitmix64(policy_.seed ^ kLossStreamSalt),
+                     net::FaultSpec::reset());
+  }
+}
+
+void GossipFabric::set_fault_injector(
+    std::unique_ptr<net::FaultInjector> injector) {
+  loss_ = std::move(injector);
+}
+
+void GossipFabric::advance(double now) {
+  if (!policy_.enabled || policy_.round_seconds <= 0) return;
+  while (static_cast<double>(next_round_ + 1) * policy_.round_seconds <= now) {
+    // Rounds fire at their nominal simulation instant, not at the (later)
+    // time advance() happened to be called -- TTL sweeps and latency
+    // observations stay independent of call cadence.
+    const double fired_at =
+        static_cast<double>(next_round_ + 1) * policy_.round_seconds;
+    run_round(next_round_, fired_at);
+    ++next_round_;
+  }
+  publish_metrics();
+}
+
+void GossipFabric::run_round(std::uint64_t round, double now) {
+  ++stats_.rounds;
+  for (NodeDetection* node : nodes_) node->table().expire(now);
+
+  const std::size_t n = nodes_.size();
+  const std::size_t fanout = n < 2 ? 0 : std::min(policy_.fanout, n - 1);
+  if (fanout == 0) return;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<AttackSignature> payload = nodes_[i]->table().active(now);
+    if (payload.empty()) continue;
+
+    // Peer choice is a pure function of (seed, round, node): a partial
+    // Fisher-Yates over the other nodes, drawn from a stream forked per
+    // (round, node).  No shared RNG state -> no ordering sensitivity.
+    http::Rng rng{core::splitmix64(core::splitmix64(policy_.seed ^ round) ^
+                                   static_cast<std::uint64_t>(i))};
+    std::vector<std::size_t> peers;
+    peers.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) peers.push_back(j);
+
+    for (std::size_t k = 0; k < fanout; ++k) {
+      const std::size_t pick =
+          k + static_cast<std::size_t>(rng.below(peers.size() - k));
+      std::swap(peers[k], peers[pick]);
+      const std::size_t peer = peers[k];
+
+      ++stats_.messages_sent;
+      stats_.signatures_sent += payload.size();
+      if (m_messages_sent_ != nullptr) m_messages_sent_->inc();
+      if (m_signatures_sent_ != nullptr)
+        m_signatures_sent_->inc(payload.size());
+
+      if (loss_ && loss_->decide(loss_probe()).has_value()) {
+        ++stats_.messages_dropped;
+        if (m_messages_dropped_ != nullptr) m_messages_dropped_->inc();
+        continue;  // anti-entropy: the next round re-pushes from scratch
+      }
+
+      SignatureTable& sink = nodes_[peer]->table();
+      for (const AttackSignature& sig : payload) {
+        if (sink.upsert(sig, now)) {
+          ++stats_.signatures_accepted;
+          if (m_detection_latency_ != nullptr)
+            m_detection_latency_->observe(now - sig.detected_at);
+        }
+      }
+    }
+  }
+}
+
+void GossipFabric::restart_node(std::size_t index) {
+  if (index < nodes_.size()) nodes_[index]->restart();
+}
+
+void GossipFabric::note_fresh_signature(const AttackSignature& sig,
+                                        double now) {
+  if (m_detection_latency_ != nullptr)
+    m_detection_latency_->observe(now - sig.detected_at);
+  publish_metrics();
+}
+
+std::size_t GossipFabric::coverage(const std::string& client_key,
+                                   double now) const {
+  std::size_t holders = 0;
+  for (const NodeDetection* node : nodes_)
+    if (node->table().find_client(client_key, now) != nullptr) ++holders;
+  return holders;
+}
+
+void GossipFabric::set_metrics(obs::MetricsRegistry* registry,
+                               std::string_view vendor) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_messages_sent_ = nullptr;
+    m_messages_dropped_ = nullptr;
+    m_signatures_sent_ = nullptr;
+    m_signatures_expired_ = nullptr;
+    m_signatures_held_ = nullptr;
+    m_detection_latency_ = nullptr;
+    return;
+  }
+  const std::string label = "{vendor=\"" + std::string(vendor) + "\"}";
+  m_messages_sent_ =
+      &registry->counter("cdn_gossip_messages_sent_total" + label,
+                         "gossip pushes attempted (node->peer messages)");
+  m_messages_dropped_ =
+      &registry->counter("cdn_gossip_messages_dropped_total" + label,
+                         "gossip pushes lost to injected message loss");
+  m_signatures_sent_ =
+      &registry->counter("cdn_gossip_signatures_sent_total" + label,
+                         "attack signatures carried by attempted pushes");
+  m_signatures_expired_ =
+      &registry->counter("cdn_gossip_signatures_expired_total" + label,
+                         "attack signatures dropped by TTL expiry");
+  m_signatures_held_ =
+      &registry->gauge("cdn_gossip_signatures_held" + label,
+                       "attack signatures currently held, summed over nodes");
+  m_detection_latency_ = &registry->histogram(
+      "cdn_gossip_detection_latency_seconds" + label,
+      {0.25, 0.5, 1, 2, 4, 8, 16, 32},
+      "sim seconds from first alarm to each node's signature acceptance");
+}
+
+void GossipFabric::publish_metrics() {
+  if (metrics_ == nullptr) return;
+  std::size_t held = 0;
+  std::uint64_t expired = 0;
+  for (const NodeDetection* node : nodes_) {
+    held += node->table().size();
+    expired += node->table().expired_total;
+  }
+  if (m_signatures_held_ != nullptr)
+    m_signatures_held_->set(static_cast<double>(held));
+  if (m_signatures_expired_ != nullptr && expired > published_expired_) {
+    m_signatures_expired_->inc(expired - published_expired_);
+    published_expired_ = expired;
+  }
+}
+
+}  // namespace rangeamp::cdn

@@ -1,0 +1,263 @@
+// Distributed RangeAmp detection: per-node detectors, attack signatures,
+// and gossip propagation across the nodes of an EdgeCluster.
+//
+// Section V-D of the paper observes that vulnerable CDNs raised no alert
+// under their default configuration; section VI-C argues the attacks are
+// detectable from their traffic signatures.  The campaign-level replay
+// detector (core/detector.h) already proves that -- but a single latched
+// detector is trivially defeated by an attacker who rotates ingress nodes:
+// each node sees only 1/N of the attack stream and never crosses its
+// thresholds, or alarms long after the attacker has moved on.
+//
+// The fix, following "Mitigation of Random Query String DoS via Gossip"
+// (arXiv 1109.4404), is to make one node's detection cluster-wide
+// protection:
+//
+//   * every node runs per-client RangeAmpDetector instances fed inline at
+//     ingress (NodeDetection),
+//   * an alarm mints an AttackSignature -- (client key, base cache-key
+//     pattern, range shape) with a TTL -- into the node's bounded
+//     SignatureTable,
+//   * a seeded push-gossip fabric (GossipFabric) exchanges signature tables
+//     between nodes every round_seconds of *simulation* time, with
+//     configurable fanout, deterministic peer selection, duplicate
+//     suppression, and injected message loss via net::FaultInjector,
+//   * nodes enforce quarantine (429) on signature match at ingress; a
+//     client-key match refreshes the signature's TTL so an ongoing attack
+//     stays quarantined even though quarantined requests never reach the
+//     detectors.
+//
+// Everything is sim-clock driven and seeded: the same configuration
+// produces the same gossip schedule, the same losses, and the same
+// convergence exchange on every run, independent of thread count.
+// Semantics and the quarantine precedence order: docs/detection-model.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/types.h"
+#include "core/detector.h"
+#include "net/fault.h"
+#include "obs/metrics.h"
+
+namespace rangeamp::http {
+struct Request;
+struct Response;
+}  // namespace rangeamp::http
+
+namespace rangeamp::cdn {
+
+/// Header a client stamps to attribute its requests to an identity the
+/// ingress can key detectors on (the testbed stand-in for client IP /
+/// TLS fingerprint).  Requests without it fall into one anonymous bucket.
+inline constexpr std::string_view kClientKeyHeader = "X-Client-Key";
+
+/// The cache-key *pattern* detection keys on: "host|path" with the query
+/// string stripped.  An attacker's cache-busting query rotation changes the
+/// cache key every request but never this pattern.
+std::string detection_base_key(const http::Request& request);
+
+/// Resource size implied by a client-facing response: the complete-length of
+/// a 206 Content-Range ("bytes a-b/N" -> N), the body size of a 200, else 0
+/// (unknown).  Feeds DetectorSample::resource_bytes without the ingress
+/// having to know the origin catalog.
+std::uint64_t resource_bytes_from_response(const http::Response& response);
+
+/// One gossiped attack signature.
+struct AttackSignature {
+  std::string client_key;  ///< attributed client identity (table key)
+  std::string base_key;    ///< detection_base_key() pattern under attack
+  core::RangeClass shape = core::RangeClass::kNone;  ///< dominant range shape
+  double detected_at = 0;  ///< sim time of the first alarm, cluster-wide
+  double expires_at = 0;   ///< last refresh + signature_ttl_seconds
+  std::size_t origin_node = 0;  ///< node index that first alarmed
+};
+
+/// Bounded TTL'd signature store, keyed by client identity.  Upserts
+/// suppress duplicates (keeping the earliest detected_at and the latest
+/// expires_at, so re-detections extend rather than reset a signature's
+/// history); expired entries are swept on demand.
+class SignatureTable {
+ public:
+  /// `max_signatures` bounds the table (0 = unbounded): once full after an
+  /// expiry sweep, fresh inserts are rejected -- an attacker minting client
+  /// identities cannot grow node memory without bound.
+  explicit SignatureTable(std::size_t max_signatures)
+      : max_signatures_(max_signatures) {}
+
+  /// Inserts or merges a signature.  Returns true when the client key was
+  /// not previously held (a *fresh* insert -- what the detection-latency
+  /// histogram observes); false for suppressed duplicates and rejects.
+  bool upsert(const AttackSignature& sig, double now);
+
+  /// Drops signatures with expires_at <= now.  Returns how many.
+  std::size_t expire(double now);
+
+  /// Active signature for this exact client key, or nullptr.
+  const AttackSignature* find_client(const std::string& client_key,
+                                     double now) const;
+
+  /// Active signature matching the (base_key, shape) pattern, or nullptr.
+  const AttackSignature* find_pattern(const std::string& base_key,
+                                      core::RangeClass shape,
+                                      double now) const;
+
+  /// Extends the TTL of a held signature (quarantine refresh-on-match).
+  /// Returns false when the key is not held.
+  bool refresh(const std::string& client_key, double expires_at);
+
+  /// Snapshot of signatures active at `now`, in insertion order (the
+  /// deterministic payload of one gossip push).
+  std::vector<AttackSignature> active(double now) const;
+
+  std::size_t size() const noexcept { return order_.size(); }
+  void clear();
+
+  std::uint64_t expired_total = 0;        ///< signatures dropped by TTL
+  std::uint64_t duplicates_suppressed = 0;  ///< upserts merged, not inserted
+  std::uint64_t rejected_full = 0;        ///< fresh inserts refused at cap
+
+ private:
+  std::size_t max_signatures_;
+  std::unordered_map<std::string, AttackSignature> by_client_;
+  std::deque<std::string> order_;  ///< insertion order, for active() payloads
+};
+
+/// Counters of one node's detection layer.
+struct DetectionStats {
+  std::uint64_t samples = 0;           ///< exchanges fed to detectors
+  std::uint64_t alarms = 0;            ///< detector alarm transitions
+  std::uint64_t clients_evicted = 0;   ///< tracked-client FIFO evictions
+};
+
+/// The per-node detection layer: a bounded map of per-client detectors plus
+/// the node's signature table.  Owned by CdnNode, wired together by
+/// GossipFabric at cluster construction.
+class NodeDetection {
+ public:
+  NodeDetection(const DetectionPolicy& policy, std::size_t node_index);
+
+  /// Feeds one exchange to the sample's client detector.  On an alarm
+  /// transition, mints a signature into the table and returns a pointer to
+  /// it (valid until the next table mutation); nullptr otherwise.
+  const AttackSignature* observe(const core::DetectorSample& sample,
+                                 double now);
+
+  /// What (if anything) quarantines this request.
+  enum class Match {
+    kNone,
+    kClient,   ///< exact client-key signature match
+    kPattern,  ///< (base_key, tiny-closed shape) pattern match
+  };
+  Match match(const std::string& client_key, const std::string& base_key,
+              core::RangeClass shape, double now) const;
+
+  /// TTL refresh on a client-key quarantine hit: the attack is still live,
+  /// so its signature must not expire out from under the quarantine.
+  void refresh_client(const std::string& client_key, double now);
+
+  /// Node churn: the process restarts and loses all soft state (detector
+  /// windows and signature table).  Gossip re-populates the table.
+  void restart();
+
+  SignatureTable& table() noexcept { return table_; }
+  const SignatureTable& table() const noexcept { return table_; }
+  const DetectionPolicy& policy() const noexcept { return policy_; }
+  std::size_t node_index() const noexcept { return node_index_; }
+  /// EdgeCluster stamps the cluster-local index after construction (a
+  /// standalone node keeps 0); it labels AttackSignature::origin_node.
+  void set_node_index(std::size_t index) noexcept { node_index_ = index; }
+  const DetectionStats& stats() const noexcept { return stats_; }
+  std::size_t tracked_clients() const noexcept { return detectors_.size(); }
+
+ private:
+  void evict_excess_clients();
+
+  DetectionPolicy policy_;
+  std::size_t node_index_;
+  SignatureTable table_;
+  std::unordered_map<std::string, core::RangeAmpDetector> detectors_;
+  std::deque<std::string> detector_order_;  ///< insertion order for eviction
+  DetectionStats stats_;
+};
+
+/// Counters of the gossip fabric.
+struct GossipStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;      ///< node->peer pushes attempted
+  std::uint64_t messages_dropped = 0;   ///< pushes lost to injected faults
+  std::uint64_t signatures_sent = 0;    ///< signatures carried by sent pushes
+  std::uint64_t signatures_accepted = 0;  ///< fresh inserts at receivers
+};
+
+/// Seeded push-gossip between the NodeDetection instances of one cluster.
+///
+/// Every `round_seconds` of simulation time each node pushes its active
+/// signatures to `fanout` deterministically chosen peers.  Peer choice for
+/// (round r, node i) draws from an http::Rng seeded with
+/// splitmix64(splitmix64(seed ^ r) ^ i) -- a pure function of configuration,
+/// so the schedule is identical across runs and thread counts.  Message
+/// loss, when configured, consults a seeded net::FaultInjector rate rule
+/// once per push; a dropped push costs nothing but latency, because the
+/// next round retries from scratch (anti-entropy, not reliable delivery).
+class GossipFabric {
+ public:
+  GossipFabric(std::vector<NodeDetection*> nodes, const GossipPolicy& policy);
+
+  /// Runs every round due at or before `now`.  Called by EdgeCluster on
+  /// each ingress exchange (and by tests directly).
+  void advance(double now);
+
+  /// Churn hook: node `index` restarts, losing detectors and signatures.
+  void restart_node(std::size_t index);
+
+  /// Replaces the loss injector (chaos tests schedule bespoke loss).
+  void set_fault_injector(std::unique_ptr<net::FaultInjector> injector);
+
+  /// Attaches metrics (cdn_gossip_* catalogue, docs/observability.md).
+  void set_metrics(obs::MetricsRegistry* registry, std::string_view vendor);
+
+  /// Nodes currently holding an *active* signature for `client_key`.
+  std::size_t coverage(const std::string& client_key, double now) const;
+
+  /// True when every node holds an active signature for `client_key` --
+  /// the cluster-wide quarantine the detection-latency metric measures.
+  bool converged(const std::string& client_key, double now) const {
+    return !nodes_.empty() && coverage(client_key, now) == nodes_.size();
+  }
+
+  const GossipStats& stats() const noexcept { return stats_; }
+  const GossipPolicy& policy() const noexcept { return policy_; }
+  std::uint64_t rounds_run() const noexcept { return stats_.rounds; }
+
+  /// Called by a node when its local detector mints a fresh signature, so
+  /// the latency histogram sees exchange-driven detections too.
+  void note_fresh_signature(const AttackSignature& sig, double now);
+
+ private:
+  void run_round(std::uint64_t round, double now);
+  void publish_metrics();
+
+  std::vector<NodeDetection*> nodes_;
+  GossipPolicy policy_;
+  std::unique_ptr<net::FaultInjector> loss_;
+  std::uint64_t next_round_ = 0;  ///< rounds [0, next_round_) have run
+  GossipStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_messages_sent_ = nullptr;
+  obs::Counter* m_messages_dropped_ = nullptr;
+  obs::Counter* m_signatures_sent_ = nullptr;
+  obs::Counter* m_signatures_expired_ = nullptr;
+  obs::Gauge* m_signatures_held_ = nullptr;
+  obs::Histogram* m_detection_latency_ = nullptr;
+  std::uint64_t published_expired_ = 0;  ///< delta-publishing watermark
+};
+
+}  // namespace rangeamp::cdn

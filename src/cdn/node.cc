@@ -94,6 +94,9 @@ CdnNode::CdnNode(VendorProfile profile, net::HttpHandler& upstream,
       fills_(traits_.shield.coalescing),
       overload_(traits_.overload) {
   if (traits_.node_id.empty()) traits_.node_id = loop_token_;
+  if (traits_.detection.enabled) {
+    detection_ = std::make_unique<NodeDetection>(traits_.detection, 0);
+  }
 }
 
 std::optional<Response> CdnNode::check_cdn_loop(const Request& request) {
@@ -133,7 +136,25 @@ Response CdnNode::handle(const Request& request) {
     span.note("node", traits_.node_id);
   }
   if (m_requests_) m_requests_->inc();
+  if (!detection_) {
+    Response response = handle_request(request, span);
+    sync_cache_stats(span);
+    span.set_status(response.status);
+    return response;
+  }
+  // Inline detection: measure the back-to-origin bytes this exchange causes
+  // (the recorder delta around handle_request) and feed the per-client
+  // detector afterwards.
+  const net::TrafficTotals origin_before = upstream_traffic_.totals();
   Response response = handle_request(request, span);
+  net::TrafficTotals origin_delta = upstream_traffic_.totals();
+  origin_delta.request_bytes -= origin_before.request_bytes;
+  origin_delta.response_bytes -= origin_before.response_bytes;
+  std::optional<RangeSet> range;
+  if (const auto value = request.headers.get("Range")) {
+    range = http::parse_range_header(*value);
+  }
+  feed_detection(request, range, response, origin_delta, span);
   sync_cache_stats(span);
   span.set_status(response.status);
   return response;
@@ -192,6 +213,16 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
     return error(http::kBadRequest,
                  "Range header carries too many ranges (guard: " +
                      std::to_string(traits_.ingress_max_range_count) + ")");
+  }
+
+  // Quarantine sits below the protocol rejections (431/508/400) and the
+  // deadline ingress check (which must run unconditionally to reset
+  // per-exchange state), and above everything that costs work: cache
+  // lookups, coalescing, overload admission, the vendor miss path.
+  if (detection_ && traits_.detection.quarantine_enabled) {
+    if (auto rejected = check_quarantine(request, range, span)) {
+      return std::move(*rejected);
+    }
   }
 
   if (traits_.cache_enabled) {
@@ -297,6 +328,70 @@ Response CdnNode::handle_request(const Request& request, obs::SpanScope& span) {
   return logic_->on_miss(*this, request, range);
 }
 
+std::optional<Response> CdnNode::check_quarantine(
+    const Request& request, const std::optional<RangeSet>& range,
+    obs::SpanScope& span) {
+  const double now = sim_now();
+  const std::string client_key{request.headers.get_or(kClientKeyHeader, "")};
+  const std::string base_key = detection_base_key(request);
+  const core::RangeClass shape = core::classify_range(range);
+  const NodeDetection::Match verdict =
+      detection_->match(client_key, base_key, shape, now);
+  if (verdict == NodeDetection::Match::kNone) return std::nullopt;
+  if (verdict == NodeDetection::Match::kClient) {
+    // The attack is demonstrably still live; without this refresh the
+    // signature would expire under the quarantine (quarantined requests
+    // never reach the detectors) and the cluster would oscillate between
+    // quarantining and re-detecting the same client.
+    detection_->refresh_client(client_key, now);
+  }
+  span.note("verdict", verdict == NodeDetection::Match::kClient
+                           ? "quarantine-client"
+                           : "quarantine-pattern");
+  if (m_quarantined_) m_quarantined_->inc();
+  Response resp =
+      error(http::kTooManyRequests,
+            verdict == NodeDetection::Match::kClient
+                ? "request quarantined: client matches an active RangeAmp "
+                  "attack signature"
+                : "request quarantined: target/shape matches an active "
+                  "RangeAmp attack signature");
+  char value[32];
+  std::snprintf(value, sizeof(value), "%.0f",
+                traits_.detection.quarantine_retry_after_seconds);
+  resp.headers.add("Retry-After", value);
+  return resp;
+}
+
+void CdnNode::feed_detection(const Request& request,
+                             const std::optional<RangeSet>& range,
+                             const Response& response,
+                             const net::TrafficTotals& origin_delta,
+                             obs::SpanScope& span) {
+  // A quarantine 429 is the detector's own output, not evidence: the
+  // stream behind it carries no origin traffic and would read as clean,
+  // decaying the very alarm that blocks it.
+  if (response.status == http::kTooManyRequests) return;
+  net::TrafficTotals client_delta;
+  client_delta.request_bytes = http::serialized_size(request);
+  client_delta.response_bytes = http::serialized_size(response);
+  const std::uint64_t resource = resource_bytes_from_response(response);
+  const double now = sim_now();
+  const core::DetectorSample sample = core::make_detector_sample(
+      core::selected_bytes_of(range, resource), resource, client_delta,
+      origin_delta, std::string{request.headers.get_or(kClientKeyHeader, "")},
+      detection_base_key(request), core::classify_range(range));
+  const std::uint64_t alarms_before = detection_->stats().alarms;
+  const AttackSignature* fresh = detection_->observe(sample, now);
+  if (detection_->stats().alarms != alarms_before) {
+    span.note("detect", "alarm");
+    if (m_detect_alarms_) m_detect_alarms_->inc();
+  }
+  if (fresh != nullptr && gossip_ != nullptr) {
+    gossip_->note_fresh_signature(*fresh, now);
+  }
+}
+
 std::optional<Response> CdnNode::check_deadline_ingress(const Request& request,
                                                         obs::SpanScope& span) {
   // Per-exchange state reset happens here, knobs on or off -- a node is
@@ -383,7 +478,7 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
         m_fetch_attempts_ = m_loop_rejected_ = m_shed_ = m_budget_overflows_ =
             m_overload_shed_ = m_overload_degraded_ = m_deadline_expired_ =
                 m_retry_budget_denied_ = m_cache_evictions_ = m_cache_rejects_ =
-                    nullptr;
+                    m_detect_alarms_ = m_quarantined_ = nullptr;
     m_cache_bytes_ = nullptr;
     return;
   }
@@ -428,6 +523,12 @@ void CdnNode::set_metrics(obs::MetricsRegistry* metrics) {
   m_cache_rejects_ = &metrics->counter(
       "cdn_cache_admission_rejects_total" + label,
       "cache inserts shed because eviction could not make room");
+  m_detect_alarms_ = &metrics->counter(
+      "cdn_detection_alarms_total" + label,
+      "per-client detector alarm transitions at ingress");
+  m_quarantined_ = &metrics->counter(
+      "cdn_detection_quarantined_total" + label,
+      "requests answered 429 on an active attack-signature match");
   m_cache_bytes_ = &metrics->gauge(
       "cdn_cache_bytes" + label,
       "charged bytes resident in this vendor's caches (key + entity + "

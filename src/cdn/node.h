@@ -22,6 +22,7 @@
 #include <string>
 
 #include "cdn/cache.h"
+#include "cdn/gossip.h"
 #include "cdn/overload.h"
 #include "cdn/shield.h"
 #include "cdn/types.h"
@@ -154,6 +155,15 @@ class CdnNode final : public net::HttpHandler {
   /// The overload manager (inert unless traits().overload knobs are on).
   const OverloadManager& overload() const noexcept { return overload_; }
 
+  /// The inline detection layer (null unless traits().detection.enabled).
+  NodeDetection* detection() noexcept { return detection_.get(); }
+  const NodeDetection* detection() const noexcept { return detection_.get(); }
+
+  /// Joins this node to its cluster's gossip fabric (non-owning; nullptr
+  /// detaches).  Locally minted signatures are then reported so the
+  /// detection-latency histogram sees first-alarm events too.
+  void set_gossip_fabric(GossipFabric* fabric) { gossip_ = fabric; }
+
   /// This node's CDN-Loop cdn-id (the configured token, or the default
   /// derived from the vendor name).
   const std::string& loop_token() const noexcept { return loop_token_; }
@@ -277,6 +287,23 @@ class CdnNode final : public net::HttpHandler {
   /// off.
   std::optional<http::Response> check_deadline_ingress(
       const http::Request& request, obs::SpanScope& span);
+  /// Quarantine check: a request matching an active attack signature is
+  /// answered 429 + Retry-After.  A client-key match refreshes the
+  /// signature's TTL (the attack is demonstrably still live); a pattern
+  /// match never does (collateral must not keep a signature alive).
+  /// nullopt admits the request.  See docs/detection-model.md for where
+  /// this sits in the verdict precedence order.
+  std::optional<http::Response> check_quarantine(
+      const http::Request& request, const std::optional<http::RangeSet>& range,
+      obs::SpanScope& span);
+  /// Feeds one completed exchange to the per-client detector.  Quarantine
+  /// 429s are excluded: a quarantined stream carries no origin traffic and
+  /// would read as "clean", decaying the very alarm that blocks it.
+  void feed_detection(const http::Request& request,
+                      const std::optional<http::RangeSet>& range,
+                      const http::Response& response,
+                      const net::TrafficTotals& origin_delta,
+                      obs::SpanScope& span);
   /// Watermark admission for one cache miss: nullopt admits, otherwise the
   /// degraded (stale / 503) or shed (503) response to serve.
   std::optional<http::Response> check_overload(
@@ -311,6 +338,10 @@ class CdnNode final : public net::HttpHandler {
   ShieldStats shield_stats_;
   ValidationStats validation_stats_;
   OverloadStats overload_stats_;
+  /// Inline detection layer; null while traits().detection.enabled is off
+  /// (a detection-unaware node does zero extra work).
+  std::unique_ptr<NodeDetection> detection_;
+  GossipFabric* gossip_ = nullptr;
   /// Set by apply_conformance when the current fetch's response may be
   /// relayed but must never enter the cache; reset at every fetch_result.
   /// Safe as a member: a node handles one request at a time, and every
@@ -342,6 +373,8 @@ class CdnNode final : public net::HttpHandler {
   obs::Counter* m_retry_budget_denied_ = nullptr;
   obs::Counter* m_cache_evictions_ = nullptr;
   obs::Counter* m_cache_rejects_ = nullptr;
+  obs::Counter* m_detect_alarms_ = nullptr;
+  obs::Counter* m_quarantined_ = nullptr;
   obs::Gauge* m_cache_bytes_ = nullptr;
   // Last cache-engine stats published to the registry (delta reporting, so
   // the shared per-vendor counters/gauge aggregate across nodes).

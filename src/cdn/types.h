@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/detector.h"
 #include "http/headers.h"
 
 namespace rangeamp::cdn {
@@ -310,6 +311,76 @@ struct ValidationStats {
 };
 
 // ---------------------------------------------------------------------------
+// Distributed detection (the section VI-C alerting gap, docs/detection-model.md).
+// Per-node RangeAmp detectors fed inline at ingress, attack signatures
+// gossiped between the nodes of an EdgeCluster, and optional quarantine
+// enforcement (429) on signature match.  Every knob defaults to OFF so a
+// profile without explicit detection configuration produces byte-identical
+// traffic to a detection-unaware node.
+// ---------------------------------------------------------------------------
+
+/// Seeded anti-entropy gossip between the nodes of one EdgeCluster.
+struct GossipPolicy {
+  bool enabled = false;
+
+  /// Peers each node pushes its signature table to per round (capped at
+  /// cluster size - 1; 0 with gossip enabled = detection stays node-local,
+  /// the gossip-off ablation arm).
+  std::size_t fanout = 2;
+
+  /// Simulation seconds between gossip rounds.
+  double round_seconds = 0.5;
+
+  /// Seed of the peer-selection and message-loss streams.  Rounds derive
+  /// per-(round, node) SplitMix64 streams from it, so the exchange schedule
+  /// is deterministic regardless of thread count.
+  std::uint64_t seed = 1;
+
+  /// Probability an individual node->peer message is dropped, drawn from a
+  /// seeded net::FaultInjector rate rule (0 = lossless).
+  double message_loss_rate = 0;
+};
+
+/// Per-node inline detection + signature table + quarantine.
+struct DetectionPolicy {
+  bool enabled = false;
+
+  /// Detector tuning shared by every per-client detector instance.  The
+  /// decay_clean_windows knob is what lets a node recover after a rotating
+  /// attacker moves on.
+  core::DetectorConfig detector;
+
+  /// Per-client detector instances a node keeps (FIFO eviction of the
+  /// oldest non-alarmed client past the cap; 0 = unbounded).
+  std::size_t max_tracked_clients = 4096;
+
+  /// Lifetime of an attack signature from its last refresh (simulation
+  /// seconds).  Expired signatures are swept each gossip round and on
+  /// lookup.
+  double signature_ttl_seconds = 1.5;
+
+  /// Bounded signature-table size (fresh inserts are rejected once full
+  /// after an expiry sweep; 0 = unbounded).
+  std::size_t max_signatures = 65536;
+
+  /// Enforce: answer 429 + Retry-After at ingress for requests matching an
+  /// active signature.  Off = detect-and-report only (shadow mode).
+  bool quarantine_enabled = false;
+
+  /// Retry-After value attached to quarantine 429s.
+  double quarantine_retry_after_seconds = 30.0;
+
+  /// Also quarantine by (base cache key, tiny-closed range shape) pattern,
+  /// catching an attacker who rotates client identity as well as ingress
+  /// node -- at the cost of collateral on legitimate tiny probes of the
+  /// same URL (the false-positive arm the bench measures).
+  bool pattern_quarantine = false;
+
+  /// Gossip transport for the cluster this node joins.
+  GossipPolicy gossip;
+};
+
+// ---------------------------------------------------------------------------
 // Cache engine configuration (src/cdn/cache.h, docs/cache-model.md).
 // Every knob defaults to "unbounded, single shard" so a profile without
 // explicit cache configuration behaves exactly like the historic unbounded
@@ -450,6 +521,10 @@ struct VendorTraits {
   /// Cache engine: byte budget, sharding, eviction policy.  Defaults to
   /// unbounded / single shard (no byte or behaviour change).
   CacheTraits cache;
+
+  /// Inline RangeAmp detection, gossip signature propagation and quarantine.
+  /// All off by default (no byte or behaviour change).
+  DetectionPolicy detection;
 
   /// Emit "Via: 1.1 <node_id>" on forwarded upstream requests AND on every
   /// client-facing response (RFC 7230 section 5.7.1).  Off by default: the

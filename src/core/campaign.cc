@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cdn/cluster.h"
+#include "cdn/gossip.h"
 #include "core/obr.h"
 #include "core/parallel.h"
 #include "core/sbr.h"
@@ -14,10 +16,6 @@
 
 namespace rangeamp::core {
 namespace {
-
-std::uint64_t selected_bytes(const http::RangeSet& set, std::uint64_t size) {
-  return http::total_selected_bytes(http::resolve_all(set, size));
-}
 
 void add_shield_stats(cdn::ShieldStats& into, const cdn::ShieldStats& from) {
   into.loop_rejected += from.loop_rejected;
@@ -142,15 +140,12 @@ SbrBlockResult run_sbr_block(const SbrCampaignConfig& config,
     }
 
     const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
-    DetectorSample sample;
-    sample.selected_bytes = selected_bytes(plan.range, config.file_size);
-    sample.resource_bytes = config.file_size;
-    sample.client.request_bytes =
-        client_traffic.request_bytes() - client_before.request_bytes;
-    sample.client.response_bytes =
-        client_traffic.response_bytes() - client_before.response_bytes;
-    sample.origin.response_bytes = origin_after - origin_before;
-    sample.cache_hit = sample.origin.response_bytes == 0;
+    const net::TrafficTotals client_after = client_traffic.totals();
+    const DetectorSample sample = make_detector_sample(
+        selected_bytes_of(plan.range, config.file_size), config.file_size,
+        {client_after.request_bytes - client_before.request_bytes,
+         client_after.response_bytes - client_before.response_bytes},
+        {0, origin_after - origin_before});
     origin_before = origin_after;
     if (af_histogram) {
       af_histogram->observe(amplification_factor(sample.origin, sample.client));
@@ -538,15 +533,10 @@ LegitBlockResult run_legit_block(const LegitWorkloadConfig& config,
     client_wire->transfer(request);
     const std::uint64_t origin_after = cluster.total_upstream_response_bytes();
 
-    DetectorSample sample;
-    sample.selected_bytes =
-        range ? http::total_selected_bytes(http::resolve_all(*range, resource_size))
-              : UINT64_MAX;
-    sample.resource_bytes = resource_size;
-    sample.client.response_bytes =
-        client_traffic.response_bytes() - client_before;
-    sample.origin.response_bytes = origin_after - origin_before;
-    sample.cache_hit = sample.origin.response_bytes == 0;
+    const DetectorSample sample = make_detector_sample(
+        selected_bytes_of(range, resource_size), resource_size,
+        {0, client_traffic.response_bytes() - client_before},
+        {0, origin_after - origin_before});
     if (sample.cache_hit) ++block.hits;
     origin_before = origin_after;
     block.samples.push_back(sample);
@@ -778,6 +768,244 @@ CachePollutionResult run_cache_pollution_campaign(
     result.attack_amplification =
         static_cast<double>(result.attack_origin_response_bytes) /
         static_cast<double>(result.attacker.response_bytes);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Gossip-detection campaign: sharded schedule materialization + serial replay.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One precomputed exchange.  Derived statelessly from the global exchange
+// index (below), so any shard can fill any slice of the schedule and the
+// bytes come out identical.
+struct GossipExchange {
+  std::uint32_t user = 0;    ///< legit client identity (ignored for attacks)
+  std::uint32_t object = 0;  ///< Zipf catalog rank (ignored for attack/probe)
+  std::uint32_t node = 0;    ///< ingress node this exchange lands on
+  bool attack = false;
+  bool probe = false;
+};
+
+// Fills schedule[begin, end).  Every datum is a pure function of
+// (config.seed, global index): attack slots and the attacker's rotating
+// ingress node come straight from index arithmetic; legit identity, probe
+// coin and Zipf rank come from a per-index Rng stream.  The per-shard seed
+// from ShardPlan is deliberately unused -- gossip couples the nodes, so the
+// exchanges must later replay serially against ONE cluster, and the schedule
+// itself is what sharding parallelizes.
+void fill_gossip_schedule(const GossipDetectionConfig& config,
+                          std::vector<GossipExchange>& schedule,
+                          const std::vector<double>& zipf_cdf,
+                          double zipf_total_weight, std::uint64_t begin,
+                          std::uint64_t end) {
+  const std::uint64_t stream = splitmix64(config.seed);
+  const std::size_t rotation =
+      std::max<std::size_t>(1, config.attacker_rotation_requests);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    GossipExchange& ex = schedule[i];
+    if (config.attack_every != 0 && i % config.attack_every == 0) {
+      const std::uint64_t attack_index = i / config.attack_every;
+      ex.attack = true;
+      ex.node = static_cast<std::uint32_t>((attack_index / rotation) %
+                                           config.edge_nodes);
+      continue;
+    }
+    http::Rng rng{splitmix64(stream ^ i)};
+    ex.user = static_cast<std::uint32_t>(rng.below(config.legit_users));
+    // Identity-pinned ingress, as a DNS load balancer would map a resolver:
+    // one client always lands on one node, so its per-client detector
+    // actually accumulates a window there.
+    ex.node = static_cast<std::uint32_t>(splitmix64(ex.user) %
+                                         config.edge_nodes);
+    ex.probe = rng.chance(config.probe_fraction);
+    if (!ex.probe) {
+      // Zipf(1) CDF inversion, same divisions-only table as the pollution
+      // campaign (std::pow is not bit-stable across libms).
+      const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53 *
+                       zipf_total_weight;
+      const auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+      ex.object = static_cast<std::uint32_t>(std::min<std::size_t>(
+          it - zipf_cdf.begin(), config.catalog_objects - 1));
+    }
+  }
+}
+
+}  // namespace
+
+GossipDetectionResult run_gossip_detection_campaign(
+    const GossipDetectionConfig& config) {
+  if (config.edge_nodes == 0) {
+    throw std::invalid_argument(
+        "GossipDetectionConfig: edge_nodes must be >= 1");
+  }
+  if (config.catalog_objects == 0 || config.legit_users == 0) {
+    throw std::invalid_argument(
+        "GossipDetectionConfig: catalog_objects and legit_users must be >= 1");
+  }
+
+  std::vector<double> zipf_cdf(config.catalog_objects);
+  double zipf_total_weight = 0;
+  for (std::size_t i = 0; i < config.catalog_objects; ++i) {
+    zipf_total_weight += 1.0 / static_cast<double>(i + 1);
+    zipf_cdf[i] = zipf_total_weight;
+  }
+
+  // Phase 1: materialize the exchange schedule (parallel-safe; every slot is
+  // index-derived, so serial and sharded fills are byte-identical).
+  std::vector<GossipExchange> schedule(config.requests);
+  if (config.shards <= 1) {
+    fill_gossip_schedule(config, schedule, zipf_cdf, zipf_total_weight, 0,
+                         config.requests);
+  } else {
+    const ShardPlan shard_plan(config.requests, config.shards, config.seed);
+    run_shards(shard_plan,
+               static_cast<std::size_t>(std::max(1, config.threads)),
+               [&](const Shard& shard) {
+                 fill_gossip_schedule(
+                     config, schedule, zipf_cdf, zipf_total_weight,
+                     shard.begin,
+                     shard.begin + static_cast<std::uint64_t>(shard.size()));
+               });
+  }
+
+  // Phase 2: replay serially against one detection-enabled cluster.
+  origin::OriginServer origin;
+  origin.resources().add_synthetic("/target.bin", config.attack_object_bytes,
+                                   "application/octet-stream");
+  for (std::size_t i = 0; i < config.catalog_objects; ++i) {
+    origin.resources().add_synthetic("/obj/" + std::to_string(i),
+                                     config.object_bytes,
+                                     "application/octet-stream");
+  }
+
+  cdn::EdgeCluster cluster(
+      [&]() {
+        cdn::VendorProfile profile = cdn::make_profile(config.vendor);
+        profile.traits.detection = config.detection;
+        return profile;
+      },
+      config.edge_nodes, origin);
+
+  double sim_now = 0;
+  cluster.set_clock([&sim_now]() { return sim_now; });
+  if (config.tracer) cluster.set_tracer(config.tracer);
+  if (config.metrics) cluster.set_metrics(config.metrics);
+
+  // Nodes quarantining the attacker right now: via the fabric when gossip is
+  // on, else a direct table scan (the gossip-off baseline has no fabric).
+  const auto attacker_coverage = [&](double now) -> std::size_t {
+    if (const cdn::GossipFabric* fabric = cluster.gossip()) {
+      return fabric->coverage("attacker", now);
+    }
+    std::size_t covered = 0;
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      const cdn::NodeDetection* detection = cluster.node(n).detection();
+      if (detection != nullptr &&
+          detection->table().find_client("attacker", now) != nullptr) {
+        ++covered;
+      }
+    }
+    return covered;
+  };
+
+  GossipDetectionResult result;
+  std::size_t legit_hits = 0;
+  double first_attack_at = -1;
+  const double dt =
+      1.0 / static_cast<double>(std::max(1, config.requests_per_second));
+  double next_churn = config.churn_restart_period_seconds;
+  std::size_t churn_victim = 0;
+
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    sim_now = static_cast<double>(i) * dt;
+    while (config.churn_restart_period_seconds > 0 && sim_now >= next_churn) {
+      cluster.restart_node_detection(churn_victim++ % config.edge_nodes);
+      next_churn += config.churn_restart_period_seconds;
+    }
+
+    const GossipExchange& ex = schedule[i];
+    cluster.pin(ex.node);
+
+    http::Request request;
+    if (ex.attack) {
+      // The paper's node-rotating SBR shape: fresh cache-busting query per
+      // request, 1-byte range, same identity throughout.
+      request = http::make_get(
+          "shop.example.com",
+          "/target.bin?x=" + std::to_string(i / config.attack_every));
+      request.headers.add("Range", "bytes=0-0");
+      request.headers.add(std::string(cdn::kClientKeyHeader), "attacker");
+      if (first_attack_at < 0) first_attack_at = sim_now;
+    } else if (ex.probe) {
+      // Legit existence probe against the attack target's URL -- tiny closed
+      // range on the same base key, i.e. exactly what pattern quarantine
+      // would collaterally block.
+      request = http::make_get("shop.example.com", "/target.bin");
+      request.headers.add("Range", "bytes=0-1");
+      request.headers.add(std::string(cdn::kClientKeyHeader),
+                          "u" + std::to_string(ex.user));
+    } else {
+      request = http::make_get("shop.example.com",
+                               "/obj/" + std::to_string(ex.object));
+      request.headers.add(std::string(cdn::kClientKeyHeader),
+                          "u" + std::to_string(ex.user));
+    }
+
+    const std::uint64_t upstream_before =
+        cluster.total_upstream_response_bytes();
+    const http::Response response = cluster.handle(request);
+    const bool quarantined = response.status == http::kTooManyRequests;
+
+    if (ex.attack) {
+      ++result.attack_requests;
+      if (quarantined) ++result.attack_quarantined;
+    } else {
+      ++result.legit_requests;
+      if (quarantined) {
+        ++result.legit_quarantined;
+      } else if (cluster.total_upstream_response_bytes() == upstream_before) {
+        ++legit_hits;
+      }
+    }
+
+    // Convergence: the first exchange after which EVERY node holds an active
+    // attacker signature (checked post-handle so this exchange's own alarm
+    // counts).
+    if (result.convergence_exchange < 0 && config.detection.enabled &&
+        config.attack_every != 0 &&
+        attacker_coverage(sim_now) == config.edge_nodes) {
+      result.convergence_exchange = static_cast<std::int64_t>(i);
+      result.convergence_rotations =
+          static_cast<double>(i / config.attack_every + 1) /
+          static_cast<double>(
+              std::max<std::size_t>(1, config.attacker_rotation_requests));
+      result.detection_latency_seconds = sim_now - first_attack_at;
+    }
+  }
+
+  sim_now = static_cast<double>(config.requests) * dt;
+  result.final_coverage = attacker_coverage(sim_now);
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    if (const cdn::NodeDetection* detection = cluster.node(n).detection()) {
+      result.alarms += detection->stats().alarms;
+      result.signatures_expired += detection->table().expired_total;
+    }
+  }
+  if (const cdn::GossipFabric* fabric = cluster.gossip()) {
+    result.gossip = fabric->stats();
+  }
+  if (result.legit_requests != 0) {
+    result.collateral_rate = static_cast<double>(result.legit_quarantined) /
+                             static_cast<double>(result.legit_requests);
+  }
+  const std::size_t served_legit =
+      result.legit_requests - result.legit_quarantined;
+  if (served_legit != 0) {
+    result.legit_hit_rate =
+        static_cast<double>(legit_hits) / static_cast<double>(served_legit);
   }
   return result;
 }

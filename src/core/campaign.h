@@ -412,4 +412,110 @@ struct CachePollutionResult {
 CachePollutionResult run_cache_pollution_campaign(
     const CachePollutionConfig& config);
 
+// ---------------------------------------------------------------------------
+// Gossip-detection campaign (docs/detection-model.md).
+//
+// A node-rotating SBR attacker interleaved with a large Zipf legit workload
+// against a detection-enabled EdgeCluster.  Measures how many attacker
+// rotations pass before the whole cluster quarantines the attack (detection
+// latency) and what the signature propagation costs legitimate clients
+// (false-positive collateral), across gossip fanout x rotation rate x
+// message loss x node churn.
+//
+// Determinism contract: gossip couples the nodes, so the exchanges execute
+// serially against ONE cluster -- but the exchange *schedule* (who sends
+// what to which node at which instant) is derived statelessly per global
+// index and materialized by `shards` workers.  The schedule -- and therefore
+// the whole campaign -- is byte-identical for any shards/threads setting,
+// which is what lets gossip_detection.csv sit under the 8-thread drift gate.
+// ---------------------------------------------------------------------------
+
+struct GossipDetectionConfig {
+  /// Akamai by default: the Deletion forward policy turns every 1-byte
+  /// attack range into a full-entity origin fetch, the asymmetry signature
+  /// the detector keys on.
+  cdn::Vendor vendor = cdn::Vendor::kAkamai;
+
+  std::size_t edge_nodes = 8;
+
+  /// Legit population: `legit_users` distinct client identities (each pinned
+  /// to an ingress node by identity hash, as a DNS load balancer would),
+  /// requesting `catalog_objects` resources of `object_bytes` with Zipf(1)
+  /// popularity.
+  std::size_t legit_users = 120000;
+  std::size_t catalog_objects = 256;
+  std::uint64_t object_bytes = 16 * 1024;
+
+  /// The attack target; larger than a catalog object so the Deletion-policy
+  /// origin fetches dominate the asymmetry ratio.
+  std::uint64_t attack_object_bytes = 1u << 20;
+
+  /// Fraction of legit requests that are tiny existence probes
+  /// (Range: bytes=0-1) against the attack target's URL -- the traffic
+  /// pattern-quarantine collateral is measured on.
+  double probe_fraction = 0.01;
+
+  /// Total interleaved exchanges; every `attack_every`-th (0 = no attacker)
+  /// is the attacker's.  Exchange i happens at sim time i / requests_per_second.
+  std::size_t requests = 40000;
+  std::size_t attack_every = 40;
+  int requests_per_second = 1000;
+
+  /// The attacker pins ingress node (k / rotation) % edge_nodes for its k-th
+  /// request: `attacker_rotation_requests` requests per node, then move on
+  /// -- the paper's "completely different ingress nodes" spreading trick.
+  std::size_t attacker_rotation_requests = 8;
+
+  /// Detection/gossip/quarantine knobs applied to every edge node.
+  cdn::DetectionPolicy detection;
+
+  /// Node churn: every period, the next node (round-robin) has its
+  /// detection layer restarted -- detector windows and signature table lost.
+  /// 0 = no churn.
+  double churn_restart_period_seconds = 0;
+
+  std::uint64_t seed = 2020;
+
+  /// Schedule-materialization sharding (see the determinism contract above;
+  /// execution is always serial).
+  std::size_t shards = 1;
+  int threads = 1;
+
+  /// Observability hooks (non-owning, null = off, no behaviour change).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct GossipDetectionResult {
+  std::size_t legit_requests = 0;
+  std::size_t attack_requests = 0;
+  std::size_t legit_quarantined = 0;   ///< legit exchanges answered 429
+  std::size_t attack_quarantined = 0;  ///< attacker exchanges answered 429
+  /// False-positive collateral: legit_quarantined / legit_requests.
+  double collateral_rate = 0;
+  double legit_hit_rate = 0;
+
+  /// First exchange index at which every node held an active signature for
+  /// the attacker (-1: never happened during the run).
+  std::int64_t convergence_exchange = -1;
+  /// Attacker rotations completed at that exchange (-1: never converged).
+  double convergence_rotations = -1;
+  /// Sim seconds from the first attack request to cluster-wide quarantine.
+  double detection_latency_seconds = -1;
+
+  /// Detector alarm transitions summed over nodes.
+  std::uint64_t alarms = 0;
+  /// Nodes holding an active attacker signature when the run ended.
+  std::size_t final_coverage = 0;
+  /// TTL-expired signatures summed over nodes.
+  std::uint64_t signatures_expired = 0;
+
+  cdn::GossipStats gossip;
+};
+
+/// Runs the rotating-attacker + Zipf-legit campaign against a fresh
+/// detection-enabled cluster testbed.
+GossipDetectionResult run_gossip_detection_campaign(
+    const GossipDetectionConfig& config);
+
 }  // namespace rangeamp::core

@@ -19,11 +19,36 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
+#include <string_view>
 
+#include "http/range.h"
 #include "net/accounting.h"
 
 namespace rangeamp::core {
+
+/// Coarse structural class of a Range header, used to label detector samples
+/// and gossip signatures.  Distinct from http::RangeShape (a *generator*
+/// taxonomy): this classifies an already-parsed header, resource-size
+/// independent, so two edge nodes always agree on a request's class.
+enum class RangeClass : std::uint8_t {
+  kNone = 0,      ///< no (or ignored/malformed) Range header
+  kTinyClosed,    ///< one closed range selecting <= kTinyRangeClassBytes
+  kSingleClosed,  ///< one closed range, larger than tiny
+  kOpen,          ///< one open-ended range ("first-")
+  kSuffix,        ///< one suffix range ("-n")
+  kMulti,         ///< multipart byte-range-set (any mix)
+};
+
+/// Single closed ranges at or under this many bytes classify as kTinyClosed
+/// (the SBR attack shape; also a legitimate existence-probe shape).
+inline constexpr std::uint64_t kTinyRangeClassBytes = 1024;
+
+std::string_view range_class_name(RangeClass c) noexcept;
+
+/// Classifies a parsed Range header.  nullopt (no header) -> kNone.
+RangeClass classify_range(const std::optional<http::RangeSet>& range) noexcept;
 
 /// One observed client exchange, as a detector input.
 struct DetectorSample {
@@ -37,7 +62,35 @@ struct DetectorSample {
   /// Back-to-origin bytes this exchange caused (zero on a cache hit).
   net::TrafficTotals origin;
   bool cache_hit = false;
+  /// Opaque client identity (empty when the ingress cannot attribute one).
+  std::string client_key;
+  /// Cache key with the query string stripped -- the pattern an attacker
+  /// rotates a cache-busting query under.
+  std::string base_key;
+  /// Structural class of the request's Range header.
+  RangeClass shape = RangeClass::kNone;
 };
+
+/// Bytes a range selects against a resource: the sum of the satisfiable
+/// resolved lengths (overlaps counted multiply, exactly what a vulnerable
+/// multipart responder transmits), or UINT64_MAX when there is no Range
+/// header at all.
+std::uint64_t selected_bytes_of(const std::optional<http::RangeSet>& range,
+                                std::uint64_t resource_bytes);
+
+/// Builds a DetectorSample from per-exchange traffic deltas.  `cache_hit`
+/// is derived from the origin delta (no upstream response bytes == served
+/// from cache), matching how every campaign replay has always scored it.
+/// `selected` is taken as a value (not recomputed) so callers that already
+/// resolved the range -- e.g. against a planned file size -- feed the
+/// detector the exact bytes they measured.
+DetectorSample make_detector_sample(std::uint64_t selected,
+                                    std::uint64_t resource_bytes,
+                                    const net::TrafficTotals& client_delta,
+                                    const net::TrafficTotals& origin_delta,
+                                    std::string client_key = {},
+                                    std::string base_key = {},
+                                    RangeClass shape = RangeClass::kNone);
 
 struct DetectorConfig {
   /// Sliding window length in samples.
@@ -52,6 +105,11 @@ struct DetectorConfig {
   /// Fractions of the window that must be tiny-ranged / cache-missing.
   double tiny_fraction_threshold = 0.5;
   double miss_fraction_threshold = 0.8;
+  /// Alarm decay: once alarmed, this many *consecutive clean windows* (i.e.
+  /// decay_clean_windows * window samples in a row for which the window
+  /// never evaluates hot) clear the alarm, so a detector recovers after an
+  /// attacker moves on.  0 keeps the legacy forever-latched behaviour.
+  std::size_t decay_clean_windows = 0;
 };
 
 class RangeAmpDetector {
@@ -60,7 +118,8 @@ class RangeAmpDetector {
 
   void observe(const DetectorSample& sample);
 
-  /// True once the window exhibits all three signatures.
+  /// True once the window exhibits all three signatures.  Latched until
+  /// decay (when configured) clears it; forever otherwise.
   bool alarmed() const noexcept { return alarmed_; }
 
   /// Current window statistics (for reporting).
@@ -79,7 +138,8 @@ class RangeAmpDetector {
 
   DetectorConfig config_;
   std::deque<DetectorSample> window_;
-  bool alarmed_ = false;  ///< latched
+  bool alarmed_ = false;        ///< latched (subject to decay when configured)
+  std::size_t clean_streak_ = 0;  ///< consecutive not-hot samples while alarmed
 };
 
 }  // namespace rangeamp::core

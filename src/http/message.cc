@@ -27,6 +27,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 404: return "Not Found";
     case 413: return "Payload Too Large";
     case 416: return "Range Not Satisfiable";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 502: return "Bad Gateway";

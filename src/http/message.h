@@ -24,6 +24,7 @@ enum Status : int {
   kBadRequest = 400,
   kNotFound = 404,
   kRangeNotSatisfiable = 416,
+  kTooManyRequests = 429,
   kRequestHeaderFieldsTooLarge = 431,
   kBadGateway = 502,
   kServiceUnavailable = 503,

@@ -22,6 +22,14 @@ namespace {
 constexpr std::size_t kMaxHeadBytes = 4 * 1024 * 1024;
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+// Server-side request caps.  A request head far above any legitimate shape
+// (the largest this testbed produces is the ~81 KB multi-range OBR header)
+// or a Content-Length the server would have to buffer in full are both
+// resource-exhaustion vectors against the accept loop, which serves one
+// connection at a time: the connection is dropped, not served.
+constexpr std::size_t kMaxRequestHeadBytes = 1 * 1024 * 1024;
+constexpr std::size_t kMaxRequestBytes = 8 * 1024 * 1024;
+
 struct FdCloser {
   int fd = -1;
   ~FdCloser() {
@@ -68,14 +76,15 @@ struct HeadRead {
   std::size_t head_end = 0;
 };
 
-HeadRead read_head(int fd, std::string& buf) {
+HeadRead read_head(int fd, std::string& buf,
+                   std::size_t max_head_bytes = kMaxHeadBytes) {
   std::size_t scanned = 0;
   while (true) {
     const std::size_t from = scanned > 3 ? scanned - 3 : 0;
     const auto pos = buf.find("\r\n\r\n", from);
     if (pos != std::string::npos) return {ReadStatus::kOk, pos + 4};
     scanned = buf.size();
-    if (buf.size() > kMaxHeadBytes) return {ReadStatus::kError, 0};
+    if (buf.size() > max_head_bytes) return {ReadStatus::kError, 0};
     const ReadStatus st = read_some(fd, buf);
     if (st != ReadStatus::kOk) return {st, 0};
   }
@@ -137,11 +146,20 @@ void SocketServer::serve_connection(int fd) {
   set_receive_timeout(fd, 5.0);
 
   std::string buf;
-  const HeadRead head_read = read_head(fd, buf);
+  const HeadRead head_read = read_head(fd, buf, kMaxRequestHeadBytes);
   if (head_read.status != ReadStatus::kOk) return;
   const auto head = http::parse_request_head(
       std::string_view{buf}.substr(0, head_read.head_end));
   if (!head) return;
+  // Refuse to buffer a request body past the cap: check the *declared*
+  // length before reading a byte of it, so a "Content-Length: 2^60" never
+  // grows buf at all.  (Checked against the cap before the sum so the
+  // arithmetic cannot wrap.)
+  if (head->content_length > kMaxRequestBytes ||
+      head_read.head_end >
+          kMaxRequestBytes - static_cast<std::size_t>(head->content_length)) {
+    return;
+  }
   const std::size_t total =
       head_read.head_end + static_cast<std::size_t>(head->content_length);
   while (buf.size() < total) {

@@ -1,0 +1,272 @@
+// Gossip detection layer (src/cdn/gossip.h): signature-table semantics,
+// deterministic fabric schedules, and the resilience properties the
+// distributed detector is specified against -- convergence despite injected
+// message loss, and recovery after node churn.  All sim-clock driven and
+// seeded; nothing here sleeps or reads a wall clock.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/gossip.h"
+
+namespace rangeamp::cdn {
+namespace {
+
+AttackSignature make_signature(const std::string& client_key,
+                               double detected_at, double expires_at) {
+  AttackSignature sig;
+  sig.client_key = client_key;
+  sig.base_key = "victim.example|/target.bin";
+  sig.shape = core::RangeClass::kTinyClosed;
+  sig.detected_at = detected_at;
+  sig.expires_at = expires_at;
+  sig.origin_node = 0;
+  return sig;
+}
+
+DetectionPolicy make_policy() {
+  DetectionPolicy policy;
+  policy.enabled = true;
+  policy.detector.window = 5;
+  policy.detector.min_samples = 3;
+  policy.signature_ttl_seconds = 1000;  // table tests drive expiry explicitly
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// SignatureTable
+// ---------------------------------------------------------------------------
+
+TEST(SignatureTable, UpsertSuppressesDuplicatesKeepingHistory) {
+  SignatureTable table(16);
+  EXPECT_TRUE(table.upsert(make_signature("attacker", 2.0, 10.0), 0));
+  // Re-detection of the same client: merged, not inserted -- earliest
+  // detected_at (first alarm cluster-wide) and latest expires_at survive.
+  EXPECT_FALSE(table.upsert(make_signature("attacker", 1.0, 8.0), 0));
+  EXPECT_FALSE(table.upsert(make_signature("attacker", 5.0, 20.0), 0));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.duplicates_suppressed, 2u);
+
+  const AttackSignature* sig = table.find_client("attacker", 0);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_DOUBLE_EQ(sig->detected_at, 1.0);
+  EXPECT_DOUBLE_EQ(sig->expires_at, 20.0);
+}
+
+TEST(SignatureTable, TtlExpiryDropsSignatures) {
+  SignatureTable table(16);
+  EXPECT_TRUE(table.upsert(make_signature("attacker", 0, 5.0), 0));
+  EXPECT_NE(table.find_client("attacker", 4.9), nullptr);
+  // An expired signature is dead even before a sweep removes it.
+  EXPECT_EQ(table.find_client("attacker", 5.0), nullptr);
+  EXPECT_EQ(table.expire(6.0), 1u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.expired_total, 1u);
+  // A dead-on-arrival upsert never lands.
+  EXPECT_FALSE(table.upsert(make_signature("late", 0, 5.0), 6.0));
+}
+
+TEST(SignatureTable, BoundedCapacityRejectsFreshInserts) {
+  SignatureTable table(2);
+  EXPECT_TRUE(table.upsert(make_signature("a", 0, 100), 0));
+  EXPECT_TRUE(table.upsert(make_signature("b", 0, 100), 0));
+  EXPECT_FALSE(table.upsert(make_signature("c", 0, 100), 0));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.rejected_full, 1u);
+  // Duplicates of held keys still merge at capacity.
+  EXPECT_FALSE(table.upsert(make_signature("a", 0, 200), 0));
+  EXPECT_EQ(table.duplicates_suppressed, 1u);
+}
+
+TEST(SignatureTable, PatternMatchFindsShapeUnderAttack) {
+  SignatureTable table(16);
+  table.upsert(make_signature("attacker", 0, 100), 0);
+  EXPECT_NE(table.find_pattern("victim.example|/target.bin",
+                               core::RangeClass::kTinyClosed, 1.0),
+            nullptr);
+  EXPECT_EQ(table.find_pattern("victim.example|/target.bin",
+                               core::RangeClass::kMulti, 1.0),
+            nullptr);
+  EXPECT_EQ(table.find_pattern("other.example|/x", // wrong base key
+                               core::RangeClass::kTinyClosed, 1.0),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// NodeDetection
+// ---------------------------------------------------------------------------
+
+core::DetectorSample attack_sample() {
+  // The SBR signature: 1 selected byte of a 1 MiB resource, a full-entity
+  // origin fetch behind a small client-facing response, never a cache hit.
+  return core::make_detector_sample(
+      /*selected=*/1, /*resource_bytes=*/1u << 20,
+      /*client_delta=*/{200, 400}, /*origin_delta=*/{300, 1u << 20},
+      "attacker", "victim.example|/target.bin",
+      core::RangeClass::kTinyClosed);
+}
+
+TEST(NodeDetection, AlarmMintsSignatureAndRefreshesWhileHot) {
+  NodeDetection detection(make_policy(), /*node_index=*/3);
+  const AttackSignature* minted = nullptr;
+  for (int i = 0; i < 5 && minted == nullptr; ++i) {
+    minted = detection.observe(attack_sample(), /*now=*/1.0);
+  }
+  ASSERT_NE(minted, nullptr);
+  EXPECT_EQ(minted->client_key, "attacker");
+  EXPECT_EQ(minted->origin_node, 3u);
+  EXPECT_EQ(detection.stats().alarms, 1u);
+
+  // While the detector stays hot, further observations refresh the TTL
+  // instead of minting again.
+  EXPECT_EQ(detection.observe(attack_sample(), /*now=*/2.0), nullptr);
+  const AttackSignature* held = detection.table().find_client("attacker", 2.0);
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ(held->expires_at, 2.0 + make_policy().signature_ttl_seconds);
+  EXPECT_EQ(detection.stats().alarms, 1u);
+}
+
+TEST(NodeDetection, MatchDistinguishesClientAndPattern) {
+  DetectionPolicy policy = make_policy();
+  policy.pattern_quarantine = true;
+  NodeDetection detection(policy, 0);
+  detection.table().upsert(make_signature("attacker", 0, 100), 0);
+
+  EXPECT_EQ(detection.match("attacker", "anything", core::RangeClass::kNone,
+                            1.0),
+            NodeDetection::Match::kClient);
+  EXPECT_EQ(detection.match("bystander", "victim.example|/target.bin",
+                            core::RangeClass::kTinyClosed, 1.0),
+            NodeDetection::Match::kPattern);
+  EXPECT_EQ(detection.match("bystander", "victim.example|/target.bin",
+                            core::RangeClass::kSingleClosed, 1.0),
+            NodeDetection::Match::kNone);
+}
+
+TEST(NodeDetection, RestartLosesSoftState) {
+  NodeDetection detection(make_policy(), 0);
+  detection.table().upsert(make_signature("attacker", 0, 100), 0);
+  for (int i = 0; i < 5; ++i) detection.observe(attack_sample(), 1.0);
+  EXPECT_GT(detection.tracked_clients(), 0u);
+
+  detection.restart();
+  EXPECT_EQ(detection.table().size(), 0u);
+  EXPECT_EQ(detection.tracked_clients(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GossipFabric
+// ---------------------------------------------------------------------------
+
+struct Fleet {
+  std::vector<std::unique_ptr<NodeDetection>> owned;
+  std::unique_ptr<GossipFabric> fabric;
+
+  Fleet(std::size_t n, const GossipPolicy& gossip) {
+    DetectionPolicy policy = make_policy();
+    policy.gossip = gossip;
+    std::vector<NodeDetection*> nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<NodeDetection>(policy, i));
+      nodes.push_back(owned.back().get());
+    }
+    fabric = std::make_unique<GossipFabric>(std::move(nodes), gossip);
+  }
+
+  /// Seeds one node's table and returns rounds until cluster-wide coverage
+  /// (-1: not within `max_rounds`).  One advance() per round_seconds tick.
+  int rounds_to_converge(int max_rounds) {
+    owned[0]->table().upsert(make_signature("attacker", 0, 1e9), 0);
+    for (int r = 1; r <= max_rounds; ++r) {
+      const double now = static_cast<double>(r) *
+                         fabric->policy().round_seconds;
+      fabric->advance(now);
+      if (fabric->converged("attacker", now)) return r;
+    }
+    return -1;
+  }
+};
+
+GossipPolicy gossip_policy(std::size_t fanout, double loss) {
+  GossipPolicy policy;
+  policy.enabled = true;
+  policy.fanout = fanout;
+  policy.round_seconds = 0.5;
+  policy.seed = 42;
+  policy.message_loss_rate = loss;
+  return policy;
+}
+
+TEST(GossipFabric, LosslessPushConvergesQuickly) {
+  Fleet fleet(8, gossip_policy(/*fanout=*/2, /*loss=*/0));
+  const int rounds = fleet.rounds_to_converge(64);
+  ASSERT_GT(rounds, 0);
+  // Push gossip with fanout 2 over 8 nodes: expected O(log n) rounds; a
+  // generous deterministic bound catches a broken schedule, not variance.
+  EXPECT_LE(rounds, 8);
+  EXPECT_EQ(fleet.fabric->stats().messages_dropped, 0u);
+  EXPECT_GT(fleet.fabric->stats().signatures_accepted, 0u);
+}
+
+TEST(GossipFabric, ConvergesDespiteThirtyPercentMessageLoss) {
+  Fleet fleet(8, gossip_policy(/*fanout=*/2, /*loss=*/0.3));
+  const int rounds = fleet.rounds_to_converge(200);
+  ASSERT_GT(rounds, 0) << "loss must delay convergence, never prevent it";
+  EXPECT_GT(fleet.fabric->stats().messages_dropped, 0u);
+
+  // Loss costs rounds relative to the lossless schedule.
+  Fleet lossless(8, gossip_policy(2, 0));
+  EXPECT_GE(rounds, lossless.rounds_to_converge(200));
+}
+
+TEST(GossipFabric, RestartedNodeIsRepopulatedByGossip) {
+  Fleet fleet(8, gossip_policy(/*fanout=*/2, /*loss=*/0));
+  const int rounds = fleet.rounds_to_converge(64);
+  ASSERT_GT(rounds, 0);
+
+  // Churn: node 5 restarts and forgets everything it knew.
+  fleet.fabric->restart_node(5);
+  double now = static_cast<double>(rounds) * 0.5;
+  EXPECT_FALSE(fleet.fabric->converged("attacker", now));
+  EXPECT_EQ(fleet.fabric->coverage("attacker", now), 7u);
+
+  // Anti-entropy: later rounds re-deliver the signature; the fabric
+  // converges again instead of wedging on the lost state.
+  bool reconverged = false;
+  for (int r = 1; r <= 64 && !reconverged; ++r) {
+    now += 0.5;
+    fleet.fabric->advance(now);
+    reconverged = fleet.fabric->converged("attacker", now);
+  }
+  EXPECT_TRUE(reconverged);
+}
+
+TEST(GossipFabric, ScheduleIsDeterministic) {
+  Fleet a(6, gossip_policy(/*fanout=*/1, /*loss=*/0.25));
+  Fleet b(6, gossip_policy(/*fanout=*/1, /*loss=*/0.25));
+  EXPECT_EQ(a.rounds_to_converge(200), b.rounds_to_converge(200));
+  EXPECT_EQ(a.fabric->stats().messages_sent, b.fabric->stats().messages_sent);
+  EXPECT_EQ(a.fabric->stats().messages_dropped,
+            b.fabric->stats().messages_dropped);
+  EXPECT_EQ(a.fabric->stats().signatures_accepted,
+            b.fabric->stats().signatures_accepted);
+}
+
+TEST(GossipFabric, ExpiredSignaturesStopPropagating) {
+  Fleet fleet(4, gossip_policy(/*fanout=*/2, /*loss=*/0));
+  // A short-lived signature: expires before the second round fires.
+  fleet.owned[0]->table().upsert(make_signature("attacker", 0, 0.6), 0);
+  fleet.fabric->advance(0.5);  // round 1: may spread to some peers
+  fleet.fabric->advance(5.0);  // rounds 2..: everything expired
+  EXPECT_EQ(fleet.fabric->coverage("attacker", 5.0), 0u);
+  std::uint64_t expired = 0;
+  for (const auto& node : fleet.owned) {
+    expired += node->table().expired_total;
+  }
+  EXPECT_GT(expired, 0u);
+}
+
+}  // namespace
+}  // namespace rangeamp::cdn

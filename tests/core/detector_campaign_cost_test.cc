@@ -57,6 +57,68 @@ TEST(Detector, AlarmIsLatched) {
   EXPECT_FALSE(detector.alarmed());
 }
 
+TEST(Detector, DecayUnlatchesAfterCleanWindows) {
+  // decay_clean_windows=2 @ window=10: the alarm clears after 20
+  // *consecutive* samples during which the window never evaluates hot.  The
+  // first 2 benign samples after the burst still leave the blended window
+  // hot (miss_fraction 8/10 >= 0.8), so the streak starts at the 3rd and
+  // sample 22 is the one that clears.
+  DetectorConfig config;
+  config.window = 10;
+  config.min_samples = 5;
+  config.decay_clean_windows = 2;
+  RangeAmpDetector detector(config);
+
+  for (int i = 0; i < 12; ++i) detector.observe(attack_sample());
+  ASSERT_TRUE(detector.alarmed());
+
+  // One sample short of the decay horizon: still alarmed.
+  for (int i = 0; i < 21; ++i) detector.observe(benign_page_sample());
+  EXPECT_TRUE(detector.alarmed());
+  detector.observe(benign_page_sample());
+  EXPECT_FALSE(detector.alarmed()) << "22nd clean sample must clear the alarm";
+}
+
+TEST(Detector, DecayedDetectorReAlarmsOnSecondBurst) {
+  // The regression the distributed campaign depends on: alarm -> recovery ->
+  // re-alarm across two attack bursts.  A decayed detector must be armed
+  // again, not stuck half-latched.
+  DetectorConfig config;
+  config.window = 10;
+  config.min_samples = 5;
+  config.decay_clean_windows = 1;
+  RangeAmpDetector detector(config);
+
+  for (int i = 0; i < 12; ++i) detector.observe(attack_sample());
+  ASSERT_TRUE(detector.alarmed());
+  for (int i = 0; i < 12; ++i) detector.observe(benign_page_sample());
+  ASSERT_FALSE(detector.alarmed()) << "first burst must decay";
+
+  for (int i = 0; i < 12; ++i) detector.observe(attack_sample());
+  EXPECT_TRUE(detector.alarmed()) << "second burst must re-alarm";
+}
+
+TEST(Detector, ResumedAttackRestartsDecayStreak) {
+  // decay_clean_windows=2 (20 clean samples to clear): an attacker who
+  // resumes mid-decay re-heats the window, which zeroes the streak -- so a
+  // benign tail that would have cleared a *fresh* countdown must not clear
+  // this one.
+  DetectorConfig config;
+  config.window = 10;
+  config.min_samples = 5;
+  config.decay_clean_windows = 2;
+  RangeAmpDetector detector(config);
+
+  for (int i = 0; i < 12; ++i) detector.observe(attack_sample());
+  ASSERT_TRUE(detector.alarmed());
+  for (int i = 0; i < 9; ++i) detector.observe(benign_page_sample());
+  for (int i = 0; i < 10; ++i) detector.observe(attack_sample());  // re-heat
+  ASSERT_TRUE(detector.alarmed());
+  for (int i = 0; i < 15; ++i) detector.observe(benign_page_sample());
+  EXPECT_TRUE(detector.alarmed())
+      << "15 clean samples after the resume must not clear a 20-sample decay";
+}
+
 TEST(Detector, SilentOnBenignTraffic) {
   RangeAmpDetector detector;
   for (int i = 0; i < 200; ++i) detector.observe(benign_page_sample());
